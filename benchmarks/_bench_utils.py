@@ -1,0 +1,25 @@
+"""Helpers shared by the benchmark modules (kept out of conftest to avoid
+module-name collisions with the repository-root conftest)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def emit(result, benchmark=None) -> None:
+    """Write a FigureResult to benchmarks/results/ and echo it to stdout."""
+    from repro.perf.report import format_figure
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = format_figure(result)
+    slug = result.figure_id.lower().replace(" ", "_").replace("(", "").replace(")", "")
+    path = os.path.join(RESULTS_DIR, f"{slug}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    sys.stdout.write("\n" + text + "\n")
+    if benchmark is not None:
+        for key, value in result.extra.items():
+            benchmark.extra_info[key] = value

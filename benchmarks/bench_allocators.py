@@ -1,0 +1,32 @@
+"""Section V: dynamic memory allocation under the WCWS pattern.
+
+Regenerates the allocator comparison of Section V: one million 128-byte slab
+allocations issued one at a time per warp (the access pattern the slab hash
+generates), for SlabAlloc, a Halloc-like allocator and a CUDA-malloc-like
+allocator.
+
+Paper reference points: CUDA malloc ~0.8 M slabs/s, Halloc ~16.1 M slabs/s,
+SlabAlloc ~600 M slabs/s (~37x faster than Halloc).
+"""
+
+from _bench_utils import emit
+
+from repro.perf import figures
+from repro.perf.report import PAPER_REFERENCE
+
+
+def test_allocator_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.allocator_comparison(sim_allocations=2**13), rounds=1, iterations=1
+    )
+    emit(result, benchmark)
+    slab = result.extra["slaballoc_mops"]
+    halloc = result.extra["halloc_mops"]
+    malloc = result.extra["cuda_malloc_mops"]
+    # Ordering and rough magnitudes from the paper.
+    assert slab > halloc > malloc
+    assert 300 <= slab <= 1100            # paper: 600 M slabs/s
+    assert 8 <= halloc <= 30              # paper: 16.1 M slabs/s
+    assert 0.3 <= malloc <= 2.0           # paper: 0.8 M slabs/s
+    assert result.extra["slaballoc_over_halloc"] > 15  # paper: ~37x
+    benchmark.extra_info["paper_slaballoc_mops"] = PAPER_REFERENCE["slaballoc_rate_mops"]

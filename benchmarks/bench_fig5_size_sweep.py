@@ -1,0 +1,47 @@
+"""Figure 5: bulk performance versus total number of stored elements (60 % utilization).
+
+Regenerates:
+  * Fig. 5a — build rate versus n (2^16 .. 2^26),
+  * Fig. 5b — search rate versus n, all-found and none-found.
+
+Paper reference points: CUDPP builds particularly fast for small tables (its
+atomics stay in cache); the slab hash delivers size-stable search rates with
+harmonic means around 861 / 793 M queries/s (all / none); over the sweep the
+two methods are within ~20 % of each other (geomean 1.19x / 1.19x / 0.94x for
+build / search-all / search-none).
+"""
+
+from _bench_utils import emit
+
+from repro.perf import figures
+
+TABLE_SIZES = tuple(2**k for k in range(16, 27, 2))
+SIM_ELEMENTS = 2**12
+
+
+def test_fig5a_build_rate_vs_n(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.figure_5a(table_sizes=TABLE_SIZES, sim_elements=SIM_ELEMENTS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, benchmark)
+    cudpp = result.series_by_label("CUDPP").as_dict()
+    slab = result.series_by_label("SlabHash")
+    assert cudpp[16.0] > cudpp[24.0]  # the small-table (L2) advantage
+    assert max(slab.y) / min(slab.y) < 1.6  # slab hash is size-stable
+
+
+def test_fig5b_search_rate_vs_n(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.figure_5b(table_sizes=TABLE_SIZES, sim_elements=SIM_ELEMENTS),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, benchmark)
+    slab_all = result.series_by_label("SlabHash-all")
+    slab_none = result.series_by_label("SlabHash-none")
+    # Paper: consistent performance, harmonic means 861 / 793 M queries/s.
+    assert 600 <= result.extra["slabhash_all_harmonic_mean"] <= 1100
+    assert max(slab_all.y) / min(slab_all.y) < 1.6
+    assert max(slab_none.y) / min(slab_none.y) < 1.6

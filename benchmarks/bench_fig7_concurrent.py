@@ -1,0 +1,55 @@
+"""Figure 7: truly concurrent mixed workloads.
+
+Regenerates:
+  * Fig. 7a — operation rate versus initial memory utilization for the three
+    operation distributions Gamma_0 (100 % updates), Gamma_1 (40 % updates)
+    and Gamma_2 (20 % updates);
+  * Fig. 7b — slab hash versus Misra & Chaudhuri's lock-free chaining hash
+    table, sweeping the number of buckets (the scaled equivalent of 1 M
+    operations per configuration).
+
+Paper reference points: rates order as Gamma_2 > Gamma_1 > Gamma_0, degrade
+sharply past ~65 % utilization (down to ~100 M ops/s around 90 %), and the
+slab hash outperforms Misra's table by 5.1x / 4.3x / 3.1x (geometric mean) for
+100 % / 40 % / 20 % updates.
+"""
+
+from _bench_utils import emit
+
+from repro.perf import figures
+
+
+def test_fig7a_concurrent_rates(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.figure_7a(sim_elements=2**12), rounds=1, iterations=1
+    )
+    emit(result, benchmark)
+    rates = {series.label: series.as_dict() for series in result.series}
+    light = rates["20% updates, 80% searches"]
+    heavy = rates["100% updates, 0% searches"]
+    # Fewer updates -> higher throughput, at every utilization.
+    assert all(light[x] >= heavy[x] for x in light)
+    # The >65 % utilization cliff appears for every distribution.
+    for series in result.series:
+        points = series.as_dict()
+        assert points[0.9] < 0.55 * points[0.5]
+
+
+def test_fig7b_vs_misra(benchmark):
+    result = benchmark.pedantic(
+        lambda: figures.figure_7b(
+            bucket_counts=(64, 128, 256, 512, 1024),
+            num_operations=2**12,
+            initial_elements=2**12,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, benchmark)
+    speedups = [v for k, v in result.extra.items() if k.startswith("speedup_")]
+    assert len(speedups) == 3
+    # Paper: 3.1x - 5.1x geometric-mean speedups; accept the same order of magnitude.
+    assert all(2.0 <= s <= 10.0 for s in speedups)
+    # Both structures speed up with more buckets (shorter chains).
+    for series in result.series:
+        assert series.y[-1] > series.y[0]

@@ -1,0 +1,33 @@
+"""Benchmark-suite pytest configuration: make ``src/`` and this directory importable."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+for path in (_SRC, _HERE):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every regenerated table/figure after the benchmark run.
+
+    The figure drivers write their tables to ``benchmarks/results/``; echoing
+    them here (outside pytest's output capture) means a plain
+    ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records the
+    reproduced paper tables alongside the timing summary.
+    """
+    results_dir = os.path.join(_HERE, "results")
+    if not os.path.isdir(results_dir):
+        return
+    terminalreporter.write_sep("=", "reproduced paper tables and figures")
+    for name in sorted(os.listdir(results_dir)):
+        if not name.endswith(".txt"):
+            continue
+        with open(os.path.join(results_dir, name), "r", encoding="utf-8") as handle:
+            terminalreporter.write_line("")
+            for line in handle.read().splitlines():
+                terminalreporter.write_line(line)

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures ``src/`` is importable even when the package has not been installed
+(this environment has no network, so ``pip install -e .`` cannot build a
+wheel; the repository instead ships a ``.pth``-style path insertion here and
+documents the offline install in the README).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

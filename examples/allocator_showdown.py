@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""SlabAlloc versus CUDA-malloc-like and Halloc-like allocators (Section V).
+
+The slab hash's warp-cooperative work sharing strategy produces an allocation
+pattern that general-purpose GPU allocators handle poorly: many independent
+fixed-size (128-byte) allocations issued one at a time per warp.  This example
+drives all three allocators with that pattern, prints the modelled allocation
+rates next to the paper's measured numbers, and demonstrates SlabAlloc's
+allocate/deallocate correctness under churn.
+
+Run:  python examples/allocator_showdown.py
+"""
+
+import numpy as np
+
+from repro.allocators.baselines import CudaMallocAllocator, HallocLikeAllocator
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_alloc import SlabAlloc
+from repro.gpusim.device import Device
+from repro.gpusim.warp import Warp
+from repro.perf.figures import allocator_comparison
+from repro.perf.report import PAPER_REFERENCE, format_table
+
+
+def churn_demo() -> None:
+    """Allocate/free churn on SlabAlloc: unique addresses, clean recycling."""
+    device = Device()
+    alloc = SlabAlloc(device, SlabAllocConfig(4, 32, 256), seed=9)
+    warps = [Warp(i, device.counters) for i in range(8)]
+    rng = np.random.default_rng(1)
+
+    live = []
+    for step in range(20_000):
+        if live and rng.random() < 0.4:
+            alloc.deallocate(warps[step % 8], live.pop(rng.integers(len(live))))
+        else:
+            live.append(alloc.warp_allocate(warps[step % 8]))
+    assert len(set(live)) == len(live)
+    print(f"churn demo: {device.counters.allocations} allocations, "
+          f"{device.counters.deallocations} deallocations, "
+          f"{alloc.allocated_units} live units, "
+          f"{device.counters.resident_changes} resident changes, "
+          f"occupancy {alloc.occupancy():.1%}\n")
+
+
+def main() -> None:
+    churn_demo()
+
+    result = allocator_comparison(sim_allocations=2**13)
+    rows = [
+        ["SlabAlloc", f"{result.extra['slaballoc_mops']:.0f}",
+         f"{PAPER_REFERENCE['slaballoc_rate_mops']:.0f}"],
+        ["Halloc (modelled)", f"{result.extra['halloc_mops']:.1f}",
+         f"{PAPER_REFERENCE['halloc_rate_mops']:.1f}"],
+        ["CUDA malloc (modelled)", f"{result.extra['cuda_malloc_mops']:.1f}",
+         f"{PAPER_REFERENCE['cuda_malloc_rate_mops']:.1f}"],
+    ]
+    print(format_table(["allocator", "this repo (M slabs/s)", "paper (M slabs/s)"], rows))
+    print(f"\nSlabAlloc speedup over Halloc: {result.extra['slaballoc_over_halloc']:.0f}x "
+          f"(paper: ~37x); over CUDA malloc: {result.extra['slaballoc_over_malloc']:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Dynamic graph analytics on top of the slab hash.
+
+The paper's conclusion names dynamic graph analytics as a target application
+for dynamic GPU data structures.  This example maintains the edge set of an
+evolving undirected graph in two slab hashes:
+
+* an *adjacency* table in duplicates mode — key = vertex, value = neighbour —
+  so SEARCHALL(v) returns v's current neighbourhood, and
+* an *edge* table in unique-keys mode — key = encoded (u, v) pair — giving
+  O(1) edge-existence checks and making edge insertion idempotent.
+
+A random edge stream (insertions and deletions) is applied, degree queries and
+triangle counts are answered on the fly, and the result is cross-checked
+against networkx.
+
+Run:  python examples/dynamic_graph.py
+"""
+
+import numpy as np
+
+try:
+    import networkx as nx
+except ImportError:  # pragma: no cover - networkx is installed in CI
+    nx = None
+
+from repro import SlabHash
+from repro.core import constants as C
+
+
+class DynamicGraph:
+    """An undirected dynamic graph backed by slab hashes."""
+
+    def __init__(self, max_vertices: int = 1 << 15, seed: int = 0) -> None:
+        if max_vertices > 1 << 15:
+            raise ValueError("vertex ids must fit in 15 bits for the edge encoding")
+        self.max_vertices = max_vertices
+        self.adjacency = SlabHash(1024, unique_keys=False, seed=seed)
+        self.edges = SlabHash(2048, unique_keys=True, seed=seed + 1)
+
+    # -- edge encoding ---------------------------------------------------- #
+    def _edge_key(self, u: int, v: int) -> int:
+        lo, hi = (u, v) if u < v else (v, u)
+        return (hi << 15) | lo
+
+    # -- mutations --------------------------------------------------------- #
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge (u, v); returns False if it already existed."""
+        if u == v:
+            return False
+        key = self._edge_key(u, v)
+        if self.edges.search(key) is not None:
+            return False
+        self.edges.insert(key, 1)
+        self.adjacency.insert(u, v)
+        self.adjacency.insert(v, u)
+        return True
+
+    def remove_edge(self, u: int, v: int) -> bool:
+        """Delete edge (u, v); returns False if it was not present."""
+        key = self._edge_key(u, v)
+        if self.edges.search(key) is None:
+            return False
+        self.edges.delete(key)
+        # Remove one copy of each direction from the adjacency multimap.
+        self._remove_adjacency(u, v)
+        self._remove_adjacency(v, u)
+        return True
+
+    def _remove_adjacency(self, u: int, v: int) -> None:
+        neighbours = self.adjacency.search_all(u)
+        self.adjacency.delete_all(u)
+        neighbours.remove(v)
+        for w in neighbours:
+            self.adjacency.insert(u, w)
+
+    # -- queries ----------------------------------------------------------- #
+    def has_edge(self, u: int, v: int) -> bool:
+        return self.edges.search(self._edge_key(u, v)) is not None
+
+    def neighbours(self, u: int) -> list[int]:
+        return sorted(self.adjacency.search_all(u))
+
+    def degree(self, u: int) -> int:
+        return len(self.adjacency.search_all(u))
+
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def triangles_through(self, u: int) -> int:
+        """Count triangles incident to vertex ``u`` using edge-existence queries."""
+        neighbours = self.neighbours(u)
+        count = 0
+        for i, a in enumerate(neighbours):
+            for b in neighbours[i + 1:]:
+                if self.has_edge(a, b):
+                    count += 1
+        return count
+
+    def compact(self) -> None:
+        """Reclaim slabs fragmented by edge deletions (FLUSH on both tables)."""
+        self.adjacency.flush()
+        self.edges.flush()
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    num_vertices = 400
+    graph = DynamicGraph(seed=23)
+    reference = nx.Graph() if nx is not None else None
+
+    # Evolving edge stream: 3000 insertions mixed with 600 deletions.
+    inserted = []
+    for step in range(3_600):
+        if step % 6 == 5 and inserted:
+            index = int(rng.integers(len(inserted)))
+            u, v = inserted.pop(index)
+            graph.remove_edge(u, v)
+            if reference is not None and reference.has_edge(u, v):
+                reference.remove_edge(u, v)
+        else:
+            u, v = int(rng.integers(num_vertices)), int(rng.integers(num_vertices))
+            if u != v and graph.add_edge(u, v):
+                inserted.append((u, v))
+                if reference is not None:
+                    reference.add_edge(u, v)
+
+    print(f"graph after the stream: {graph.num_edges()} edges")
+    sample = [int(v) for v in rng.choice(num_vertices, size=5, replace=False)]
+    for vertex in sample:
+        print(f"  vertex {vertex:4d}: degree {graph.degree(vertex):3d}, "
+              f"triangles through it {graph.triangles_through(vertex):3d}")
+
+    graph.compact()
+    print(f"after FLUSH compaction: adjacency utilization "
+          f"{graph.adjacency.memory_utilization():.1%}, "
+          f"edge-table utilization {graph.edges.memory_utilization():.1%}")
+
+    if reference is not None:
+        assert graph.num_edges() == reference.number_of_edges()
+        for vertex in sample:
+            assert graph.degree(vertex) == reference.degree(vertex)
+            assert graph.neighbours(vertex) == sorted(reference.neighbors(vertex))
+            assert graph.triangles_through(vertex) == sum(
+                1 for a in reference.neighbors(vertex) for b in reference.neighbors(vertex)
+                if a < b and reference.has_edge(a, b)
+            )
+        print("cross-check against networkx: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: build a slab hash, query it, mutate it, compact it.
+
+This walks through the public API of :class:`repro.SlabHash` — the dynamic
+GPU hash table of Ashkiani et al. (IPDPS 2018) running on the warp-level
+simulator substrate — and prints the memory-utilization / slab-count
+statistics the paper reasons about.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Device, SlabHash
+from repro.gpusim.costmodel import CostModel
+from repro.perf.metrics import measure_phase
+from repro.workloads.generators import unique_random_keys, values_for_keys
+
+
+def main() -> None:
+    num_elements = 5_000
+    target_utilization = 0.6
+
+    # 1. Size the table: pick the bucket count whose expected memory
+    #    utilization matches the target (the Fig. 4c relation).
+    num_buckets = SlabHash.buckets_for_utilization(num_elements, target_utilization)
+    device = Device()  # a simulated Tesla K40c
+    table = SlabHash(num_buckets, device=device, seed=42)
+    print(f"created SlabHash with {num_buckets} buckets "
+          f"(target utilization {target_utilization:.0%})")
+
+    # 2. Bulk-build from random key-value pairs.  In the slab hash a bulk
+    #    build is just a batch of dynamic insertions.
+    keys = unique_random_keys(num_elements, seed=1)
+    values = values_for_keys(keys)
+    build = measure_phase(device, lambda: table.bulk_build(keys, values),
+                          num_ops=num_elements, scale_to_ops=2**22)
+    print(f"bulk build:   {build.mops:7.1f} M insertions/s (modelled, paper-scale)")
+
+    # 3. Bulk searches: all queries present, then none present.
+    hits = keys
+    misses = (keys.astype(np.uint64) + 2**31).astype(np.uint32)
+    search_all = measure_phase(device, lambda: table.bulk_search(hits),
+                               num_ops=num_elements, scale_to_ops=2**22)
+    search_none = measure_phase(device, lambda: table.bulk_search(misses),
+                                num_ops=num_elements, scale_to_ops=2**22)
+    print(f"search (hit): {search_all.mops:7.1f} M queries/s")
+    print(f"search (miss):{search_none.mops:7.1f} M queries/s")
+
+    # 4. Point operations.
+    key = int(keys[0])
+    print(f"search({key}) -> {table.search(key)}")
+    table.insert(key, 123456)           # REPLACE: overwrites the value
+    print(f"after replace  -> {table.search(key)}")
+    table.delete(key)
+    print(f"after delete   -> {table.search(key)}")
+
+    # 5. Introspection: the quantities the paper's analysis is built on.
+    print(f"stored elements     : {len(table)}")
+    print(f"total slabs         : {table.total_slabs()}")
+    print(f"average slab count  : {table.beta():.2f} (beta = n / (M*B))")
+    print(f"memory utilization  : {table.memory_utilization():.1%} "
+          f"(ceiling {table.config.max_memory_utilization:.1%})")
+
+    # 6. Delete a third of the keys and compact with FLUSH.
+    table.bulk_delete(keys[::3])
+    before = table.total_slabs()
+    released = sum(r.slabs_released for r in table.flush())
+    print(f"flush released {released} of {before} slabs; "
+          f"utilization now {table.memory_utilization():.1%}")
+
+    # 7. Where did the modelled time go?
+    breakdown = CostModel(device.spec).elapsed(search_all.counters)
+    print(f"search bottleneck   : {breakdown.bottleneck} "
+          f"(memory {breakdown.memory_time*1e3:.2f} ms, "
+          f"atomics {breakdown.atomic_time*1e3:.2f} ms, "
+          f"compute {breakdown.compute_time*1e3:.2f} ms per 2^22 queries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Python reproduction of "A Dynamic Hash Table for the GPU" (SlabHash, IPDPS 2018).
+
+Packages
+--------
+* :mod:`repro.gpusim` — warp-level GPU SIMT simulator substrate (device model,
+  global memory with atomics and accounting, warp intrinsics, interleaving
+  scheduler, analytical cost model).
+* :mod:`repro.core` — the paper's contribution: slab list, slab hash,
+  SlabAlloc / SlabAlloc-light.
+* :mod:`repro.baselines` — hash-table baselines used by the evaluation
+  (CUDPP-style cuckoo hashing, Misra & Chaudhuri's lock-free chaining table,
+  the GFSL analytic model).
+* :mod:`repro.allocators` — allocator baselines (CUDA-malloc-like, Halloc-like).
+* :mod:`repro.workloads` — key/query generators and operation distributions.
+* :mod:`repro.perf` — experiment harness, per-figure drivers and reporting.
+
+Quick start
+-----------
+>>> from repro import SlabHash
+>>> table = SlabHash(num_buckets=128)
+>>> table.insert(42, 1000)
+>>> table.search(42)
+1000
+>>> table.delete(42)
+True
+"""
+
+from repro.core.slab_hash import SlabHash
+from repro.core.slab_alloc import SlabAlloc
+from repro.core.slab_alloc_light import SlabAllocLight
+from repro.core.slab_list import SlabListCollection
+from repro.core.slab_list_single import SlabList
+from repro.core.slab_set import SlabSet
+from repro.core.config import SlabAllocConfig, SlabConfig
+from repro.gpusim.device import Device, DeviceSpec, TESLA_K40C
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SlabHash",
+    "SlabList",
+    "SlabSet",
+    "SlabAlloc",
+    "SlabAllocLight",
+    "SlabListCollection",
+    "SlabAllocConfig",
+    "SlabConfig",
+    "Device",
+    "DeviceSpec",
+    "TESLA_K40C",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Dynamic-memory-allocator baselines for the Section V comparison.
+
+The paper measures the WCWS allocation pattern (many independent, sequentially
+issued fixed-size slab allocations per warp) against CUDA's built-in device
+``malloc`` and against Halloc, and reports 0.8 M, 16.1 M and 600 M slab
+allocations per second for malloc, Halloc and SlabAlloc respectively.  Neither
+CUDA ``malloc`` nor Halloc can run in this environment, so this package
+provides functional stand-ins whose event counts and serialization penalties
+are calibrated to the published measurements (see the module docstring of
+:mod:`repro.allocators.baselines` and DESIGN.md's substitution table).
+"""
+
+from repro.allocators.baselines import CudaMallocAllocator, HallocLikeAllocator
+
+__all__ = ["CudaMallocAllocator", "HallocLikeAllocator"]

@@ -1,0 +1,19 @@
+"""Hash-table baselines used by the paper's evaluation (Section VI).
+
+* :class:`repro.baselines.cuckoo.CuckooHashTable` — a from-scratch
+  implementation of the static GPU cuckoo hashing scheme of Alcantara et al.
+  (the CUDPP hash table), used for the bulk build/search comparisons of
+  Figures 4, 5 and 6.
+* :class:`repro.baselines.misra.MisraHashTable` — Misra & Chaudhuri's
+  lock-free chaining hash table over classic per-thread linked lists with a
+  pre-allocated node pool, used for the concurrent comparison of Figure 7b.
+* :class:`repro.baselines.gfsl.GFSLModel` — the analytic per-operation cost
+  model of Moscovici et al.'s lock-based GPU skip list used by the paper's
+  Section VI-C discussion.
+"""
+
+from repro.baselines.cuckoo import CuckooHashTable, CuckooBuildStats
+from repro.baselines.misra import MisraHashTable
+from repro.baselines.gfsl import GFSLModel
+
+__all__ = ["CuckooHashTable", "CuckooBuildStats", "MisraHashTable", "GFSLModel"]

@@ -1,0 +1,272 @@
+"""CUDPP-style static cuckoo hashing (Alcantara et al.), the paper's main baseline.
+
+The paper compares the slab hash against CUDPP's cuckoo hash table for bulk
+building and bulk searching (Figures 4, 5 and 6).  CUDPP's implementation is a
+closed benchmark binary, so this module implements the same algorithm from
+scratch on the simulated device:
+
+* a single open-addressing table of 64-bit entries (key + value packed side by
+  side) sized as ``n / load_factor``;
+* four universal hash functions; every key lives in one of its four positions;
+* insertion by eviction chains: a thread atomically exchanges its pair into
+  the key's current position and, if it evicted a live pair, continues with
+  the evicted pair at that pair's *next* hash position, up to
+  ``max_eviction_chain`` steps;
+* if any chain exceeds the limit the whole build is restarted with fresh hash
+  functions (CUDPP additionally keeps a small stash; restarts model the same
+  failure behaviour, and the build-failure probability rises with the load
+  factor exactly as the paper describes);
+* searching probes the (up to four) candidate positions; a missing key always
+  costs four probes.
+
+Event accounting matches the "fast path" analysis in Section VI-A of the
+paper: one 64-bit atomic per insertion plus one scattered read per probe, so
+at low load factors CUDPP is hard to beat, and when the table fits in L2 (the
+small-table region of Figure 5a) its atomics get dramatically cheaper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.core.hashing import PRIME
+from repro.gpusim.device import Device
+from repro.gpusim.memory import GlobalMemory
+
+__all__ = ["CuckooHashTable", "CuckooBuildStats", "CuckooBuildError"]
+
+#: Warp-instruction charge per probe of one candidate position (per thread,
+#: amortized over the warp: probes are mostly convergent).
+PROBE_INSTRUCTIONS = 2
+
+#: Warp-instruction charge per eviction-chain step (address recompute + branch).
+EVICTION_STEP_INSTRUCTIONS = 3
+
+#: Default bound on eviction chains, following CUDPP's ``7 * lg(n)`` rule.
+def default_max_chain(num_elements: int) -> int:
+    return max(8, int(7 * np.log2(max(2, num_elements))))
+
+
+class CuckooBuildError(RuntimeError):
+    """Raised when the cuckoo build keeps failing even after restarts."""
+
+
+@dataclass(frozen=True)
+class CuckooBuildStats:
+    """Outcome of a bulk build."""
+
+    num_elements: int
+    capacity: int
+    load_factor: float
+    restarts: int
+    max_chain_observed: int
+    total_evictions: int
+
+
+class CuckooHashTable:
+    """Static GPU cuckoo hash table (bulk build + bulk search only).
+
+    Parameters
+    ----------
+    capacity:
+        Number of table entries.  Use :meth:`for_load_factor` to size the
+        table the way the paper does (``n`` elements at a given load factor /
+        memory utilization).
+    device:
+        Simulated device for event accounting.
+    num_hash_functions:
+        Number of candidate positions per key (CUDPP uses 4).
+    seed:
+        Seed for the hash-function draws.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        device: Optional[Device] = None,
+        num_hash_functions: int = 4,
+        seed: int = 0,
+        max_restarts: int = 25,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if num_hash_functions < 2:
+            raise ValueError("cuckoo hashing needs at least 2 hash functions")
+        self.device = device or Device()
+        self.mem = GlobalMemory(self.device.counters)
+        self.capacity = int(capacity)
+        self.num_hash_functions = int(num_hash_functions)
+        self.max_restarts = int(max_restarts)
+        self._rng = np.random.default_rng(seed)
+        self._draw_hash_functions()
+        # 64-bit entries stored as two adjacent 32-bit words per row.
+        self.table = np.full((self.capacity, 2), C.EMPTY_KEY, dtype=np.uint32)
+        self.num_elements = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_load_factor(
+        cls,
+        num_elements: int,
+        load_factor: float,
+        *,
+        device: Optional[Device] = None,
+        seed: int = 0,
+        **kwargs,
+    ) -> "CuckooHashTable":
+        """Size the table for ``num_elements`` at the given load factor (= memory utilization)."""
+        if not 0.0 < load_factor <= 1.0:
+            raise ValueError(f"load factor must be in (0, 1], got {load_factor}")
+        capacity = max(num_elements + 1, int(np.ceil(num_elements / load_factor)))
+        return cls(capacity, device=device, seed=seed, **kwargs)
+
+    def _draw_hash_functions(self) -> None:
+        self._a = self._rng.integers(1, PRIME, size=self.num_hash_functions, dtype=np.uint64)
+        self._b = self._rng.integers(0, PRIME, size=self.num_hash_functions, dtype=np.uint64)
+
+    def _positions(self, key: int) -> np.ndarray:
+        """The candidate table positions of ``key`` under the current functions."""
+        k = np.uint64(int(key))
+        return ((self._a * k + self._b) % np.uint64(PRIME)) % np.uint64(self.capacity)
+
+    # ------------------------------------------------------------------ #
+    # Bulk build
+    # ------------------------------------------------------------------ #
+
+    @property
+    def load_factor(self) -> float:
+        """Stored elements over table capacity (the paper's memory utilization)."""
+        return self.num_elements / self.capacity
+
+    @property
+    def working_set_bytes(self) -> int:
+        """Bytes of the open-addressing table (for the L2 residency model)."""
+        return self.capacity * 8
+
+    def bulk_build(
+        self, keys: Sequence[int], values: Optional[Sequence[int]] = None
+    ) -> CuckooBuildStats:
+        """Build the table from scratch from an array of key(-value) pairs.
+
+        Restarts with fresh hash functions whenever an eviction chain exceeds
+        the CUDPP-style bound; raises :class:`CuckooBuildError` after
+        ``max_restarts`` failed attempts (which becomes increasingly likely as
+        the load factor approaches 1, as the paper notes).
+        """
+        keys = np.asarray(keys, dtype=np.uint64)
+        if values is None:
+            values = keys.astype(np.uint32)
+        values = np.asarray(values, dtype=np.uint32)
+        if keys.shape != values.shape:
+            raise ValueError("keys and values must have the same length")
+        if len(keys) >= self.capacity:
+            raise ValueError(
+                f"cannot store {len(keys)} elements in a table of capacity {self.capacity}"
+            )
+
+        max_chain = default_max_chain(len(keys))
+        restarts = 0
+        while True:
+            try:
+                stats = self._try_build(keys, values, max_chain, restarts)
+                return stats
+            except _ChainTooLong:
+                restarts += 1
+                if restarts > self.max_restarts:
+                    raise CuckooBuildError(
+                        f"cuckoo build failed after {restarts} restarts at load factor "
+                        f"{len(keys) / self.capacity:.2f}"
+                    ) from None
+                self._draw_hash_functions()
+                self.table[:] = C.EMPTY_KEY
+                self.num_elements = 0
+
+    def _try_build(
+        self, keys: np.ndarray, values: np.ndarray, max_chain: int, restarts: int
+    ) -> CuckooBuildStats:
+        self.device.launch_kernel()
+        max_chain_observed = 0
+        total_evictions = 0
+        for key, value in zip(keys, values):
+            chain = self._insert_one(int(key), int(value), max_chain)
+            max_chain_observed = max(max_chain_observed, chain)
+            total_evictions += chain
+        self.num_elements = len(keys)
+        return CuckooBuildStats(
+            num_elements=len(keys),
+            capacity=self.capacity,
+            load_factor=self.load_factor,
+            restarts=restarts,
+            max_chain_observed=max_chain_observed,
+            total_evictions=total_evictions,
+        )
+
+    def _insert_one(self, key: int, value: int, max_chain: int) -> int:
+        """Insert one pair by eviction chaining; returns the chain length used."""
+        current_key, current_value = key, value
+        slot_choice = 0
+        for step in range(max_chain):
+            positions = self._positions(current_key)
+            pos = int(positions[slot_choice % self.num_hash_functions])
+            self.device.counters.warp_instructions += EVICTION_STEP_INSTRUCTIONS
+            old_key, old_value = self.mem.atomic_exch64(
+                self.table, pos, 0, (current_key, current_value)
+            )
+            if old_key == C.EMPTY_KEY or old_key == current_key:
+                return step
+            # We evicted a live pair: reinsert it at its next candidate position.
+            evicted_positions = self._positions(old_key)
+            occupied_at = int(np.where(evicted_positions == pos)[0][0]) if pos in evicted_positions else 0
+            slot_choice = occupied_at + 1
+            current_key, current_value = old_key, old_value
+        raise _ChainTooLong()
+
+    # ------------------------------------------------------------------ #
+    # Bulk search
+    # ------------------------------------------------------------------ #
+
+    def bulk_search(self, queries: Sequence[int]) -> np.ndarray:
+        """Search a batch of queries; returns values (or ``SEARCH_NOT_FOUND``)."""
+        queries = np.asarray(queries, dtype=np.uint64)
+        results = np.full(len(queries), C.SEARCH_NOT_FOUND, dtype=np.uint32)
+        self.device.launch_kernel()
+        for i, query in enumerate(queries):
+            results[i] = self._search_one(int(query))
+        return results
+
+    def _search_one(self, key: int) -> int:
+        # CUDPP's search kernel reads all candidate positions unconditionally
+        # (branch-free, the loads overlap), so found and not-found queries cost
+        # the same number of memory accesses.
+        positions = self._positions(key)
+        result = C.SEARCH_NOT_FOUND
+        for pos in positions:
+            self.device.counters.warp_instructions += PROBE_INSTRUCTIONS
+            stored_key = self.mem.read_word(self.table, (int(pos), 0))
+            if stored_key == key:
+                result = int(self.table[int(pos), 1])
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Host-side verification helpers (uncounted)
+    # ------------------------------------------------------------------ #
+
+    def contains(self, key: int) -> bool:
+        positions = self._positions(int(key))
+        return any(int(self.table[int(p), 0]) == int(key) for p in positions)
+
+    def items(self) -> list[Tuple[int, int]]:
+        live = self.table[:, 0] != C.EMPTY_KEY
+        return [(int(k), int(v)) for k, v in self.table[live]]
+
+
+class _ChainTooLong(Exception):
+    """Internal signal: an eviction chain exceeded the bound; restart the build."""

@@ -1,0 +1,78 @@
+"""Analytic model of GFSL, the lock-based GPU-friendly skip list (Section VI-C).
+
+The paper does not benchmark GFSL directly; it argues analytically that a
+lock-based design needing at least two atomics (lock/unlock) plus two regular
+memory accesses per insertion cannot outperform cuckoo hashing (one atomic per
+insertion) or the slab hash (one coalesced read plus one atomic), and quotes
+Moscovici et al.'s own peak numbers on a GeForce GTX 970: roughly 100 M
+searches/s and 50 M updates/s.
+
+:class:`GFSLModel` reproduces that argument: it charges the per-operation
+access pattern of GFSL to the cost model on a GTX 970 device spec and exposes
+peak rates for the Section VI-C comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import DeviceSpec, GTX_970
+
+__all__ = ["GFSLModel", "GFSLOperationProfile"]
+
+
+@dataclass(frozen=True)
+class GFSLOperationProfile:
+    """Per-operation access counts for one GFSL operation type."""
+
+    atomics32: int
+    coalesced_reads: int
+    uncoalesced_reads: int
+    warp_instructions: int
+
+
+#: GFSL search: traverse the chunked skip-list levels (one coalesced 128 B
+#: transaction plus scattered reads) plus the per-level search logic, which in
+#: a lock-based per-thread skip list is heavily divergent (charged un-amortized).
+SEARCH_PROFILE = GFSLOperationProfile(
+    atomics32=0, coalesced_reads=1, uncoalesced_reads=2, warp_instructions=440
+)
+
+#: GFSL update: lock + unlock (two atomics) plus at least two regular accesses,
+#: as stated in Section VI-C, plus the search to locate the position and the
+#: divergent critical-section logic.
+UPDATE_PROFILE = GFSLOperationProfile(
+    atomics32=2, coalesced_reads=1, uncoalesced_reads=4, warp_instructions=840
+)
+
+
+class GFSLModel:
+    """Analytic throughput model for GFSL on its published evaluation platform."""
+
+    def __init__(self, spec: DeviceSpec = GTX_970) -> None:
+        self.spec = spec
+        self.cost_model = CostModel(spec)
+
+    def _rate(self, profile: GFSLOperationProfile, num_ops: int = 1_000_000) -> float:
+        counters = Counters(
+            atomic32=profile.atomics32 * num_ops,
+            coalesced_read_transactions=profile.coalesced_reads * num_ops,
+            uncoalesced_read_words=profile.uncoalesced_reads * num_ops,
+            warp_instructions=profile.warp_instructions * num_ops,
+            kernel_launches=1,
+        )
+        return self.cost_model.throughput(num_ops, counters)
+
+    def peak_search_rate(self) -> float:
+        """Modelled peak search throughput (ops/s); the paper quotes ~100 M/s."""
+        return self._rate(SEARCH_PROFILE)
+
+    def peak_update_rate(self) -> float:
+        """Modelled peak update throughput (ops/s); the paper quotes ~50 M/s."""
+        return self._rate(UPDATE_PROFILE)
+
+    def minimum_insert_atomics(self) -> int:
+        """Atomics per insertion (2: lock and unlock), versus 1 for cuckoo/slab hash."""
+        return UPDATE_PROFILE.atomics32

@@ -1,0 +1,216 @@
+"""Misra & Chaudhuri's lock-free chaining hash table (the Figure 7b baseline).
+
+Misra and Chaudhuri implemented classic lock-free linked lists on the GPU and
+built a hash table with chaining from them.  The paper highlights the ways in
+which that design differs from the slab hash, and this implementation mirrors
+them:
+
+* **key-only** (an unordered set): each node is a 32-bit key plus a 32-bit
+  next index — so the structure can never exceed 50 % memory utilization;
+* **pre-allocated node pool**: all future insertions come from an array sized
+  at build time (there is no dynamic allocation); a global atomic counter
+  hands out node indices;
+* **per-thread processing**: each thread traverses its own chain one node at a
+  time, so every hop is an uncoalesced scattered read and divergent threads
+  within a warp serialize — exactly the behaviour the paper's WCWS strategy is
+  designed to avoid.  The per-operation instruction charges below model that
+  serialization (they are deliberately *per-thread*, not amortized across the
+  warp like the slab hash's warp-cooperative charges).
+
+Deletion follows the standard logical-deletion approach: the node's key is
+atomically replaced by a tombstone; searches skip tombstones; the node is not
+recycled (as in the original, which has no deallocation either).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.core.hashing import UniversalHash
+from repro.gpusim.device import Device
+from repro.gpusim.errors import AllocationError
+from repro.gpusim.memory import GlobalMemory
+
+__all__ = ["MisraHashTable"]
+
+#: Null node index (end of a chain).
+NIL = 0xFFFFFFFF
+
+#: Per-thread instructions charged per search operation (hashing, loop setup).
+#: Charged un-amortized to model the branch divergence of per-thread processing.
+SEARCH_OP_INSTRUCTIONS = 40
+
+#: Per-thread instructions charged per update operation (insert/delete): the
+#: lock-free retry loop, node initialization and memory fences on top of the
+#: traversal, again un-amortized across the warp.
+UPDATE_OP_INSTRUCTIONS = 80
+
+#: Per-thread instructions charged per chain hop (dependent pointer chase).
+HOP_INSTRUCTIONS = 12
+
+
+class MisraHashTable:
+    """Lock-free, key-only hash table with per-thread classic linked lists.
+
+    Parameters
+    ----------
+    num_buckets:
+        Number of chains.
+    capacity:
+        Size of the pre-allocated node pool, i.e. the maximum number of
+        insertions over the table's lifetime (the original allocates this at
+        compile time).
+    device:
+        Simulated device for event accounting.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int,
+        capacity: int,
+        *,
+        device: Optional[Device] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.device = device or Device()
+        self.mem = GlobalMemory(self.device.counters)
+        self.num_buckets = int(num_buckets)
+        self.capacity = int(capacity)
+        self.hash_fn = UniversalHash(num_buckets, seed=seed)
+        #: Bucket heads (node indices), NIL when empty.
+        self.heads = np.full(self.num_buckets, NIL, dtype=np.uint32)
+        #: Pre-allocated node pool: keys and next indices.
+        self.node_keys = np.full(self.capacity, C.EMPTY_KEY, dtype=np.uint32)
+        self.node_next = np.full(self.capacity, NIL, dtype=np.uint32)
+        #: Bump counter handing out node indices (atomicAdd in the real code).
+        self._alloc_counter = np.zeros(1, dtype=np.uint32)
+
+    # ------------------------------------------------------------------ #
+    # Single operations (per-thread algorithms)
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: int) -> bool:
+        """Insert ``key``; returns False if it was already present (set semantics)."""
+        self.device.counters.warp_instructions += UPDATE_OP_INSTRUCTIONS
+        key = int(key)
+        bucket = self.hash_fn(key)
+        if self._find(bucket, key) is not None:
+            return False
+        node = int(self.mem.atomic_add32(self._alloc_counter, 0, 1))
+        if node >= self.capacity:
+            raise AllocationError(
+                "Misra hash table node pool exhausted "
+                f"({self.capacity} nodes pre-allocated at build time)"
+            )
+        self.mem.write_word(self.node_keys, node, key)
+        while True:
+            head = self.mem.read_word(self.heads, bucket)
+            self.mem.write_word(self.node_next, node, head)
+            old = self.mem.atomic_cas32(self.heads, bucket, head, node)
+            if old == head:
+                return True
+
+    def search(self, key: int) -> bool:
+        """True if ``key`` is present."""
+        self.device.counters.warp_instructions += SEARCH_OP_INSTRUCTIONS
+        return self._find(self.hash_fn(int(key)), int(key)) is not None
+
+    def delete(self, key: int) -> bool:
+        """Logically delete ``key``; returns True if a node was removed."""
+        self.device.counters.warp_instructions += UPDATE_OP_INSTRUCTIONS
+        key = int(key)
+        bucket = self.hash_fn(key)
+        node = self._find(bucket, key)
+        if node is None:
+            return False
+        old = self.mem.atomic_cas32(self.node_keys, node, key, C.DELETED_KEY)
+        return old == key
+
+    def _find(self, bucket: int, key: int) -> Optional[int]:
+        """Walk the chain; returns the node index holding ``key`` or None."""
+        node = self.mem.read_word(self.heads, bucket)
+        while node != NIL:
+            self.device.counters.warp_instructions += HOP_INSTRUCTIONS
+            stored = self.mem.read_word(self.node_keys, node)
+            if stored == key:
+                return node
+            node = self.mem.read_word(self.node_next, node)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Bulk / concurrent-batch drivers (mirror the SlabHash API)
+    # ------------------------------------------------------------------ #
+
+    def bulk_build(self, keys: Sequence[int]) -> None:
+        """Insert a batch of keys (one per simulated thread)."""
+        self.device.launch_kernel()
+        for key in np.asarray(keys, dtype=np.uint64):
+            self.insert(int(key))
+
+    def bulk_search(self, queries: Sequence[int]) -> np.ndarray:
+        """Membership query for a batch of keys."""
+        self.device.launch_kernel()
+        return np.array(
+            [self.search(int(q)) for q in np.asarray(queries, dtype=np.uint64)], dtype=bool
+        )
+
+    def concurrent_batch(
+        self, op_codes: Sequence[int], keys: Sequence[int], values: Sequence[int] | None = None
+    ) -> np.ndarray:
+        """Process a mixed batch of OP_INSERT / OP_DELETE / OP_SEARCH operations.
+
+        ``values`` is accepted (and ignored) so the concurrent benchmark can
+        drive this table and the slab hash with identical workloads; Misra's
+        table is key-only.
+        """
+        op_codes = np.asarray(op_codes, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.uint64)
+        if op_codes.shape != keys.shape:
+            raise ValueError("op_codes and keys must have the same length")
+        self.device.launch_kernel()
+        results = np.zeros(len(keys), dtype=np.uint32)
+        for i, (op, key) in enumerate(zip(op_codes, keys)):
+            if op == C.OP_INSERT:
+                results[i] = self.insert(int(key))
+            elif op == C.OP_DELETE:
+                results[i] = self.delete(int(key))
+            elif op == C.OP_SEARCH:
+                results[i] = self.search(int(key))
+            else:
+                raise ValueError(f"unknown operation code {op}")
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nodes_used(self) -> int:
+        """Node-pool slots consumed so far (never recycled)."""
+        return int(self._alloc_counter[0])
+
+    @property
+    def max_memory_utilization(self) -> float:
+        """Key bytes over node bytes: a 32-bit key plus a 32-bit next index = 50 %."""
+        return 0.5
+
+    def __len__(self) -> int:
+        used = self.nodes_used
+        live = self.node_keys[:used]
+        return int(np.sum((live != C.EMPTY_KEY) & (live != C.DELETED_KEY)))
+
+    def __contains__(self, key: int) -> bool:
+        bucket = self.hash_fn(int(key))
+        node = int(self.heads[bucket])
+        while node != NIL:
+            if int(self.node_keys[node]) == int(key):
+                return True
+            node = int(self.node_next[node])
+        return False

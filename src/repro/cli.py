@@ -1,0 +1,167 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (after installation, or with ``PYTHONPATH=src``)::
+
+    python -m repro list                    # show every reproducible experiment
+    python -m repro reproduce fig4a         # regenerate one figure, print its table
+    python -m repro reproduce all --scale 0.5 --out results/
+    python -m repro info                    # device model and calibration summary
+
+``--scale`` multiplies the default (scaled-down) simulation sizes: 1.0 is the
+benchmark default, smaller values are faster smoke runs, larger values tighten
+the statistics at the cost of runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.gpusim.device import TESLA_K40C
+from repro.perf import figures
+from repro.perf.harness import FigureResult
+from repro.perf.report import PAPER_REFERENCE, format_figure, format_table
+
+__all__ = ["EXPERIMENTS", "main", "build_parser"]
+
+
+def _scaled(base: int, scale: float, minimum: int = 256) -> int:
+    return max(minimum, int(base * scale))
+
+
+#: Registry: experiment id -> (description, driver taking a scale factor).
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig4a": (
+        "Bulk build rate vs memory utilization (paper Fig. 4a)",
+        lambda scale: figures.figure_4a(sim_elements=_scaled(2**13, scale)),
+    ),
+    "fig4b": (
+        "Bulk search rate vs memory utilization (paper Fig. 4b)",
+        lambda scale: figures.figure_4b(sim_elements=_scaled(2**13, scale)),
+    ),
+    "fig4c": (
+        "Memory utilization vs average slab count (paper Fig. 4c)",
+        lambda scale: figures.figure_4c(sim_elements=_scaled(2**13, scale)),
+    ),
+    "fig5a": (
+        "Build rate vs number of elements (paper Fig. 5a)",
+        lambda scale: figures.figure_5a(sim_elements=_scaled(2**12, scale)),
+    ),
+    "fig5b": (
+        "Search rate vs number of elements (paper Fig. 5b)",
+        lambda scale: figures.figure_5b(sim_elements=_scaled(2**12, scale)),
+    ),
+    "fig6": (
+        "Incremental batched insertion vs rebuild-from-scratch (paper Fig. 6)",
+        lambda scale: figures.figure_6(
+            total_elements=_scaled(2**14, scale, minimum=1024),
+            batch_sizes=(
+                _scaled(256, scale, 32),
+                _scaled(512, scale, 64),
+                _scaled(1024, scale, 128),
+            ),
+        ),
+    ),
+    "fig7a": (
+        "Concurrent mixed-operation rate vs utilization (paper Fig. 7a)",
+        lambda scale: figures.figure_7a(sim_elements=_scaled(2**12, scale)),
+    ),
+    "fig7b": (
+        "Slab hash vs Misra & Chaudhuri's lock-free hash table (paper Fig. 7b)",
+        lambda scale: figures.figure_7b(
+            num_operations=_scaled(2**12, scale), initial_elements=_scaled(2**12, scale)
+        ),
+    ),
+    "allocators": (
+        "SlabAlloc vs Halloc vs CUDA malloc under the WCWS pattern (paper Sec. V)",
+        lambda scale: figures.allocator_comparison(sim_allocations=_scaled(2**13, scale)),
+    ),
+    "light": (
+        "SlabAlloc vs SlabAlloc-light on bulk searches (paper Sec. V)",
+        lambda scale: figures.slaballoc_light_ablation(sim_elements=_scaled(2**13, scale)),
+    ),
+    "gfsl": (
+        "Analytic GFSL comparison (paper Sec. VI-C)",
+        lambda scale: figures.gfsl_comparison(),
+    ),
+    "wcws": (
+        "WCWS vs per-thread processing ablation (paper Sec. IV-A)",
+        lambda scale: figures.wcws_vs_per_thread(sim_elements=_scaled(2**13, scale)),
+    ),
+    "slabsize": (
+        "Slab-size design-choice ablation (paper Sec. IV-B)",
+        lambda scale: figures.slab_size_ablation(),
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'A Dynamic Hash Table for the GPU' (IPDPS 2018).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list every reproducible experiment")
+    sub.add_parser("info", help="show the modelled device and calibration reference points")
+
+    run = sub.add_parser("reproduce", help="run one experiment (or 'all') and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                     help="experiment id (see 'repro list'), or 'all'")
+    run.add_argument("--scale", type=float, default=1.0,
+                     help="multiplier on the default simulation sizes (default 1.0)")
+    run.add_argument("--out", type=str, default=None,
+                     help="directory to write the resulting tables into")
+    return parser
+
+
+def _run_one(name: str, scale: float, out_dir: Optional[str], stream) -> FigureResult:
+    description, driver = EXPERIMENTS[name]
+    start = time.perf_counter()
+    result = driver(scale)
+    elapsed = time.perf_counter() - start
+    text = format_figure(result)
+    stream.write(f"\n# {name}: {description}  [{elapsed:.1f}s]\n{text}\n")
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        with open(os.path.join(out_dir, f"{name}.txt"), "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return result
+
+
+def main(argv: Optional[list] = None, stream=None) -> int:
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        rows = [[name, description] for name, (description, _) in sorted(EXPERIMENTS.items())]
+        stream.write(format_table(["experiment", "description"], rows) + "\n")
+        return 0
+
+    if args.command == "info":
+        spec = TESLA_K40C
+        rows = [
+            ["device", spec.name],
+            ["SMs / warp size", f"{spec.num_sms} / {spec.warp_size}"],
+            ["DRAM bandwidth", f"{spec.dram_bandwidth / 1e9:.0f} GB/s"],
+            ["L2 cache", f"{spec.l2_cache_bytes // 1024} KiB"],
+            ["paper peak updates", f"{PAPER_REFERENCE['slabhash_peak_updates_mops']:.0f} M/s"],
+            ["paper peak searches", f"{PAPER_REFERENCE['slabhash_peak_searches_mops']:.0f} M/s"],
+            ["paper SlabAlloc rate", f"{PAPER_REFERENCE['slaballoc_rate_mops']:.0f} M/s"],
+            ["paper max utilization", f"{PAPER_REFERENCE['slabhash_max_utilization']:.0%}"],
+        ]
+        stream.write(format_table(["quantity", "value"], rows) + "\n")
+        return 0
+
+    # command == "reproduce"
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        _run_one(name, args.scale, args.out, stream)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

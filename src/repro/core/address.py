@@ -1,0 +1,72 @@
+"""32-bit slab address layout (Section V, "Memory structure").
+
+SlabAlloc trades the generality of 64-bit pointers for cheap-to-store,
+shuffle-friendly 32-bit address layouts:
+
+* bits  0–9   — the memory unit's index within its memory block (1024 units),
+* bits 10–23  — the memory block's index within its super block (up to 2^14),
+* bits 24–31  — the super block index (up to 2^8).
+
+``0xFFFFFFFF`` is reserved as the empty pointer and ``0xFFFFFFFD`` as the
+BASE_SLAB traversal sentinel, so the encoder refuses to produce them (they are
+unreachable for any valid configuration anyway, because a full 256-super-block
+allocator would need unit 1023 of block 16383 of super block 255 to collide
+with EMPTY_POINTER, and that unit is simply never handed out).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core import constants as C
+
+__all__ = [
+    "UNIT_BITS",
+    "BLOCK_BITS",
+    "SUPER_BLOCK_BITS",
+    "make_address",
+    "decode_address",
+    "is_valid_address",
+]
+
+UNIT_BITS = 10
+BLOCK_BITS = 14
+SUPER_BLOCK_BITS = 8
+
+_UNIT_MASK = (1 << UNIT_BITS) - 1
+_BLOCK_MASK = (1 << BLOCK_BITS) - 1
+_SUPER_MASK = (1 << SUPER_BLOCK_BITS) - 1
+
+_RESERVED = frozenset({C.EMPTY_POINTER, C.BASE_SLAB, C.DELETED_KEY})
+
+
+def make_address(super_block: int, block: int, unit: int) -> int:
+    """Encode (super block, memory block, memory unit) into a 32-bit slab address."""
+    if not 0 <= unit <= _UNIT_MASK:
+        raise ValueError(f"unit index out of range: {unit}")
+    if not 0 <= block <= _BLOCK_MASK:
+        raise ValueError(f"memory block index out of range: {block}")
+    if not 0 <= super_block <= _SUPER_MASK:
+        raise ValueError(f"super block index out of range: {super_block}")
+    address = (super_block << (UNIT_BITS + BLOCK_BITS)) | (block << UNIT_BITS) | unit
+    if address in _RESERVED:
+        raise ValueError(
+            f"address 0x{address:08X} collides with a reserved sentinel; "
+            "this unit must not be handed out"
+        )
+    return address
+
+
+def decode_address(address: int) -> Tuple[int, int, int]:
+    """Decode a 32-bit slab address into (super block, memory block, memory unit)."""
+    if not is_valid_address(address):
+        raise ValueError(f"not a valid slab address: 0x{address:08X}")
+    unit = address & _UNIT_MASK
+    block = (address >> UNIT_BITS) & _BLOCK_MASK
+    super_block = (address >> (UNIT_BITS + BLOCK_BITS)) & _SUPER_MASK
+    return super_block, block, unit
+
+
+def is_valid_address(address: int) -> bool:
+    """True if ``address`` is a 32-bit value that is not a reserved sentinel."""
+    return 0 <= address <= 0xFFFFFFFF and address not in _RESERVED

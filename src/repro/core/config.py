@@ -1,0 +1,114 @@
+"""Configuration objects for the slab list / slab hash and SlabAlloc."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import constants as C
+
+
+@dataclass(frozen=True)
+class SlabConfig:
+    """Layout/semantics configuration shared by slab lists and the slab hash.
+
+    Parameters
+    ----------
+    key_value:
+        ``True`` for 64-bit entries (key-value pairs, 15 per slab), ``False``
+        for 32-bit entries (key-only, 30 per slab).  These are the two item
+        types the paper supports (Section IV-B).
+    unique_keys:
+        ``True`` means insertions use REPLACE semantics (a previously inserted
+        key is replaced) and deletions mark slots ``DELETED_KEY`` so they are
+        never reused by REPLACE.  ``False`` means duplicates are allowed
+        (INSERT semantics) and deleted slots are marked ``EMPTY_KEY`` so later
+        insertions can reuse them (Section III-B.3).
+    """
+
+    key_value: bool = True
+    unique_keys: bool = True
+
+    @property
+    def elements_per_slab(self) -> int:
+        """M: number of data elements per slab (15 for key-value, 30 for key-only)."""
+        return C.PAIRS_PER_SLAB if self.key_value else C.KEYS_PER_SLAB
+
+    @property
+    def valid_key_mask(self) -> int:
+        """Ballot mask of lanes that may contain a key."""
+        return C.VALID_KEY_MASK_KEY_VALUE if self.key_value else C.VALID_KEY_MASK_KEY_ONLY
+
+    @property
+    def key_lanes(self) -> range:
+        """Lane indices that hold keys."""
+        return range(0, C.DATA_LANES, 2) if self.key_value else range(C.DATA_LANES)
+
+    @property
+    def lane_stride(self) -> int:
+        """Distance between consecutive key lanes (2 in key-value mode, 1 otherwise)."""
+        return 2 if self.key_value else 1
+
+    @property
+    def element_bytes(self) -> int:
+        """Bytes of user data per element (x in the utilization formula)."""
+        return 8 if self.key_value else 4
+
+    @property
+    def max_memory_utilization(self) -> float:
+        """Mx / (Mx + y): the best achievable memory utilization (~94 %)."""
+        m, x = self.elements_per_slab, self.element_bytes
+        pointer_and_slack = C.SLAB_BYTES - m * x
+        return (m * x) / (m * x + pointer_and_slack)
+
+
+@dataclass(frozen=True)
+class SlabAllocConfig:
+    """Sizing of the SlabAlloc hierarchy (Section V).
+
+    The defaults match the configuration used in the paper's evaluation:
+    32 super blocks, 256 memory blocks per super block and 1024 memory units
+    (slabs) of 128 bytes per memory block.
+    """
+
+    num_super_blocks: int = 32
+    num_memory_blocks: int = 256
+    units_per_block: int = 1024
+    #: Number of resident-block changes after which the allocator grows by
+    #: adding super blocks (the paper: "after a threshold number of resident
+    #: changes, we add new super blocks").
+    growth_threshold: int = 8
+    #: Hard cap on super blocks (8 address bits).
+    max_super_blocks: int = 256
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_super_blocks <= self.max_super_blocks:
+            raise ValueError(
+                f"num_super_blocks must be in [1, {self.max_super_blocks}], "
+                f"got {self.num_super_blocks}"
+            )
+        if not 1 <= self.num_memory_blocks <= 2**14:
+            raise ValueError(
+                f"num_memory_blocks must be in [1, {2**14}], got {self.num_memory_blocks}"
+            )
+        if not 1 <= self.units_per_block <= 1024:
+            raise ValueError(
+                f"units_per_block must be in [1, 1024], got {self.units_per_block}"
+            )
+        if self.units_per_block % 32 != 0:
+            raise ValueError(
+                f"units_per_block must be a multiple of 32 (one bitmap word per lane), "
+                f"got {self.units_per_block}"
+            )
+
+    @property
+    def units_per_super_block(self) -> int:
+        return self.num_memory_blocks * self.units_per_block
+
+    @property
+    def capacity_units(self) -> int:
+        """Total number of 128-byte memory units addressable with this config."""
+        return self.num_super_blocks * self.units_per_super_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_units * C.SLAB_BYTES

@@ -1,0 +1,123 @@
+"""Slab layout constants, reserved key values and instruction-cost charges.
+
+Slab layout (Section IV-B of the paper)
+---------------------------------------
+A slab is exactly 128 bytes = 32 lanes of 32-bit words, so that a warp reading
+a slab gives each thread exactly 1/32 of its content:
+
+* lanes 0–29 hold data elements.  In key-value mode even lanes hold keys and
+  the following odd lanes hold the corresponding values (15 pairs per slab);
+  in key-only mode every lane 0–29 holds a key (30 keys per slab).
+* lane 30 is the auxiliary lane (flags / pointer information if required).
+* lane 31 is the address lane: the 32-bit SlabAlloc address of the successor
+  slab, or ``EMPTY_POINTER`` at the tail.
+
+Two 32-bit values are reserved in the key domain (Section III-B, footnote):
+``EMPTY_KEY`` marks a never-used element slot and ``DELETED_KEY`` marks a
+lazily deleted element, so user keys must be smaller than ``MAX_USER_KEY``.
+
+Instruction-cost charges
+------------------------
+The ``*_ITER_INSTRUCTIONS`` constants are the generic warp-wide instruction
+counts charged per loop iteration of each warp-cooperative procedure, on top
+of the explicitly counted ballots/shuffles/atomics.  They stand in for the
+address arithmetic, predicate evaluation and branch handling of the real CUDA
+kernels and are part of the cost-model calibration documented in
+:mod:`repro.gpusim.costmodel`.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.intrinsics import lane_mask
+
+# --------------------------------------------------------------------------- #
+# Slab geometry
+# --------------------------------------------------------------------------- #
+
+#: Number of 32-bit words per slab (128 bytes, one coalesced warp transaction).
+SLAB_WORDS = 32
+
+#: Bytes per slab.
+SLAB_BYTES = 4 * SLAB_WORDS
+
+#: Lane holding the 32-bit address of the successor slab.
+ADDRESS_LANE = 31
+
+#: Auxiliary lane reserved for flags / extra pointer information.
+AUX_LANE = 30
+
+#: Number of lanes available for data elements (lanes 0..29).
+DATA_LANES = 30
+
+#: Key-value pairs stored per slab (even/odd lane pairs in lanes 0..29).
+PAIRS_PER_SLAB = DATA_LANES // 2
+
+#: Keys stored per slab in key-only mode.
+KEYS_PER_SLAB = DATA_LANES
+
+#: Ballot mask of lanes that can hold a key in key-value mode (even lanes 0..28).
+VALID_KEY_MASK_KEY_VALUE = lane_mask(range(0, DATA_LANES, 2))
+
+#: Ballot mask of lanes that can hold a key in key-only mode (lanes 0..29).
+VALID_KEY_MASK_KEY_ONLY = lane_mask(range(DATA_LANES))
+
+# --------------------------------------------------------------------------- #
+# Reserved values
+# --------------------------------------------------------------------------- #
+
+#: Reserved key marking an empty (never used) element slot.
+EMPTY_KEY = 0xFFFFFFFF
+
+#: Reserved key marking a lazily deleted element.
+DELETED_KEY = 0xFFFFFFFE
+
+#: Largest key a user may store (exclusive bound keeps the reserved values free).
+MAX_USER_KEY = 0xFFFFFFFD
+
+#: Reserved value stored in a value lane of an empty pair.
+EMPTY_VALUE = 0xFFFFFFFF
+
+#: The empty key-value pair, the expected operand of the insertion CAS.
+EMPTY_PAIR = (EMPTY_KEY, EMPTY_VALUE)
+
+#: Null successor pointer (tail of a slab list).
+EMPTY_POINTER = 0xFFFFFFFF
+
+#: Sentinel "slab pointer" meaning "the bucket's base slab" while traversing.
+BASE_SLAB = 0xFFFFFFFD
+
+#: Sentinel returned by SEARCH when the query key is not present.
+SEARCH_NOT_FOUND = 0xFFFFFFFF
+
+# --------------------------------------------------------------------------- #
+# Operation codes for mixed concurrent batches (Section VI-C benchmark)
+# --------------------------------------------------------------------------- #
+
+OP_INSERT = 1
+OP_DELETE = 2
+OP_SEARCH = 3
+
+# --------------------------------------------------------------------------- #
+# Instruction-cost charges (cost-model calibration; see module docstring)
+# --------------------------------------------------------------------------- #
+
+#: Warp instructions charged per SEARCH loop iteration.
+SEARCH_ITER_INSTRUCTIONS = 36
+
+#: Warp instructions charged per REPLACE/INSERT loop iteration.
+REPLACE_ITER_INSTRUCTIONS = 44
+
+#: Warp instructions charged per DELETE loop iteration.
+DELETE_ITER_INSTRUCTIONS = 34
+
+#: Warp instructions charged to hash one key (universal hash, two multiplies).
+HASH_INSTRUCTIONS = 5
+
+#: Warp instructions charged per SlabAlloc allocation attempt.
+ALLOC_ATTEMPT_INSTRUCTIONS = 14
+
+#: Warp instructions charged per SlabAlloc deallocation.
+DEALLOC_INSTRUCTIONS = 8
+
+#: Warp instructions charged per FLUSH slab compaction step.
+FLUSH_SLAB_INSTRUCTIONS = 24

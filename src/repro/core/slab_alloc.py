@@ -1,0 +1,311 @@
+"""SlabAlloc: the paper's warp-synchronous dynamic slab allocator (Section V).
+
+Memory is organized hierarchically: ``num_super_blocks`` super blocks, each
+divided into ``num_memory_blocks`` memory blocks, each holding
+``units_per_block`` (default 1024) fixed-size 128-byte memory units (slabs).
+Availability of the 1024 units of a memory block is tracked by 32 × 32-bit
+bitmap words — exactly one word per warp lane, so a warp can cache its
+*resident block*'s entire bitmap in registers.
+
+Allocation protocol (warp-cooperative):
+
+1. Every warp owns a resident memory block, chosen by hashing
+   ``(global warp id, resident-change attempt)`` into a (super block, memory
+   block) pair; the warp reads the block's 32 bitmap words with a single
+   coalesced access and caches them in registers.
+2. On an allocation request, lanes inspect their cached bitmap word, announce
+   free units with a ballot, and the first lane with a free unit attempts to
+   claim it by atomically OR-ing the corresponding bit into the *global*
+   bitmap word.
+3. If the bit was already set (another warp claimed it first), the lane
+   refreshes its cached word from the atomic's return value and the warp
+   retries.  If the whole resident block is full, the warp performs a
+   *resident change*: it re-hashes to a new block and reads that block's
+   bitmap (one coalesced access).
+4. After ``growth_threshold`` resident changes within a single request, the
+   allocator adds super blocks (up to the 8-bit addressing limit) and the hash
+   range grows accordingly.
+
+Deallocation atomically clears the unit's bit (and, in this simulation,
+re-initializes the unit's words to ``EMPTY_KEY`` so a recycled slab reads as
+empty, which the CUDA implementation achieves by memsetting pools).
+
+Addresses are the 32-bit layouts of :mod:`repro.core.address`.  The regular
+allocator stores each super block's 64-bit base pointer in shared memory, so
+every address decode on a lookup path costs one shared-memory read; the
+*light* variant (:class:`repro.core.slab_alloc_light.SlabAllocLight`) places
+all super blocks in one contiguous array and skips that read at the price of a
+4 GB capacity limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import address as addr
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.hashing import hash_pair
+from repro.gpusim.device import Device
+from repro.gpusim.errors import AllocationError
+from repro.gpusim.intrinsics import ballot_from_bools, first_set_lane
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.warp import Warp
+
+__all__ = ["SlabAlloc", "ResidentBlock"]
+
+_FULL_WORD = 0xFFFFFFFF
+_BITMAP_WORDS = 32
+
+
+@dataclass
+class ResidentBlock:
+    """Per-warp allocator state: the resident block and its register-cached bitmap."""
+
+    super_block: int
+    block: int
+    cached_bitmap: np.ndarray
+    attempt: int = 0
+    changes_this_request: int = field(default=0)
+
+
+class SlabAlloc:
+    """Warp-synchronous allocator of fixed-size 128-byte slabs.
+
+    Parameters
+    ----------
+    device:
+        The simulated device whose counters receive the allocator's events.
+    config:
+        Hierarchy sizing; defaults to the paper's 32 × 256 × 1024 configuration.
+    slab_words:
+        Words per memory unit (32 words = 128 bytes).
+    seed:
+        Seed mixed into the resident-block hash functions.
+    light:
+        ``True`` selects the SlabAlloc-light address decode (no shared-memory
+        read per lookup); see :class:`repro.core.slab_alloc_light.SlabAllocLight`.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        config: SlabAllocConfig | None = None,
+        *,
+        slab_words: int = C.SLAB_WORDS,
+        seed: int = 0,
+        light: bool = False,
+    ) -> None:
+        self.device = device
+        self.mem = GlobalMemory(device.counters)
+        self.config = config or SlabAllocConfig()
+        self.slab_words = int(slab_words)
+        self.seed = int(seed)
+        self.light = bool(light)
+
+        #: Current number of super blocks (grows up to config.max_super_blocks).
+        self.num_super_blocks = self.config.num_super_blocks
+        #: Bitmap storage, one (num_memory_blocks, 32) array per super block.
+        self._bitmaps: List[np.ndarray] = [
+            self._new_bitmap() for _ in range(self.num_super_blocks)
+        ]
+        #: Lazily materialized unit storage per (super block, memory block).
+        self._blocks: Dict[Tuple[int, int], np.ndarray] = {}
+        #: Per-warp resident blocks.
+        self._resident: Dict[int, ResidentBlock] = {}
+        #: Number of currently allocated units (host-side bookkeeping).
+        self._allocated_units = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def warp_allocate(self, warp: Warp) -> int:
+        """Allocate one memory unit on behalf of ``warp``; returns its 32-bit address.
+
+        This is the ``SlabAlloc::warp_allocate()`` of the paper's pseudocode:
+        the whole warp cooperates, and in the uncontended case the allocation
+        costs exactly one 32-bit atomic operation.
+        """
+        state = self._resident_state(warp)
+        state.changes_this_request = 0
+
+        while True:
+            warp.charge(C.ALLOC_ATTEMPT_INSTRUCTIONS)
+            free_mask = warp.ballot(state.cached_bitmap != _FULL_WORD)
+            lane = first_set_lane(free_mask)
+            if lane < 0:
+                state = self._change_resident(warp, state)
+                continue
+
+            cached_word = int(state.cached_bitmap[lane])
+            bit = first_set_lane(~cached_word & _FULL_WORD)
+            unit = lane * 32 + bit
+            bitmap_store = self._bitmaps[state.super_block]
+            old = self.mem.atomic_or32(bitmap_store, (state.block, lane), 1 << bit)
+            state.cached_bitmap[lane] = np.uint32(old | (1 << bit))
+            if old & (1 << bit):
+                # Another warp claimed this unit since our last bitmap read;
+                # the cached word is now refreshed, retry.
+                continue
+
+            self.device.counters.allocations += 1
+            self._allocated_units += 1
+            return addr.make_address(state.super_block, state.block, unit)
+
+    def deallocate(self, warp: Warp, address: int) -> None:
+        """Return a memory unit to the allocator (atomically clears its bitmap bit)."""
+        super_block, block, unit = addr.decode_address(address)
+        self._check_bounds(super_block, block, unit)
+        warp.charge(C.DEALLOC_INSTRUCTIONS)
+        lane, bit = divmod(unit, 32)
+        bitmap_store = self._bitmaps[super_block]
+        old = self.mem.atomic_and32(bitmap_store, (block, lane), _FULL_WORD ^ (1 << bit))
+        if not old & (1 << bit):
+            raise AllocationError(
+                f"double free of slab address 0x{address:08X} (unit was not allocated)"
+            )
+        self.device.counters.deallocations += 1
+        self._allocated_units -= 1
+
+        # Recycle the unit as an empty slab (the CUDA code memsets pools).
+        store = self._blocks.get((super_block, block))
+        if store is not None and np.any(store[unit] != C.EMPTY_KEY):
+            self.mem.write_slab(store, unit, np.full(self.slab_words, C.EMPTY_KEY, np.uint32))
+
+        # Invalidate any stale register caches of this word held by warps
+        # resident in the same block (they would refresh on their next failed
+        # atomic anyway; clearing here keeps the simulation conservative).
+        for resident in self._resident.values():
+            if resident.super_block == super_block and resident.block == block:
+                resident.cached_bitmap[lane] &= np.uint32(~(1 << bit) & _FULL_WORD)
+
+    def slab_view(self, address: int) -> Tuple[np.ndarray, int]:
+        """Return ``(unit_store, row)`` such that ``unit_store[row]`` is the slab's words."""
+        super_block, block, unit = addr.decode_address(address)
+        self._check_bounds(super_block, block, unit)
+        return self._block_store(super_block, block), unit
+
+    def charge_address_decode(self) -> None:
+        """Charge the cost of turning a 32-bit layout into a 64-bit pointer.
+
+        The regular SlabAlloc keeps each super block's base pointer in shared
+        memory, so every decode on a lookup path costs one shared-memory read
+        plus the layout unpacking arithmetic; SlabAlloc-light stores everything
+        contiguously so the decode is a single add off one global base pointer.
+        This is the difference behind the paper's "up to 25 % faster searches
+        with SlabAlloc-light" observation.
+        """
+        if self.light:
+            self.device.counters.warp_instructions += 1
+        else:
+            self.mem.shared_read()
+            self.device.counters.warp_instructions += 8
+
+    def is_allocated(self, address: int) -> bool:
+        """True if the unit at ``address`` is currently allocated."""
+        super_block, block, unit = addr.decode_address(address)
+        self._check_bounds(super_block, block, unit)
+        lane, bit = divmod(unit, 32)
+        return bool(int(self._bitmaps[super_block][block, lane]) & (1 << bit))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def allocated_units(self) -> int:
+        """Number of memory units currently allocated."""
+        return self._allocated_units
+
+    @property
+    def capacity_units(self) -> int:
+        """Total units addressable with the current number of super blocks."""
+        return self.num_super_blocks * self.config.units_per_super_block
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_units * 4 * self.slab_words
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated_units * 4 * self.slab_words
+
+    def occupancy(self) -> float:
+        """Fraction of the allocator's capacity currently in use."""
+        return self._allocated_units / self.capacity_units
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _new_bitmap(self) -> np.ndarray:
+        bitmap = np.zeros((self.config.num_memory_blocks, _BITMAP_WORDS), dtype=np.uint32)
+        usable_words = self.config.units_per_block // 32
+        if usable_words < _BITMAP_WORDS:
+            # Mark the non-existent tail units as permanently allocated.
+            bitmap[:, usable_words:] = _FULL_WORD
+        return bitmap
+
+    def _block_store(self, super_block: int, block: int) -> np.ndarray:
+        store = self._blocks.get((super_block, block))
+        if store is None:
+            store = np.full(
+                (self.config.units_per_block, self.slab_words), C.EMPTY_KEY, dtype=np.uint32
+            )
+            self._blocks[(super_block, block)] = store
+        return store
+
+    def _check_bounds(self, super_block: int, block: int, unit: int) -> None:
+        if super_block >= self.num_super_blocks:
+            raise AllocationError(f"super block {super_block} does not exist")
+        if block >= self.config.num_memory_blocks:
+            raise AllocationError(f"memory block {block} does not exist")
+        if unit >= self.config.units_per_block:
+            raise AllocationError(f"memory unit {unit} does not exist")
+
+    def _resident_state(self, warp: Warp) -> ResidentBlock:
+        state = self._resident.get(warp.warp_id)
+        if state is None:
+            state = self._assign_resident(warp, attempt=0)
+            self._resident[warp.warp_id] = state
+        return state
+
+    def _assign_resident(self, warp: Warp, attempt: int) -> ResidentBlock:
+        super_block = hash_pair(warp.warp_id, attempt, self.num_super_blocks, seed=self.seed)
+        block = hash_pair(
+            warp.warp_id, attempt, self.config.num_memory_blocks, seed=self.seed + 1
+        )
+        # Reading the new resident block's bitmaps is one coalesced access.
+        cached = self.mem.read_slab(self._bitmaps[super_block], block)
+        return ResidentBlock(super_block=super_block, block=block, cached_bitmap=cached, attempt=attempt)
+
+    def _change_resident(self, warp: Warp, state: ResidentBlock) -> ResidentBlock:
+        self.device.counters.resident_changes += 1
+        changes = state.changes_this_request + 1
+        if changes >= self.config.growth_threshold or self._allocated_units >= self.capacity_units:
+            # The paper: after a threshold number of resident changes, add new
+            # super blocks and reflect them in the hash functions.
+            self._grow()
+            changes = 0
+        if self._allocated_units >= self.capacity_units:
+            raise AllocationError(
+                "SlabAlloc is out of memory: "
+                f"{self._allocated_units}/{self.capacity_units} units allocated"
+            )
+        new_state = self._assign_resident(warp, attempt=state.attempt + 1)
+        new_state.changes_this_request = changes
+        self._resident[warp.warp_id] = new_state
+        return new_state
+
+    def _grow(self) -> None:
+        """Add super blocks (the paper's growth path), if addressing allows it."""
+        if self.num_super_blocks >= self.config.max_super_blocks:
+            return
+        additional = min(self.num_super_blocks, self.config.max_super_blocks - self.num_super_blocks)
+        for _ in range(additional):
+            self._bitmaps.append(self._new_bitmap())
+        self.num_super_blocks += additional

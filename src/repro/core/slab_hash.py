@@ -1,0 +1,478 @@
+"""The slab hash: a fully concurrent dynamic hash table for the (simulated) GPU.
+
+This is the paper's primary contribution (Section III-C): a hash table with
+chaining whose buckets are slab lists.  A direct-address table of ``B`` base
+slabs heads ``B`` independent slab lists; keys are distributed with a simple
+universal hash ``h(k; a, b) = ((a*k + b) mod p) mod B``.
+
+:class:`SlabHash` exposes three levels of API:
+
+* **Single-operation convenience** (``insert`` / ``search`` / ``delete`` /
+  ``search_all`` / ``delete_all``) — host-style helpers that wrap one
+  operation into a one-lane warp; handy for interactive use and tests, not
+  meant for throughput.
+* **Bulk operations** (``bulk_build`` / ``bulk_insert`` / ``bulk_search`` /
+  ``bulk_delete``) — the paper's "static comparison" mode: every thread gets
+  one element/query, 32 per warp, and the warps are drained sequentially
+  (one legal concurrent schedule).  Used by Figures 4, 5 and 6.
+* **Concurrent mixed batches** (``concurrent_batch``) — the paper's truly
+  concurrent benchmark (Section VI-C): each thread in a batch gets one
+  operation drawn from an operation distribution, all operation types mixed
+  within warps, and the warps' procedures are interleaved by a seeded
+  scheduler.  Used by Figure 7.
+
+Throughput numbers are obtained by measuring the device counters around a
+bulk/concurrent call and applying :class:`repro.gpusim.costmodel.CostModel`;
+see :mod:`repro.perf.harness`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig, SlabConfig
+from repro.core.flush import FlushResult, flush_all, flush_bucket
+from repro.core.hashing import UniversalHash, is_user_key
+from repro.core.slab_alloc import SlabAlloc
+from repro.core.slab_alloc_light import SlabAllocLight
+from repro.core.slab_list import SlabListCollection
+from repro.gpusim.device import Device
+from repro.gpusim.scheduler import WarpScheduler, run_sequential
+from repro.gpusim.warp import WARP_SIZE, Warp
+
+__all__ = ["SlabHash"]
+
+
+class SlabHash:
+    """A dynamic, warp-cooperative hash table with chaining over slab lists.
+
+    Parameters
+    ----------
+    num_buckets:
+        Number of buckets B (base slabs).  Performance depends on the implied
+        average slab count ``beta = n / (M * B)``; see
+        :meth:`buckets_for_utilization` / :meth:`buckets_for_beta`.
+    device:
+        Simulated device; a fresh Tesla K40c model is created when omitted.
+    key_value:
+        ``True`` stores 64-bit key-value entries (15 per slab); ``False``
+        stores 32-bit keys only (30 per slab).
+    unique_keys:
+        ``True`` gives REPLACE/DELETE semantics (a key occurs at most once);
+        ``False`` gives INSERT/DELETE-first semantics with duplicates allowed.
+    light_alloc:
+        Use SlabAlloc-light (cheaper address decode, <=4 GB capacity).
+    alloc / alloc_config:
+        Supply an existing allocator, or a sizing config for a new one.
+    seed:
+        Seed for the universal hash function draw.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int,
+        *,
+        device: Optional[Device] = None,
+        key_value: bool = True,
+        unique_keys: bool = True,
+        light_alloc: bool = False,
+        alloc: Optional[SlabAlloc] = None,
+        alloc_config: Optional[SlabAllocConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        self.device = device or Device()
+        self.config = SlabConfig(key_value=key_value, unique_keys=unique_keys)
+        if alloc is None:
+            cfg = alloc_config or SlabAllocConfig()
+            alloc = (
+                SlabAllocLight(self.device, cfg, seed=seed)
+                if light_alloc
+                else SlabAlloc(self.device, cfg, seed=seed)
+            )
+        self.alloc = alloc
+        self.lists = SlabListCollection(self.device, alloc, num_buckets, self.config)
+        self.hash_fn = UniversalHash(num_buckets, seed=seed)
+        self._warp_counter = 0
+
+    # ------------------------------------------------------------------ #
+    # Bucket sizing helpers (Fig. 4c)
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def buckets_for_beta(num_elements: int, beta: float, *, key_value: bool = True) -> int:
+        """Number of buckets so that ``beta = n / (M * B)`` hits the requested value."""
+        if beta <= 0:
+            raise ValueError(f"beta must be positive, got {beta}")
+        per_slab = C.PAIRS_PER_SLAB if key_value else C.KEYS_PER_SLAB
+        return max(1, math.ceil(num_elements / (per_slab * beta)))
+
+    @staticmethod
+    def expected_utilization(beta: float, *, key_value: bool = True) -> float:
+        """Expected memory utilization at average slab count ``beta`` (Fig. 4c model).
+
+        Buckets receive a Poisson(lambda = beta * M) number of elements; each
+        bucket occupies ``max(1, ceil(k / M))`` slabs.  Utilization is stored
+        bytes over slab bytes.
+        """
+        per_slab = C.PAIRS_PER_SLAB if key_value else C.KEYS_PER_SLAB
+        element_bytes = 8 if key_value else 4
+        lam = beta * per_slab
+        if lam <= 0:
+            return 0.0
+        # E[max(1, ceil(K / M))] for K ~ Poisson(lam), truncated at +10 sigma.
+        upper = int(lam + 10 * math.sqrt(lam) + 10)
+        expected_slabs = 0.0
+        log_lam = math.log(lam)
+        for k in range(upper + 1):
+            log_p = k * log_lam - lam - math.lgamma(k + 1)
+            p = math.exp(log_p)
+            expected_slabs += p * max(1, math.ceil(k / per_slab))
+        stored = lam * element_bytes
+        return stored / (expected_slabs * C.SLAB_BYTES)
+
+    @classmethod
+    def buckets_for_utilization(
+        cls, num_elements: int, utilization: float, *, key_value: bool = True
+    ) -> int:
+        """Number of buckets whose expected memory utilization matches the target.
+
+        Inverts the Fig. 4c relation numerically (binary search on beta).
+        """
+        cfg = SlabConfig(key_value=key_value)
+        if not 0.0 < utilization < cfg.max_memory_utilization:
+            raise ValueError(
+                f"target utilization must be in (0, {cfg.max_memory_utilization:.3f}), "
+                f"got {utilization}"
+            )
+        lo, hi = 1e-3, 64.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            if cls.expected_utilization(mid, key_value=key_value) < utilization:
+                lo = mid
+            else:
+                hi = mid
+        return cls.buckets_for_beta(num_elements, hi, key_value=key_value)
+
+    # ------------------------------------------------------------------ #
+    # Warp plumbing
+    # ------------------------------------------------------------------ #
+
+    def _next_warp(self) -> Warp:
+        warp = Warp(self._warp_counter, self.device.counters)
+        self._warp_counter += 1
+        return warp
+
+    def _validate_keys(self, keys: np.ndarray) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size and int(keys.max()) >= C.MAX_USER_KEY:
+            raise ValueError(
+                f"keys must be below 0x{C.MAX_USER_KEY:08X} "
+                "(the two largest 32-bit values are reserved)"
+            )
+        return keys.astype(np.uint32)
+
+    def _warp_chunks(self, count: int):
+        """Yield (start, end) ranges of at most WARP_SIZE operations."""
+        for start in range(0, count, WARP_SIZE):
+            yield start, min(start + WARP_SIZE, count)
+
+    @staticmethod
+    def _pad_lane_array(values: np.ndarray, start: int, end: int, fill: int) -> np.ndarray:
+        lane = np.full(WARP_SIZE, fill, dtype=np.uint32)
+        lane[: end - start] = values[start:end]
+        return lane
+
+    # ------------------------------------------------------------------ #
+    # Single-operation convenience API
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: int, value: Optional[int] = None) -> None:
+        """Insert one key (and value in key-value mode)."""
+        if self.config.key_value and value is None:
+            raise ValueError("key-value mode requires a value")
+        if not is_user_key(key):
+            raise ValueError(f"key 0x{int(key):08X} is outside the storable key domain")
+        values = None if not self.config.key_value else np.array([value], dtype=np.uint32)
+        self.bulk_insert(np.array([key], dtype=np.uint32), values)
+
+    def search(self, key: int) -> Optional[int]:
+        """Return the stored value (or the key itself in key-only mode), or ``None``."""
+        result = int(self.bulk_search(np.array([key], dtype=np.uint32))[0])
+        return None if result == C.SEARCH_NOT_FOUND else result
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def delete(self, key: int) -> bool:
+        """Delete the least-recent occurrence of ``key``; returns True if one was removed."""
+        return bool(self.bulk_delete(np.array([key], dtype=np.uint32))[0])
+
+    def search_all(self, key: int) -> List[int]:
+        """Return every value stored under ``key`` (duplicates mode)."""
+        key_arr = self._validate_keys(np.array([key]))
+        buckets = self.hash_fn.hash_array(key_arr)
+        warp = self._next_warp()
+        is_active = np.zeros(WARP_SIZE, dtype=bool)
+        is_active[0] = True
+        lane_keys = self._pad_lane_array(key_arr, 0, 1, C.EMPTY_KEY)
+        lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+        lane_buckets[0] = buckets[0]
+        out: List[List[int]] = [[] for _ in range(WARP_SIZE)]
+        self.device.launch_kernel()
+        run_sequential(
+            [self.lists.warp_search_all(warp, is_active, lane_buckets, lane_keys, out)]
+        )
+        return out[0]
+
+    def delete_all(self, key: int) -> int:
+        """Delete every occurrence of ``key``; returns the number removed."""
+        key_arr = self._validate_keys(np.array([key]))
+        buckets = self.hash_fn.hash_array(key_arr)
+        warp = self._next_warp()
+        is_active = np.zeros(WARP_SIZE, dtype=bool)
+        is_active[0] = True
+        lane_keys = self._pad_lane_array(key_arr, 0, 1, C.EMPTY_KEY)
+        lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+        lane_buckets[0] = buckets[0]
+        out = np.zeros(WARP_SIZE, dtype=np.int64)
+        self.device.launch_kernel()
+        run_sequential(
+            [self.lists.warp_delete_all(warp, is_active, lane_buckets, lane_keys, out)]
+        )
+        return int(out[0])
+
+    # ------------------------------------------------------------------ #
+    # Bulk operations (Figures 4, 5 and 6)
+    # ------------------------------------------------------------------ #
+
+    def bulk_build(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> None:
+        """Build the table from scratch by dynamically inserting every element.
+
+        In the slab hash there is no difference between a bulk build and
+        incremental insertion of a batch (Section VI-A, footnote 3).
+        """
+        self.bulk_insert(keys, values)
+
+    def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> None:
+        """Insert a batch: one element per thread, WCWS processing per warp."""
+        keys = self._validate_keys(np.asarray(keys))
+        if self.config.key_value:
+            if values is None:
+                raise ValueError("key-value mode requires a values array")
+            values = np.asarray(values, dtype=np.uint32)
+            if values.shape != keys.shape:
+                raise ValueError("keys and values must have the same length")
+        buckets = self.hash_fn.hash_array(keys)
+        self.device.launch_kernel()
+        op = self.lists.warp_replace if self.config.unique_keys else self.lists.warp_insert
+
+        for start, end in self._warp_chunks(len(keys)):
+            warp = self._next_warp()
+            is_active = np.zeros(WARP_SIZE, dtype=bool)
+            is_active[: end - start] = True
+            lane_keys = self._pad_lane_array(keys, start, end, C.EMPTY_KEY)
+            lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+            lane_buckets[: end - start] = buckets[start:end]
+            lane_values = None
+            if self.config.key_value:
+                lane_values = self._pad_lane_array(values, start, end, C.EMPTY_VALUE)
+            run_sequential([op(warp, is_active, lane_buckets, lane_keys, lane_values)])
+
+    def bulk_search(self, queries: Sequence[int]) -> np.ndarray:
+        """Search a batch of queries; returns values (or ``SEARCH_NOT_FOUND``)."""
+        queries = self._validate_keys(np.asarray(queries))
+        buckets = self.hash_fn.hash_array(queries)
+        results = np.full(len(queries), C.SEARCH_NOT_FOUND, dtype=np.uint32)
+        self.device.launch_kernel()
+
+        for start, end in self._warp_chunks(len(queries)):
+            warp = self._next_warp()
+            is_active = np.zeros(WARP_SIZE, dtype=bool)
+            is_active[: end - start] = True
+            lane_keys = self._pad_lane_array(queries, start, end, C.EMPTY_KEY)
+            lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+            lane_buckets[: end - start] = buckets[start:end]
+            out_values = np.full(WARP_SIZE, C.SEARCH_NOT_FOUND, dtype=np.uint32)
+            run_sequential(
+                [self.lists.warp_search(warp, is_active, lane_buckets, lane_keys, out_values)]
+            )
+            results[start:end] = out_values[: end - start]
+        return results
+
+    def bulk_delete(self, keys: Sequence[int]) -> np.ndarray:
+        """Delete a batch of keys; returns per-key removed counts (0 or 1)."""
+        keys = self._validate_keys(np.asarray(keys))
+        buckets = self.hash_fn.hash_array(keys)
+        removed = np.zeros(len(keys), dtype=np.int64)
+        self.device.launch_kernel()
+
+        for start, end in self._warp_chunks(len(keys)):
+            warp = self._next_warp()
+            is_active = np.zeros(WARP_SIZE, dtype=bool)
+            is_active[: end - start] = True
+            lane_keys = self._pad_lane_array(keys, start, end, C.EMPTY_KEY)
+            lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+            lane_buckets[: end - start] = buckets[start:end]
+            out_deleted = np.zeros(WARP_SIZE, dtype=np.int64)
+            run_sequential(
+                [self.lists.warp_delete(warp, is_active, lane_buckets, lane_keys, out_deleted)]
+            )
+            removed[start:end] = out_deleted[: end - start]
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Concurrent mixed batches (Figure 7)
+    # ------------------------------------------------------------------ #
+
+    def concurrent_batch(
+        self,
+        op_codes: Sequence[int],
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        *,
+        scheduler: Optional[WarpScheduler] = None,
+        wave_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Execute a batch of mixed operations truly concurrently.
+
+        ``op_codes[i]`` is one of ``OP_INSERT``, ``OP_DELETE``, ``OP_SEARCH``
+        (constants in :mod:`repro.core.constants`); operation ``i`` uses
+        ``keys[i]`` (and ``values[i]`` for insertions in key-value mode).
+        Operations are assigned one per thread exactly as generated, so all
+        types can occur within a single warp; each warp runs one procedure per
+        operation type present (as in the paper's concurrent benchmark), and
+        all procedures of all warps are interleaved by ``scheduler``.
+
+        Returns an array with, per operation: the found value for searches
+        (``SEARCH_NOT_FOUND`` if absent), 1/0 for deletions (removed or not),
+        and 0 for insertions.
+        """
+        op_codes = np.asarray(op_codes, dtype=np.int64)
+        keys = self._validate_keys(np.asarray(keys))
+        if op_codes.shape != keys.shape:
+            raise ValueError("op_codes and keys must have the same length")
+        if self.config.key_value:
+            if values is None:
+                raise ValueError("key-value mode requires a values array")
+            values = np.asarray(values, dtype=np.uint32)
+            if values.shape != keys.shape:
+                raise ValueError("keys and values must have the same length")
+
+        buckets = self.hash_fn.hash_array(keys)
+        results = np.zeros(len(keys), dtype=np.uint32)
+        self.device.launch_kernel()
+
+        programs = []
+        collectors = []  # (kind, start, end, out_array)
+        insert_op = self.lists.warp_replace if self.config.unique_keys else self.lists.warp_insert
+
+        for start, end in self._warp_chunks(len(keys)):
+            warp = self._next_warp()
+            span = end - start
+            lane_ops = np.zeros(WARP_SIZE, dtype=np.int64)
+            lane_ops[:span] = op_codes[start:end]
+            lane_keys = self._pad_lane_array(keys, start, end, C.EMPTY_KEY)
+            lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+            lane_buckets[:span] = buckets[start:end]
+            lane_values = None
+            if self.config.key_value:
+                lane_values = self._pad_lane_array(values, start, end, C.EMPTY_VALUE)
+
+            insert_mask = lane_ops == C.OP_INSERT
+            delete_mask = lane_ops == C.OP_DELETE
+            search_mask = lane_ops == C.OP_SEARCH
+
+            if insert_mask.any():
+                programs.append(
+                    insert_op(warp, insert_mask, lane_buckets, lane_keys, lane_values)
+                )
+            if delete_mask.any():
+                out_deleted = np.zeros(WARP_SIZE, dtype=np.int64)
+                programs.append(
+                    self.lists.warp_delete(warp, delete_mask, lane_buckets, lane_keys, out_deleted)
+                )
+                collectors.append(("delete", start, end, out_deleted))
+            if search_mask.any():
+                out_values = np.full(WARP_SIZE, C.SEARCH_NOT_FOUND, dtype=np.uint32)
+                programs.append(
+                    self.lists.warp_search(warp, search_mask, lane_buckets, lane_keys, out_values)
+                )
+                collectors.append(("search", start, end, out_values))
+
+        if scheduler is None:
+            run_sequential(programs)
+        elif wave_size is not None:
+            scheduler.run_in_waves(programs, wave_size)
+        else:
+            scheduler.run(programs)
+
+        for kind, start, end, out in collectors:
+            span = end - start
+            mask = (op_codes[start:end] == C.OP_DELETE) if kind == "delete" else (
+                op_codes[start:end] == C.OP_SEARCH
+            )
+            results[start:end][mask] = out[:span][mask].astype(np.uint32)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Maintenance and introspection
+    # ------------------------------------------------------------------ #
+
+    def flush(self, bucket: Optional[int] = None) -> List[FlushResult]:
+        """Compact one bucket (or all buckets) and release empty slabs."""
+        warp = self._next_warp()
+        if bucket is not None:
+            self.device.launch_kernel()
+            return [flush_bucket(self.lists, warp, bucket)]
+        return flush_all(self.lists, warp)
+
+    @property
+    def num_buckets(self) -> int:
+        return self.lists.num_lists
+
+    def __len__(self) -> int:
+        """Number of stored elements (host-side scan, not performance-counted)."""
+        return self.lists.live_item_count()
+
+    def beta(self) -> float:
+        """Average slab count ``beta = n / (M * B)`` for the current contents."""
+        return len(self) / (self.config.elements_per_slab * self.num_buckets)
+
+    def total_slabs(self) -> int:
+        """Base slabs plus allocated slabs currently used by the table."""
+        return self.lists.total_slabs()
+
+    def used_bytes(self) -> int:
+        """Total memory occupied by the table (all slabs, 128 bytes each)."""
+        return self.lists.used_bytes()
+
+    def memory_utilization(self) -> float:
+        """Stored data bytes over total used memory (the paper's utilization metric)."""
+        stored = len(self) * self.config.element_bytes
+        return stored / self.used_bytes()
+
+    def bucket_slab_counts(self) -> np.ndarray:
+        """Per-bucket slab counts (useful for load-balance diagnostics)."""
+        return np.array(
+            [self.lists.slab_count(b) for b in range(self.num_buckets)], dtype=np.int64
+        )
+
+    def items(self) -> List[tuple]:
+        """All stored (key, value) pairs (value ``None`` in key-only mode)."""
+        out: List[tuple] = []
+        for bucket in range(self.num_buckets):
+            out.extend(self.lists.live_items(bucket))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "key-value" if self.config.key_value else "key-only"
+        return (
+            f"SlabHash(buckets={self.num_buckets}, {mode}, "
+            f"unique={self.config.unique_keys}, elements={len(self)})"
+        )

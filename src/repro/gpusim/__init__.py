@@ -1,0 +1,50 @@
+"""Warp-level GPU SIMT simulator substrate.
+
+The paper's data structures (slab list, slab hash, SlabAlloc) are defined
+entirely in terms of warp-wide CUDA primitives: ``__ballot``, ``__shfl``,
+``__ffs``, coalesced 128-byte slab reads, and 32/64-bit ``atomicCAS``.  This
+package provides a faithful software model of exactly those primitives so that
+the warp-cooperative algorithms from the paper run unchanged on a CPU:
+
+* :class:`~repro.gpusim.device.DeviceSpec` / :class:`~repro.gpusim.device.Device`
+  — a K40c-like device description plus the per-run event counters.
+* :class:`~repro.gpusim.memory.GlobalMemory` — word-addressed global memory
+  operations (coalesced slab reads, uncoalesced word reads, atomic CAS /
+  exchange / or / add) with transaction accounting.
+* :class:`~repro.gpusim.warp.Warp` — a 32-lane warp context exposing ballots,
+  shuffles and find-first-set with instruction accounting.
+* :class:`~repro.gpusim.scheduler.WarpScheduler` — a seeded interleaving
+  scheduler that runs warp procedures (Python generators yielding at global
+  memory accesses) in arbitrary interleavings, so the lock-free CAS retry
+  paths are genuinely exercised.
+* :class:`~repro.gpusim.costmodel.CostModel` — converts counted events into
+  modelled execution time for the device, which is what every benchmark
+  reports (Python wall-clock time is meaningless for a simulated GPU).
+"""
+
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import Device, DeviceSpec, TESLA_K40C, GTX_970
+from repro.gpusim.memory import GlobalMemory
+from repro.gpusim.warp import Warp, WARP_SIZE
+from repro.gpusim.intrinsics import ballot_from_bools, first_set_lane, lane_mask, popc
+from repro.gpusim.scheduler import WarpScheduler, run_sequential
+from repro.gpusim.costmodel import CostModel, CostBreakdown
+
+__all__ = [
+    "Counters",
+    "Device",
+    "DeviceSpec",
+    "TESLA_K40C",
+    "GTX_970",
+    "GlobalMemory",
+    "Warp",
+    "WARP_SIZE",
+    "ballot_from_bools",
+    "first_set_lane",
+    "lane_mask",
+    "popc",
+    "WarpScheduler",
+    "run_sequential",
+    "CostModel",
+    "CostBreakdown",
+]

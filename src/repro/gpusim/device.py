@@ -1,0 +1,142 @@
+"""Device model: hardware characteristics plus per-run event accounting.
+
+A :class:`DeviceSpec` captures the handful of hardware parameters that the
+paper's performance analysis actually depends on (memory bandwidth, atomic
+throughput, warp-instruction issue rate, L2 size, kernel launch overhead).
+:data:`TESLA_K40C` matches the evaluation platform of the paper; the numbers
+are the published K40c characteristics plus calibration constants documented
+in :mod:`repro.gpusim.costmodel`.
+
+A :class:`Device` instance owns a mutable :class:`~repro.gpusim.counters.Counters`
+object that every data structure built on top of it reports events into, and
+offers :meth:`Device.phase` to measure the events of a single experiment phase.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.gpusim.counters import Counters
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a simulated GPU.
+
+    The throughput figures are *effective achievable* rates used by the cost
+    model, not theoretical peaks; see :mod:`repro.gpusim.costmodel` for how
+    they were calibrated against the paper's headline numbers.
+    """
+
+    name: str
+    warp_size: int = 32
+    num_sms: int = 15
+    clock_hz: float = 745e6
+    #: Peak DRAM bandwidth in bytes/s (K40c: 288 GB/s GDDR5).
+    dram_bandwidth: float = 288e9
+    #: Fraction of peak bandwidth achievable with coalesced 128 B transactions
+    #: at random locations (slab reads are random at 128 B granularity).
+    coalesced_efficiency: float = 0.72
+    #: Achievable rate of scattered 32-byte sector accesses (per-thread random
+    #: reads/writes, e.g. classic linked-list node hops or cuckoo probes).
+    #: ~160 GB/s of 32-byte sectors: random accesses still fetch full sectors
+    #: but overlap well when independent (cuckoo probes); dependent chains
+    #: (linked-list hops) additionally pay per-hop instruction charges.
+    random_sector_rate: float = 5.0e9
+    #: L2 cache size in bytes (K40c: 1.5 MB).
+    l2_cache_bytes: int = 1_572_864
+    #: Global-memory atomic throughput when the working set spills to DRAM.
+    atomic32_rate_dram: float = 900e6
+    atomic64_rate_dram: float = 700e6
+    #: Atomic throughput when the working set fits in L2 (small tables).
+    atomic32_rate_l2: float = 3.2e9
+    atomic64_rate_l2: float = 2.0e9
+    #: Aggregate warp-instruction issue rate across the device.
+    warp_instruction_rate: float = 44e9
+    #: Shared-memory read rate (used by SlabAlloc's 32->64 bit address decode).
+    shared_read_rate: float = 80e9
+    #: Fixed cost per kernel launch, seconds.
+    kernel_launch_overhead: float = 5e-6
+    #: Device memory capacity in bytes (K40c: 12 GB).
+    dram_capacity: int = 12 * 1024**3
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable bandwidth (bytes/s) for coalesced 128 B transactions."""
+        return self.dram_bandwidth * self.coalesced_efficiency
+
+    def scaled(self, **overrides) -> "DeviceSpec":
+        """Return a copy of the spec with selected fields overridden."""
+        return replace(self, **overrides)
+
+
+#: The paper's evaluation platform: NVIDIA Tesla K40c (Kepler, sm_35, ECC off).
+TESLA_K40C = DeviceSpec(name="Tesla K40c")
+
+#: The platform Moscovici et al. used for GFSL (GeForce GTX 970, 224 GB/s),
+#: referenced by the Section VI-C discussion.
+GTX_970 = DeviceSpec(
+    name="GeForce GTX 970",
+    num_sms=13,
+    clock_hz=1.05e9,
+    dram_bandwidth=224e9,
+    l2_cache_bytes=1_792 * 1024,
+    dram_capacity=4 * 1024**3,
+)
+
+
+class Device:
+    """A simulated GPU: a spec plus the event counters data structures report into.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description; defaults to the paper's Tesla K40c.
+    """
+
+    def __init__(self, spec: DeviceSpec = TESLA_K40C) -> None:
+        self.spec = spec
+        self.counters = Counters()
+
+    # ------------------------------------------------------------------ #
+    # Measurement helpers
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> Counters:
+        """Return a copy of the current counters."""
+        return self.counters.copy()
+
+    def events_since(self, snapshot: Counters) -> Counters:
+        """Return the events accumulated since ``snapshot`` was taken."""
+        return self.counters.diff(snapshot)
+
+    @contextmanager
+    def phase(self) -> Iterator[Counters]:
+        """Measure the events of one experiment phase.
+
+        Yields a :class:`Counters` object that is *filled in* when the with
+        block exits::
+
+            with device.phase() as events:
+                table.bulk_build(keys, values)
+            t = cost_model.elapsed(events).total_time
+        """
+        before = self.snapshot()
+        measured = Counters()
+        try:
+            yield measured
+        finally:
+            measured += self.counters.diff(before)
+
+    def reset(self) -> None:
+        """Zero the device counters (does not touch any data structure state)."""
+        self.counters.reset()
+
+    def launch_kernel(self) -> None:
+        """Record a kernel launch (fixed overhead in the cost model)."""
+        self.counters.kernel_launches += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Device({self.spec.name!r})"

@@ -1,0 +1,21 @@
+"""Exception types raised by the GPU simulator substrate."""
+
+
+class GpuSimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class MemoryFault(GpuSimError):
+    """Raised when a simulated memory access is out of bounds or misaligned."""
+
+
+class AllocationError(GpuSimError):
+    """Raised when a simulated allocator cannot satisfy a request."""
+
+
+class LaunchError(GpuSimError):
+    """Raised when a kernel launch configuration is invalid."""
+
+
+class SchedulerError(GpuSimError):
+    """Raised when the warp scheduler is misused (e.g. re-running a finished warp)."""

@@ -1,0 +1,71 @@
+"""Pure (stateless) warp-wide intrinsic helpers.
+
+These mirror the CUDA primitives the paper's pseudocode is written in:
+``__ballot``, ``__ffs``, ``__popc`` and lane-mask construction.  The stateful
+(instruction-counting) versions live on :class:`repro.gpusim.warp.Warp`; the
+functions here are the underlying bit manipulations, kept separate so they can
+be unit- and property-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ballot_from_bools", "first_set_lane", "ffs", "popc", "lane_mask", "set_lanes"]
+
+_UINT32_MASK = 0xFFFFFFFF
+
+
+#: Per-lane bit weights used to vectorize ballot construction.
+_LANE_WEIGHTS = (np.uint64(1) << np.arange(32, dtype=np.uint64))
+
+
+def ballot_from_bools(predicates: Sequence[bool] | np.ndarray) -> int:
+    """Build a 32-bit ballot mask: bit *i* is set iff lane *i*'s predicate holds.
+
+    Equivalent to CUDA's ``__ballot_sync(0xffffffff, pred)``.
+    """
+    arr = np.asarray(predicates, dtype=bool)
+    if arr.ndim != 1 or arr.size > 32:
+        raise ValueError(f"a ballot takes at most 32 lane predicates, got shape {arr.shape}")
+    return int(arr @ _LANE_WEIGHTS[: arr.size]) & _UINT32_MASK
+
+
+def ffs(mask: int) -> int:
+    """CUDA ``__ffs``: 1-based position of the least-significant set bit, 0 if none."""
+    mask &= _UINT32_MASK
+    if mask == 0:
+        return 0
+    return (mask & -mask).bit_length()
+
+
+def first_set_lane(mask: int) -> int:
+    """Lane index (0-based) of the least-significant set bit, or -1 if the mask is empty.
+
+    This is the ``__ffs(mask) - 1`` idiom used throughout the paper's
+    pseudocode to pick the next work-queue entry or the found/destination lane.
+    """
+    return ffs(mask) - 1
+
+
+def popc(mask: int) -> int:
+    """CUDA ``__popc``: number of set bits in a 32-bit mask."""
+    return bin(mask & _UINT32_MASK).count("1")
+
+
+def lane_mask(lanes: Iterable[int]) -> int:
+    """Build a mask with the given lane indices set (helper for VALID_KEY_MASK etc.)."""
+    mask = 0
+    for lane in lanes:
+        if not 0 <= lane < 32:
+            raise ValueError(f"lane index out of range: {lane}")
+        mask |= 1 << lane
+    return mask
+
+
+def set_lanes(mask: int) -> list[int]:
+    """Return the sorted list of lane indices set in ``mask`` (inverse of lane_mask)."""
+    mask &= _UINT32_MASK
+    return [lane for lane in range(32) if mask & (1 << lane)]

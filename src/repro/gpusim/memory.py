@@ -1,0 +1,184 @@
+"""Global-memory operations with transaction and atomic accounting.
+
+The data structures own their backing stores as NumPy ``uint32`` arrays (a
+structure-of-arrays layout, as the guides recommend); this module provides the
+*access* layer through which every read, write and atomic goes, so that the
+cost model sees an accurate event stream.
+
+Two access classes are distinguished, mirroring the paper's discussion of
+coalescing:
+
+* **Coalesced slab accesses** (:meth:`GlobalMemory.read_slab`,
+  :meth:`GlobalMemory.write_slab`): the whole warp reads or writes one
+  128-byte slab in a single transaction.  This is the slab list's fundamental
+  access pattern.
+* **Uncoalesced word accesses** (:meth:`GlobalMemory.read_word`,
+  :meth:`GlobalMemory.write_word`): a single thread touches a single 32-bit
+  word at an arbitrary address; the device still moves a 32-byte sector.
+  This is the access pattern of classic (per-thread) linked lists and of
+  open-addressing probes.
+
+Atomics are modelled as instantaneous (the simulator interleaves warps only at
+explicit yield points, so each atomic is trivially indivisible) but fully
+accounted, including failed CAS attempts which the cost model may penalize as
+contention.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.gpusim.counters import Counters
+from repro.gpusim.errors import MemoryFault
+
+__all__ = ["GlobalMemory"]
+
+_UINT32_MASK = 0xFFFFFFFF
+
+
+def _as_int(value) -> int:
+    """Convert a NumPy scalar or Python number to a plain Python int."""
+    return int(value) & _UINT32_MASK
+
+
+class GlobalMemory:
+    """Accounting wrapper for all simulated global-memory traffic.
+
+    Parameters
+    ----------
+    counters:
+        The device counters to report events into (usually
+        ``device.counters``).
+    """
+
+    def __init__(self, counters: Counters) -> None:
+        self.counters = counters
+
+    # ------------------------------------------------------------------ #
+    # Coalesced (warp-wide) accesses
+    # ------------------------------------------------------------------ #
+
+    def read_slab(self, store: np.ndarray, row: int) -> np.ndarray:
+        """Read one 128-byte slab (32 consecutive 32-bit words) coalescedly.
+
+        ``store`` must be a 2-D ``uint32`` array whose rows are slabs.  Returns
+        a *copy* of the row: the warp's view of the slab at the moment of the
+        read, which may become stale if another warp mutates the slab
+        afterwards (exactly like a real coalesced load).
+        """
+        if row < 0 or row >= store.shape[0]:
+            raise MemoryFault(f"slab read out of bounds: row {row} of {store.shape[0]}")
+        self.counters.coalesced_read_transactions += 1
+        return store[row].copy()
+
+    def write_slab(self, store: np.ndarray, row: int, values: np.ndarray) -> None:
+        """Write one full slab coalescedly (used by FLUSH compaction)."""
+        if row < 0 or row >= store.shape[0]:
+            raise MemoryFault(f"slab write out of bounds: row {row} of {store.shape[0]}")
+        if len(values) != store.shape[1]:
+            raise MemoryFault(
+                f"slab write size mismatch: {len(values)} words into {store.shape[1]}-word slab"
+            )
+        self.counters.coalesced_write_transactions += 1
+        store[row] = np.asarray(values, dtype=np.uint32)
+
+    # ------------------------------------------------------------------ #
+    # Uncoalesced (per-thread) accesses
+    # ------------------------------------------------------------------ #
+
+    def read_word(self, store: np.ndarray, index) -> int:
+        """Read a single 32-bit word at an arbitrary (scattered) address."""
+        self.counters.uncoalesced_read_words += 1
+        return _as_int(store[index])
+
+    def write_word(self, store: np.ndarray, index, value: int) -> None:
+        """Write a single 32-bit word at an arbitrary (scattered) address."""
+        self.counters.uncoalesced_write_words += 1
+        store[index] = np.uint32(value & _UINT32_MASK)
+
+    # ------------------------------------------------------------------ #
+    # Atomics
+    # ------------------------------------------------------------------ #
+
+    def atomic_cas32(self, store: np.ndarray, index, compare: int, value: int) -> int:
+        """32-bit atomic compare-and-swap; returns the old value."""
+        self.counters.atomic32 += 1
+        old = _as_int(store[index])
+        if old == (compare & _UINT32_MASK):
+            store[index] = np.uint32(value & _UINT32_MASK)
+        else:
+            self.counters.cas_failures += 1
+        return old
+
+    def atomic_cas64(
+        self,
+        store: np.ndarray,
+        row: int,
+        lane: int,
+        compare: Tuple[int, int],
+        value: Tuple[int, int],
+    ) -> Tuple[int, int]:
+        """64-bit atomic CAS over two adjacent 32-bit lanes of a slab.
+
+        The slab hash stores a key-value pair in lanes ``(lane, lane+1)`` and
+        inserts it with a single 64-bit CAS, exactly as in the paper's
+        REPLACE pseudocode.  Returns the old pair.
+        """
+        if lane % 2 != 0:
+            raise MemoryFault(f"64-bit CAS must target an even lane, got {lane}")
+        self.counters.atomic64 += 1
+        old = (_as_int(store[row, lane]), _as_int(store[row, lane + 1]))
+        if old == (compare[0] & _UINT32_MASK, compare[1] & _UINT32_MASK):
+            store[row, lane] = np.uint32(value[0] & _UINT32_MASK)
+            store[row, lane + 1] = np.uint32(value[1] & _UINT32_MASK)
+        else:
+            self.counters.cas_failures += 1
+        return old
+
+    def atomic_exch32(self, store: np.ndarray, index, value: int) -> int:
+        """32-bit atomic exchange; returns the old value."""
+        self.counters.atomic32 += 1
+        old = _as_int(store[index])
+        store[index] = np.uint32(value & _UINT32_MASK)
+        return old
+
+    def atomic_exch64(self, store: np.ndarray, row: int, lane: int, value: Tuple[int, int]) -> Tuple[int, int]:
+        """64-bit atomic exchange over two adjacent lanes (cuckoo eviction)."""
+        if lane % 2 != 0:
+            raise MemoryFault(f"64-bit exchange must target an even lane, got {lane}")
+        self.counters.atomic64 += 1
+        old = (_as_int(store[row, lane]), _as_int(store[row, lane + 1]))
+        store[row, lane] = np.uint32(value[0] & _UINT32_MASK)
+        store[row, lane + 1] = np.uint32(value[1] & _UINT32_MASK)
+        return old
+
+    def atomic_or32(self, store: np.ndarray, index, value: int) -> int:
+        """32-bit atomic OR; returns the old value (SlabAlloc bit allocation)."""
+        self.counters.atomic32 += 1
+        old = _as_int(store[index])
+        store[index] = np.uint32((old | value) & _UINT32_MASK)
+        return old
+
+    def atomic_and32(self, store: np.ndarray, index, value: int) -> int:
+        """32-bit atomic AND; returns the old value (SlabAlloc deallocation)."""
+        self.counters.atomic32 += 1
+        old = _as_int(store[index])
+        store[index] = np.uint32(old & value & _UINT32_MASK)
+        return old
+
+    def atomic_add32(self, store: np.ndarray, index, value: int) -> int:
+        """32-bit atomic add; returns the old value."""
+        self.counters.atomic32 += 1
+        old = _as_int(store[index])
+        store[index] = np.uint32((old + value) & _UINT32_MASK)
+        return old
+
+    # ------------------------------------------------------------------ #
+    # Shared memory
+    # ------------------------------------------------------------------ #
+
+    def shared_read(self) -> None:
+        """Record a shared-memory read (SlabAlloc's 32->64 bit address decode)."""
+        self.counters.shared_reads += 1

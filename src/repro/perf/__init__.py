@@ -1,0 +1,28 @@
+"""Benchmark harness: measurement, per-figure drivers and reporting.
+
+The drivers in :mod:`repro.perf.figures` regenerate every table and figure of
+the paper's evaluation section (see DESIGN.md's per-experiment index).  They
+follow a *simulate small, model at paper scale* methodology: the data
+structures run with a scaled-down element count (so the pure-Python simulation
+stays fast), the measured per-operation event counts are scaled up to the
+paper's operation count, and the cost model evaluates the scaled counts with
+the paper-scale working-set size (which determines L2 residency).  Per-op
+event counts are load-factor/beta dependent but size independent, so this
+preserves every trend the paper reports while keeping runtimes reasonable.
+"""
+
+from repro.perf.metrics import Measurement, measure_phase, scale_counters
+from repro.perf.harness import Series, FigureResult
+from repro.perf import figures
+from repro.perf.report import format_figure, format_table
+
+__all__ = [
+    "Measurement",
+    "measure_phase",
+    "scale_counters",
+    "Series",
+    "FigureResult",
+    "figures",
+    "format_figure",
+    "format_table",
+]

@@ -1,0 +1,87 @@
+"""Result containers shared by the per-figure drivers and the reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Series", "FigureResult"]
+
+
+@dataclass
+class Series:
+    """One line of a figure: a label plus aligned x/y values."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_dict(self) -> Dict[float, float]:
+        return dict(zip(self.x, self.y))
+
+    def geometric_mean(self) -> float:
+        """Geometric mean of the y values (the paper's summary statistic)."""
+        if not self.y:
+            raise ValueError(f"series {self.label!r} is empty")
+        product = 1.0
+        for value in self.y:
+            if value <= 0:
+                raise ValueError(f"geometric mean requires positive values, got {value}")
+            product *= value
+        return product ** (1.0 / len(self.y))
+
+
+@dataclass
+class FigureResult:
+    """Everything needed to print (or compare against) one paper figure/table."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+    notes: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in {self.figure_id}")
+
+    def add_series(self, label: str) -> Series:
+        s = Series(label=label)
+        self.series.append(s)
+        return s
+
+    def to_rows(self) -> Tuple[List[str], List[List[str]]]:
+        """Tabular view: one row per x value, one column per series."""
+        headers = [self.x_label] + [s.label for s in self.series]
+        xs: List[float] = []
+        for s in self.series:
+            for x in s.x:
+                if x not in xs:
+                    xs.append(x)
+        rows: List[List[str]] = []
+        for x in xs:
+            row = [f"{x:g}"]
+            for s in self.series:
+                lookup = s.as_dict()
+                row.append(f"{lookup[x]:.4g}" if x in lookup else "-")
+            rows.append(row)
+        return headers, rows
+
+    def speedup(self, numerator_label: str, denominator_label: str) -> Series:
+        """Pointwise ratio between two series (used for the paper's speedup claims)."""
+        num = self.series_by_label(numerator_label)
+        den = self.series_by_label(denominator_label)
+        ratio = Series(label=f"{numerator_label} / {denominator_label}")
+        den_lookup = den.as_dict()
+        for x, y in zip(num.x, num.y):
+            if x in den_lookup and den_lookup[x] != 0:
+                ratio.add(x, y / den_lookup[x])
+        return ratio

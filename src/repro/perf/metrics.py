@@ -1,0 +1,109 @@
+"""Measurement helpers: wrap a phase, collect its events, convert to throughput."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Optional
+
+from repro.gpusim.costmodel import CostBreakdown, CostModel
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import Device
+
+__all__ = ["Measurement", "measure_phase", "scale_counters"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured phase: its events, modelled time and throughput."""
+
+    label: str
+    num_ops: int
+    counters: Counters
+    breakdown: CostBreakdown
+    seconds: float
+    throughput: float
+
+    @property
+    def mops(self) -> float:
+        """Throughput in the paper's M ops/s units."""
+        return self.throughput / 1e6
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    def per_op(self, field: str) -> float:
+        """Average number of a given counter event per operation."""
+        return getattr(self.counters, field) / self.num_ops
+
+
+def scale_counters(counters: Counters, factor: float) -> Counters:
+    """Scale every event count by ``factor`` (the simulate-small / model-at-paper-scale step).
+
+    Kernel launches are *not* scaled: running the paper-scale workload still
+    uses the same number of kernel launches as the scaled simulation.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    scaled = Counters()
+    for f in fields(Counters):
+        value = getattr(counters, f.name)
+        if f.name == "kernel_launches":
+            setattr(scaled, f.name, value)
+        else:
+            setattr(scaled, f.name, int(round(value * factor)))
+    return scaled
+
+
+def measure_phase(
+    device: Device,
+    fn: Callable[[], object],
+    num_ops: int,
+    *,
+    label: str = "",
+    cost_model: Optional[CostModel] = None,
+    working_set_bytes: Optional[int] = None,
+    scale_to_ops: Optional[int] = None,
+    extra_serial_seconds: float = 0.0,
+) -> Measurement:
+    """Run ``fn``, collect the events it generates and convert them to throughput.
+
+    Parameters
+    ----------
+    device:
+        The device whose counters ``fn`` reports into.
+    fn:
+        The phase to execute (e.g. ``lambda: table.bulk_build(keys, values)``).
+    num_ops:
+        Number of logical operations performed by ``fn`` in the simulation.
+    working_set_bytes:
+        Randomly accessed working-set size used for the L2-residency decision
+        (pass the *paper-scale* size when extrapolating).
+    scale_to_ops:
+        If given, the measured per-op event counts are scaled so that the
+        reported throughput corresponds to running ``scale_to_ops`` operations
+        (the paper-scale extrapolation described in :mod:`repro.perf`).
+    extra_serial_seconds:
+        Additional serialized time not captured by the roofline model (used by
+        the allocator baselines); scaled together with the events.
+    """
+    model = cost_model or CostModel(device.spec)
+    with device.phase() as events:
+        fn()
+    reported_ops = num_ops
+    serial = extra_serial_seconds
+    if scale_to_ops is not None and scale_to_ops != num_ops:
+        factor = scale_to_ops / num_ops
+        events = scale_counters(events, factor)
+        serial = extra_serial_seconds * factor
+        reported_ops = scale_to_ops
+    breakdown = model.elapsed(events, working_set_bytes=working_set_bytes)
+    seconds = breakdown.total_time + serial
+    return Measurement(
+        label=label,
+        num_ops=reported_ops,
+        counters=events,
+        breakdown=breakdown,
+        seconds=seconds,
+        throughput=reported_ops / seconds if seconds > 0 else float("inf"),
+    )

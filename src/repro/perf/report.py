@@ -1,0 +1,60 @@
+"""Plain-text rendering of figure results (the benchmark harness's output format)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.perf.harness import FigureResult
+
+__all__ = ["format_table", "format_figure", "PAPER_REFERENCE"]
+
+
+#: Headline numbers reported by the paper, used by EXPERIMENTS.md and by the
+#: benchmark output so every run shows paper-vs-modelled side by side.
+PAPER_REFERENCE = {
+    "slabhash_peak_updates_mops": 512.0,
+    "slabhash_peak_searches_mops": 937.0,
+    "slaballoc_rate_mops": 600.0,
+    "halloc_rate_mops": 16.1,
+    "cuda_malloc_rate_mops": 0.8,
+    "fig4_geomean_cuckoo_over_slab_build": 1.33,
+    "fig4_geomean_cuckoo_over_slab_search_all": 2.08,
+    "fig4_geomean_cuckoo_over_slab_search_none": 2.04,
+    "fig5_geomean_cuckoo_over_slab_build": 1.19,
+    "fig5_geomean_cuckoo_over_slab_search_all": 1.19,
+    "fig5_geomean_cuckoo_over_slab_search_none": 0.94,
+    "fig6_speedup_batch_32k": 17.3,
+    "fig6_speedup_batch_64k": 10.4,
+    "fig6_speedup_batch_128k": 6.4,
+    "fig7b_speedup_100_updates": 5.1,
+    "fig7b_speedup_40_updates": 4.3,
+    "fig7b_speedup_20_updates": 3.1,
+    "gfsl_peak_search_mops": 100.0,
+    "gfsl_peak_update_mops": 50.0,
+    "slabhash_max_utilization": 0.94,
+}
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an ASCII table with aligned columns."""
+    widths = [len(str(h)) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(widths[i]) for i, c in enumerate(cells))
+    lines: List[str] = [fmt_row(headers), fmt_row(["-" * w for w in widths])]
+    lines.extend(fmt_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one figure result as a titled ASCII table."""
+    headers, rows = result.to_rows()
+    parts = [f"{result.figure_id}: {result.title}", format_table(headers, rows)]
+    if result.extra:
+        extras = ", ".join(f"{k}={v:.3g}" for k, v in result.extra.items())
+        parts.append(f"summary: {extras}")
+    if result.notes:
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts) + "\n"

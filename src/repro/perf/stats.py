@@ -1,0 +1,121 @@
+"""Load-balance and occupancy diagnostics for slab hash instances.
+
+The paper's analysis assumes keys distribute uniformly over buckets (universal
+hashing) and reasons about per-bucket slab counts through the average slab
+count beta.  This module provides the measurement side of that reasoning:
+per-bucket element/slab histograms, a chi-square uniformity check of the hash
+function on the actually stored keys, and a comparison of the measured slab
+histogram against the Poisson occupancy model behind
+:meth:`repro.core.slab_hash.SlabHash.expected_utilization`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.slab_hash import SlabHash
+
+__all__ = ["LoadBalanceReport", "analyze_load_balance", "expected_slab_histogram"]
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Summary of how evenly a slab hash's contents spread over its buckets."""
+
+    num_buckets: int
+    num_elements: int
+    elements_per_bucket_mean: float
+    elements_per_bucket_max: int
+    elements_per_bucket_std: float
+    slab_histogram: Dict[int, int]
+    chi_square: float
+    chi_square_dof: int
+    chi_square_pvalue: float
+    beta: float
+    measured_utilization: float
+    expected_utilization: float
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when the uniformity hypothesis is not rejected at the 1 % level."""
+        return self.chi_square_pvalue > 0.01
+
+
+def _chi_square_pvalue(statistic: float, dof: int) -> float:
+    """Survival function of the chi-square distribution (regularized upper gamma)."""
+    if dof <= 0:
+        return 1.0
+    try:
+        from scipy.stats import chi2  # scipy is available in this environment
+
+        return float(chi2.sf(statistic, dof))
+    except ImportError:  # pragma: no cover - fallback approximation
+        # Wilson-Hilferty normal approximation.
+        z = ((statistic / dof) ** (1.0 / 3.0) - (1 - 2.0 / (9 * dof))) / math.sqrt(2.0 / (9 * dof))
+        return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def analyze_load_balance(table: SlabHash) -> LoadBalanceReport:
+    """Measure the per-bucket load distribution of ``table``."""
+    counts = np.array(
+        [len(table.lists.live_items(bucket)) for bucket in range(table.num_buckets)],
+        dtype=np.int64,
+    )
+    slabs = table.bucket_slab_counts()
+    histogram: Dict[int, int] = {}
+    for count in slabs:
+        histogram[int(count)] = histogram.get(int(count), 0) + 1
+
+    total = int(counts.sum())
+    expected = total / table.num_buckets if table.num_buckets else 0.0
+    if expected > 0:
+        chi_square = float(((counts - expected) ** 2 / expected).sum())
+    else:
+        chi_square = 0.0
+    dof = max(table.num_buckets - 1, 1)
+
+    return LoadBalanceReport(
+        num_buckets=table.num_buckets,
+        num_elements=total,
+        elements_per_bucket_mean=float(counts.mean()) if counts.size else 0.0,
+        elements_per_bucket_max=int(counts.max()) if counts.size else 0,
+        elements_per_bucket_std=float(counts.std()) if counts.size else 0.0,
+        slab_histogram=histogram,
+        chi_square=chi_square,
+        chi_square_dof=dof,
+        chi_square_pvalue=_chi_square_pvalue(chi_square, dof),
+        beta=table.beta(),
+        measured_utilization=table.memory_utilization(),
+        expected_utilization=SlabHash.expected_utilization(
+            table.beta(), key_value=table.config.key_value
+        ),
+    )
+
+
+def expected_slab_histogram(num_elements: int, num_buckets: int, *, key_value: bool = True,
+                            max_slabs: int = 24) -> List[float]:
+    """Expected fraction of buckets using k slabs (k = 1..max_slabs), Poisson model.
+
+    Useful for comparing a measured ``slab_histogram`` against the analytic
+    occupancy model used to size tables (Fig. 4c).
+    """
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    per_slab = 15 if key_value else 30
+    lam = num_elements / num_buckets
+    fractions = [0.0] * max_slabs
+    upper = int(lam + 10 * math.sqrt(max(lam, 1.0)) + 10)
+    log_lam = math.log(lam) if lam > 0 else float("-inf")
+    for k in range(upper + 1):
+        if lam > 0:
+            p = math.exp(k * log_lam - lam - math.lgamma(k + 1))
+        else:
+            p = 1.0 if k == 0 else 0.0
+        slabs_needed = max(1, math.ceil(k / per_slab))
+        if slabs_needed <= max_slabs:
+            fractions[slabs_needed - 1] += p
+    return fractions

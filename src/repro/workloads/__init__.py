@@ -1,0 +1,40 @@
+"""Workload generation for the paper's benchmarks.
+
+* :mod:`repro.workloads.generators` — random unique key sets, deterministic
+  values, existing/missing query sets, batch splitting.
+* :mod:`repro.workloads.distributions` — the operation distributions
+  Gamma = (a, b, c, d) of the concurrent benchmark (Section VI-C) and the
+  construction of mixed operation batches from them.
+"""
+
+from repro.workloads.generators import (
+    unique_random_keys,
+    values_for_keys,
+    existing_queries,
+    missing_queries,
+    split_batches,
+)
+from repro.workloads.distributions import (
+    OperationDistribution,
+    GAMMA_UPDATES_ONLY,
+    GAMMA_40_UPDATES,
+    GAMMA_20_UPDATES,
+    PAPER_DISTRIBUTIONS,
+    ConcurrentWorkload,
+    build_concurrent_workload,
+)
+
+__all__ = [
+    "unique_random_keys",
+    "values_for_keys",
+    "existing_queries",
+    "missing_queries",
+    "split_batches",
+    "OperationDistribution",
+    "GAMMA_UPDATES_ONLY",
+    "GAMMA_40_UPDATES",
+    "GAMMA_20_UPDATES",
+    "PAPER_DISTRIBUTIONS",
+    "ConcurrentWorkload",
+    "build_concurrent_workload",
+]

@@ -1,0 +1,187 @@
+"""Operation distributions for the concurrent benchmark (Section VI-C).
+
+The paper defines a distribution ``Gamma = (a, b, c, d)`` over four operation
+categories — (a) inserting a new element, (b) deleting a previously inserted
+element, (c) searching for an existing element, (d) searching for a
+non-existing element — and evaluates three of them:
+
+* ``Gamma_0 = (0.5, 0.5, 0, 0)``  — 100 % updates,
+* ``Gamma_1 = (0.2, 0.2, 0.3, 0.3)`` — 40 % updates, 60 % searches,
+* ``Gamma_2 = (0.1, 0.1, 0.4, 0.4)`` — 20 % updates, 80 % searches.
+
+Operations are generated in batches, one operation per thread, so that all
+four categories can occur within a single warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.workloads.generators import missing_queries, unique_random_keys, values_for_keys
+
+__all__ = [
+    "OperationDistribution",
+    "GAMMA_UPDATES_ONLY",
+    "GAMMA_40_UPDATES",
+    "GAMMA_20_UPDATES",
+    "PAPER_DISTRIBUTIONS",
+    "ConcurrentWorkload",
+    "build_concurrent_workload",
+]
+
+
+@dataclass(frozen=True)
+class OperationDistribution:
+    """The paper's Gamma = (a, b, c, d) operation mix."""
+
+    insert_new: float
+    delete_existing: float
+    search_existing: float
+    search_missing: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        parts = (self.insert_new, self.delete_existing, self.search_existing, self.search_missing)
+        if any(p < 0 for p in parts):
+            raise ValueError(f"operation fractions must be non-negative: {parts}")
+        if abs(sum(parts) - 1.0) > 1e-9:
+            raise ValueError(f"operation fractions must sum to 1, got {sum(parts)}")
+
+    @property
+    def update_fraction(self) -> float:
+        """Fraction of operations that mutate the table (a + b)."""
+        return self.insert_new + self.delete_existing
+
+    def describe(self) -> str:
+        return self.label or (
+            f"{int(round(self.update_fraction * 100))}% updates, "
+            f"{int(round((1 - self.update_fraction) * 100))}% searches"
+        )
+
+
+#: Gamma_0: all operations are updates.
+GAMMA_UPDATES_ONLY = OperationDistribution(0.5, 0.5, 0.0, 0.0, label="100% updates, 0% searches")
+#: Gamma_1: 40 % updates, 60 % searches.
+GAMMA_40_UPDATES = OperationDistribution(0.2, 0.2, 0.3, 0.3, label="40% updates, 60% searches")
+#: Gamma_2: 20 % updates, 80 % searches.
+GAMMA_20_UPDATES = OperationDistribution(0.1, 0.1, 0.4, 0.4, label="20% updates, 80% searches")
+
+#: The three distributions evaluated in Figures 7a and 7b.
+PAPER_DISTRIBUTIONS: Tuple[OperationDistribution, ...] = (
+    GAMMA_20_UPDATES,
+    GAMMA_40_UPDATES,
+    GAMMA_UPDATES_ONLY,
+)
+
+
+@dataclass(frozen=True)
+class ConcurrentWorkload:
+    """A fully materialized mixed-operation batch."""
+
+    op_codes: np.ndarray
+    keys: np.ndarray
+    values: np.ndarray
+    distribution: OperationDistribution
+
+    def __len__(self) -> int:
+        return len(self.op_codes)
+
+
+def build_concurrent_workload(
+    distribution: OperationDistribution,
+    num_operations: int,
+    existing_keys: np.ndarray,
+    *,
+    seed: int = 0,
+) -> ConcurrentWorkload:
+    """Materialize a random mixed batch following ``distribution``.
+
+    * insertions use brand-new keys (disjoint from ``existing_keys``),
+    * deletions target previously inserted keys (sampled without replacement
+      while supplies last),
+    * existing searches sample ``existing_keys`` with replacement,
+    * missing searches use keys from the guaranteed-absent range.
+
+    Operations are shuffled so all categories mix within warps, exactly as in
+    the paper's benchmark.
+    """
+    if num_operations <= 0:
+        raise ValueError(f"num_operations must be positive, got {num_operations}")
+    existing_keys = np.asarray(existing_keys, dtype=np.uint32)
+    if existing_keys.size == 0:
+        raise ValueError("the concurrent workload needs a non-empty initial key set")
+    rng = np.random.default_rng(seed)
+
+    categories = rng.choice(
+        4,
+        size=num_operations,
+        p=[
+            distribution.insert_new,
+            distribution.delete_existing,
+            distribution.search_existing,
+            distribution.search_missing,
+        ],
+    )
+    op_codes = np.empty(num_operations, dtype=np.int64)
+    keys = np.empty(num_operations, dtype=np.uint32)
+
+    n_insert = int(np.sum(categories == 0))
+    n_delete = int(np.sum(categories == 1))
+    n_search_hit = int(np.sum(categories == 2))
+    n_search_miss = int(np.sum(categories == 3))
+
+    new_keys = unique_random_keys(max(1, n_insert), seed=seed + 101)
+    # Make sure the "new" keys really are new.
+    new_keys = np.setdiff1d(new_keys, existing_keys, assume_unique=False)
+    while new_keys.size < n_insert:
+        extra = unique_random_keys(n_insert - new_keys.size + 16, seed=seed + 211 + new_keys.size)
+        new_keys = np.setdiff1d(np.concatenate([new_keys, extra]), existing_keys)
+    new_keys = new_keys[:n_insert]
+
+    delete_pool = rng.permutation(existing_keys)
+    delete_keys = delete_pool[:n_delete]
+    if n_delete > delete_pool.size:
+        # More deletions than distinct existing keys: reuse (later ones miss).
+        repeats = rng.integers(0, delete_pool.size, size=n_delete - delete_pool.size)
+        delete_keys = np.concatenate([delete_keys, delete_pool[repeats]])
+
+    hit_keys = existing_keys[rng.integers(0, existing_keys.size, size=max(1, n_search_hit))][
+        :n_search_hit
+    ]
+    miss_keys = missing_queries(max(1, n_search_miss), seed=seed + 7)[:n_search_miss]
+
+    op_codes[categories == 0] = C.OP_INSERT
+    op_codes[categories == 1] = C.OP_DELETE
+    op_codes[categories == 2] = C.OP_SEARCH
+    op_codes[categories == 3] = C.OP_SEARCH
+    keys[categories == 0] = new_keys
+    keys[categories == 1] = delete_keys
+    keys[categories == 2] = hit_keys
+    keys[categories == 3] = miss_keys
+
+    values = values_for_keys(keys)
+    return ConcurrentWorkload(
+        op_codes=op_codes, keys=keys, values=values, distribution=distribution
+    )
+
+
+def split_into_warp_batches(workload: ConcurrentWorkload, batch_size: int) -> List[ConcurrentWorkload]:
+    """Split a workload into batches processed one at a time (but each in parallel)."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    out: List[ConcurrentWorkload] = []
+    for start in range(0, len(workload), batch_size):
+        end = min(start + batch_size, len(workload))
+        out.append(
+            ConcurrentWorkload(
+                op_codes=workload.op_codes[start:end],
+                keys=workload.keys[start:end],
+                values=workload.values[start:end],
+                distribution=workload.distribution,
+            )
+        )
+    return out

@@ -1,0 +1,94 @@
+"""Random key/value/query generation for the bulk and incremental benchmarks.
+
+The paper's experiments use uniformly random 32-bit keys; search workloads are
+either "all queries exist" or "none of the queries exist" (the best and worst
+cases for a hash table, Section VI-A).  The generators here reproduce those
+workloads deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.core import constants as C
+
+__all__ = [
+    "unique_random_keys",
+    "values_for_keys",
+    "existing_queries",
+    "missing_queries",
+    "zipf_queries",
+    "split_batches",
+]
+
+#: Keys are drawn below this bound; the disjoint range above it (up to
+#: MAX_USER_KEY) is reserved for guaranteed-missing queries.
+_EXISTING_KEY_BOUND = 0x7FFFFFFF
+
+
+def unique_random_keys(count: int, seed: int = 0, *, high: int = _EXISTING_KEY_BOUND) -> np.ndarray:
+    """Draw ``count`` distinct uniformly random user keys in ``[1, high)``."""
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if count >= high:
+        raise ValueError(f"cannot draw {count} distinct keys below {high}")
+    rng = np.random.default_rng(seed)
+    keys = np.empty(0, dtype=np.uint32)
+    while keys.size < count:
+        needed = count - keys.size
+        draw = rng.integers(1, high, size=int(needed * 1.3) + 16, dtype=np.uint64)
+        keys = np.unique(np.concatenate([keys, draw.astype(np.uint32)]))
+    rng.shuffle(keys)
+    return keys[:count].copy()
+
+
+def values_for_keys(keys: np.ndarray) -> np.ndarray:
+    """Deterministic value for each key (a cheap mix), convenient for verification."""
+    keys64 = np.asarray(keys, dtype=np.uint64)
+    mixed = (keys64 * np.uint64(2_654_435_761) + np.uint64(12345)) & np.uint64(0xFFFFFFFE)
+    return mixed.astype(np.uint32)
+
+
+def existing_queries(keys: np.ndarray, count: int, seed: int = 1) -> np.ndarray:
+    """Queries drawn (with replacement) from the stored key set: the all-found workload."""
+    rng = np.random.default_rng(seed)
+    keys = np.asarray(keys)
+    return keys[rng.integers(0, len(keys), size=count)].astype(np.uint32)
+
+
+def missing_queries(count: int, seed: int = 2) -> np.ndarray:
+    """Queries guaranteed absent from any key set built by :func:`unique_random_keys`."""
+    rng = np.random.default_rng(seed)
+    low, high = _EXISTING_KEY_BOUND + 1, C.MAX_USER_KEY
+    return rng.integers(low, high, size=count, dtype=np.uint64).astype(np.uint32)
+
+
+def zipf_queries(keys: np.ndarray, count: int, *, skew: float = 1.1, seed: int = 3) -> np.ndarray:
+    """Skewed (Zipf-distributed) queries over the stored key set.
+
+    The paper evaluates uniform workloads; real query streams are often
+    heavily skewed, which concentrates traffic on a few buckets and stresses
+    the warp-cooperative search path differently (the same hot slab is read by
+    many warps).  ``skew`` is the Zipf exponent (must be > 1); larger values
+    concentrate more of the queries on the most popular keys.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if skew <= 1.0:
+        raise ValueError(f"the Zipf exponent must be > 1, got {skew}")
+    keys = np.asarray(keys)
+    if keys.size == 0:
+        raise ValueError("zipf_queries needs a non-empty key set")
+    rng = np.random.default_rng(seed)
+    ranks = rng.zipf(skew, size=count)
+    return keys[(ranks - 1) % keys.size].astype(np.uint32)
+
+
+def split_batches(keys: np.ndarray, batch_size: int) -> List[np.ndarray]:
+    """Split a key array into consecutive batches (the incremental-insertion workload)."""
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    keys = np.asarray(keys)
+    return [keys[i : i + batch_size] for i in range(0, len(keys), batch_size)]

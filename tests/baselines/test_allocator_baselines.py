@@ -1,0 +1,77 @@
+"""Tests for the CUDA-malloc-like and Halloc-like allocator baselines."""
+
+import pytest
+
+from repro.allocators.baselines import CudaMallocAllocator, HallocLikeAllocator
+from repro.gpusim.device import Device
+from repro.gpusim.errors import AllocationError
+
+
+@pytest.mark.parametrize("allocator_cls", [CudaMallocAllocator, HallocLikeAllocator])
+class TestFunctionalBehaviour:
+    def test_unique_indices(self, allocator_cls):
+        allocator = allocator_cls(100)
+        indices = [allocator.allocate() for _ in range(100)]
+        assert len(set(indices)) == 100
+
+    def test_exhaustion(self, allocator_cls):
+        allocator = allocator_cls(4)
+        for _ in range(4):
+            allocator.allocate()
+        with pytest.raises(AllocationError):
+            allocator.allocate()
+
+    def test_free_and_reuse(self, allocator_cls):
+        allocator = allocator_cls(4)
+        indices = [allocator.allocate() for _ in range(4)]
+        allocator.free(indices[1])
+        assert allocator.allocate() == indices[1]
+
+    def test_double_free_detected(self, allocator_cls):
+        allocator = allocator_cls(4)
+        index = allocator.allocate()
+        allocator.free(index)
+        with pytest.raises(AllocationError):
+            allocator.free(index)
+
+    def test_free_out_of_range(self, allocator_cls):
+        allocator = allocator_cls(4)
+        with pytest.raises(AllocationError):
+            allocator.free(10)
+
+    def test_occupancy_and_counts(self, allocator_cls):
+        allocator = allocator_cls(10)
+        for _ in range(5):
+            allocator.allocate()
+        assert allocator.allocated_units == 5
+        assert allocator.total_allocations == 5
+        assert allocator.occupancy() == pytest.approx(0.5)
+
+    def test_invalid_capacity(self, allocator_cls):
+        with pytest.raises(ValueError):
+            allocator_cls(0)
+
+    def test_events_are_charged(self, allocator_cls):
+        device = Device()
+        allocator = allocator_cls(10, device=device)
+        allocator.allocate()
+        assert device.counters.atomic32 >= allocator_cls.ATOMICS_PER_ALLOC
+        assert device.counters.warp_instructions >= allocator_cls.INSTRUCTIONS_PER_ALLOC
+        assert device.counters.allocations == 1
+
+
+class TestCalibration:
+    def test_malloc_is_much_slower_than_halloc(self):
+        assert CudaMallocAllocator.SERIAL_LATENCY > 10 * HallocLikeAllocator.SERIAL_LATENCY
+
+    def test_serial_time_accumulates_per_allocation(self):
+        allocator = HallocLikeAllocator(100)
+        for _ in range(10):
+            allocator.allocate()
+        assert allocator.serial_time() == pytest.approx(10 * HallocLikeAllocator.SERIAL_LATENCY)
+
+    def test_serialization_targets_paper_rates(self):
+        # 1 M allocations at the serialization latency alone should land near
+        # the paper's measurements (1.2 s for malloc, 66 ms for Halloc).
+        assert 0.5 <= 1e6 * CudaMallocAllocator.SERIAL_LATENCY <= 2.0
+        assert 0.03 <= 1e6 * HallocLikeAllocator.SERIAL_LATENCY <= 0.09

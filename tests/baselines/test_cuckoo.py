@@ -1,0 +1,114 @@
+"""Tests for the CUDPP-style cuckoo hashing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cuckoo import CuckooBuildError, CuckooHashTable, default_max_chain
+from repro.core import constants as C
+from repro.gpusim.device import Device
+
+from tests.conftest import make_keys
+
+
+class TestConstruction:
+    def test_for_load_factor_sizes_table(self):
+        table = CuckooHashTable.for_load_factor(1000, 0.5)
+        assert table.capacity >= 2000
+
+    def test_invalid_load_factor(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable.for_load_factor(100, 0.0)
+        with pytest.raises(ValueError):
+            CuckooHashTable.for_load_factor(100, 1.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(0)
+
+    def test_needs_at_least_two_hash_functions(self):
+        with pytest.raises(ValueError):
+            CuckooHashTable(100, num_hash_functions=1)
+
+    def test_default_max_chain_grows_with_n(self):
+        assert default_max_chain(2**20) > default_max_chain(2**10)
+
+
+class TestBuildAndSearch:
+    def test_build_and_search_all_found(self):
+        keys = make_keys(500, seed=1)
+        values = (keys % 999).astype(np.uint32)
+        table = CuckooHashTable.for_load_factor(len(keys), 0.5, seed=2)
+        stats = table.bulk_build(keys, values)
+        assert stats.num_elements == 500
+        assert np.array_equal(table.bulk_search(keys), values)
+
+    def test_search_missing_keys(self):
+        keys = make_keys(300, seed=3)
+        table = CuckooHashTable.for_load_factor(len(keys), 0.5, seed=4)
+        table.bulk_build(keys, keys)
+        missing = (keys.astype(np.uint64) + 2**31).astype(np.uint32)
+        assert np.all(table.bulk_search(missing) == C.SEARCH_NOT_FOUND)
+
+    def test_high_load_factor_build_succeeds_with_four_functions(self):
+        keys = make_keys(800, seed=5)
+        table = CuckooHashTable.for_load_factor(len(keys), 0.85, seed=6)
+        stats = table.bulk_build(keys, keys)
+        assert stats.load_factor == pytest.approx(0.85, abs=0.05)
+        assert np.array_equal(table.bulk_search(keys), keys)
+
+    def test_eviction_chains_grow_with_load_factor(self):
+        keys = make_keys(600, seed=7)
+        low = CuckooHashTable.for_load_factor(len(keys), 0.3, seed=8)
+        high = CuckooHashTable.for_load_factor(len(keys), 0.85, seed=8)
+        low_stats = low.bulk_build(keys, keys)
+        high_stats = high.bulk_build(keys, keys)
+        assert high_stats.total_evictions > low_stats.total_evictions
+
+    def test_build_fails_when_table_too_small(self):
+        keys = make_keys(100, seed=9)
+        table = CuckooHashTable(100, seed=10)
+        with pytest.raises(ValueError):
+            table.bulk_build(keys, keys)
+
+    def test_impossible_build_raises_after_restarts(self):
+        # Two hash functions at ~99 % load cannot succeed.
+        keys = make_keys(99, seed=11)
+        table = CuckooHashTable(100, num_hash_functions=2, seed=12, max_restarts=3)
+        with pytest.raises(CuckooBuildError):
+            table.bulk_build(keys, keys)
+
+    def test_contains_and_items(self):
+        keys = make_keys(50, seed=13)
+        table = CuckooHashTable.for_load_factor(len(keys), 0.4, seed=14)
+        table.bulk_build(keys, keys)
+        assert all(table.contains(int(k)) for k in keys)
+        assert len(table.items()) == 50
+
+    def test_duplicate_key_overwrites(self):
+        table = CuckooHashTable(64, seed=15)
+        table.bulk_build(np.array([5, 5], dtype=np.uint32), np.array([1, 2], dtype=np.uint32))
+        assert table.bulk_search(np.array([5], dtype=np.uint32))[0] == 2
+
+
+class TestEventAccounting:
+    def test_one_atomic_per_insert_at_low_load(self):
+        device = Device()
+        keys = make_keys(200, seed=16)
+        table = CuckooHashTable.for_load_factor(len(keys), 0.2, device=device, seed=17)
+        table.bulk_build(keys, keys)
+        # Fast path: one 64-bit atomic per insertion, few evictions.
+        assert device.counters.atomic64 <= int(len(keys) * 1.2)
+
+    def test_search_reads_all_candidate_positions(self):
+        device = Device()
+        keys = make_keys(100, seed=18)
+        table = CuckooHashTable.for_load_factor(len(keys), 0.5, device=device, seed=19)
+        table.bulk_build(keys, keys)
+        before = device.counters.uncoalesced_read_words
+        table.bulk_search(keys[:50])
+        probes = device.counters.uncoalesced_read_words - before
+        assert probes == 50 * table.num_hash_functions
+
+    def test_working_set_matches_table_bytes(self):
+        table = CuckooHashTable(1000)
+        assert table.working_set_bytes == 8000

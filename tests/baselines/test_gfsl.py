@@ -1,0 +1,36 @@
+"""Tests for the analytic GFSL (lock-based GPU skip list) model."""
+
+import pytest
+
+from repro.baselines.gfsl import GFSLModel, SEARCH_PROFILE, UPDATE_PROFILE
+from repro.gpusim.device import GTX_970, TESLA_K40C
+
+
+class TestGFSLModel:
+    def test_default_platform_is_gtx_970(self):
+        assert GFSLModel().spec is GTX_970
+
+    def test_peak_rates_near_published_numbers(self):
+        model = GFSLModel()
+        # Moscovici et al. report ~100 M searches/s and ~50 M updates/s.
+        assert 60e6 <= model.peak_search_rate() <= 160e6
+        assert 30e6 <= model.peak_update_rate() <= 80e6
+
+    def test_updates_slower_than_searches(self):
+        model = GFSLModel()
+        assert model.peak_update_rate() < model.peak_search_rate()
+
+    def test_far_below_slab_hash_peaks(self):
+        model = GFSLModel()
+        assert model.peak_search_rate() / 1e6 < 937 / 3
+        assert model.peak_update_rate() / 1e6 < 512 / 3
+
+    def test_lock_based_updates_need_two_atomics(self):
+        assert GFSLModel().minimum_insert_atomics() == 2
+        assert UPDATE_PROFILE.atomics32 == 2
+        assert SEARCH_PROFILE.atomics32 == 0
+
+    def test_other_device_changes_rates(self):
+        faster = GFSLModel(TESLA_K40C)
+        default = GFSLModel()
+        assert faster.peak_search_rate() != pytest.approx(default.peak_search_rate())

@@ -1,0 +1,123 @@
+"""Tests for the Misra & Chaudhuri lock-free chaining hash table baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.misra import MisraHashTable, NIL
+from repro.core import constants as C
+from repro.gpusim.device import Device
+from repro.gpusim.errors import AllocationError
+
+from tests.conftest import make_keys
+
+
+class TestBasicOperations:
+    def test_insert_and_search(self):
+        table = MisraHashTable(8, capacity=100)
+        assert table.insert(5)
+        assert table.search(5)
+        assert not table.search(6)
+
+    def test_set_semantics_no_duplicates(self):
+        table = MisraHashTable(8, capacity=100)
+        assert table.insert(5) is True
+        assert table.insert(5) is False
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = MisraHashTable(8, capacity=100)
+        table.insert(5)
+        assert table.delete(5) is True
+        assert not table.search(5)
+        assert table.delete(5) is False
+
+    def test_deleted_nodes_are_not_recycled(self):
+        table = MisraHashTable(8, capacity=100)
+        table.insert(1)
+        table.delete(1)
+        table.insert(2)
+        assert table.nodes_used == 2
+
+    def test_contains_dunder(self):
+        table = MisraHashTable(4, capacity=10)
+        table.insert(3)
+        assert 3 in table
+        assert 4 not in table
+
+    def test_capacity_exhaustion_raises(self):
+        table = MisraHashTable(2, capacity=3)
+        for key in (1, 2, 3):
+            table.insert(key)
+        with pytest.raises(AllocationError):
+            table.insert(4)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            MisraHashTable(0, capacity=10)
+        with pytest.raises(ValueError):
+            MisraHashTable(4, capacity=0)
+
+    def test_max_memory_utilization_is_50_percent(self):
+        assert MisraHashTable(4, capacity=10).max_memory_utilization == 0.5
+
+
+class TestBulkAndConcurrent:
+    def test_bulk_build_and_search(self):
+        keys = make_keys(200, seed=1)
+        table = MisraHashTable(16, capacity=300, seed=2)
+        table.bulk_build(keys)
+        assert table.bulk_search(keys).all()
+        missing = (keys.astype(np.uint64) + 2**31).astype(np.uint32)
+        assert not table.bulk_search(missing).any()
+
+    def test_concurrent_batch_mixed_operations(self):
+        base = make_keys(100, seed=3)
+        table = MisraHashTable(16, capacity=400, seed=4)
+        table.bulk_build(base)
+        new = make_keys(50, seed=5) + np.uint32(2**29)
+        ops = np.concatenate([
+            np.full(50, C.OP_INSERT), np.full(50, C.OP_DELETE), np.full(50, C.OP_SEARCH)
+        ])
+        keys = np.concatenate([new, base[:50], base[50:]]).astype(np.uint32)
+        results = table.concurrent_batch(ops, keys)
+        assert results[100:].all()  # searches of untouched keys succeed
+        assert all(int(k) in table for k in new)
+        assert not any(int(k) in table for k in base[:50])
+
+    def test_concurrent_batch_rejects_unknown_ops(self):
+        table = MisraHashTable(4, capacity=10)
+        with pytest.raises(ValueError):
+            table.concurrent_batch(np.array([99]), np.array([1], dtype=np.uint32))
+
+    def test_concurrent_batch_shape_mismatch(self):
+        table = MisraHashTable(4, capacity=10)
+        with pytest.raises(ValueError):
+            table.concurrent_batch(np.array([C.OP_INSERT]), np.array([1, 2], dtype=np.uint32))
+
+
+class TestAccessPatternAccounting:
+    def test_every_hop_is_an_uncoalesced_read(self):
+        device = Device()
+        table = MisraHashTable(1, capacity=64, device=device, seed=6)  # one long chain
+        keys = make_keys(32, seed=7)
+        table.bulk_build(keys)
+        before = device.counters.uncoalesced_read_words
+        table.search(int(keys[0]))
+        hops = device.counters.uncoalesced_read_words - before
+        assert hops >= 2  # head read plus at least one node read
+
+    def test_no_coalesced_traffic_at_all(self):
+        device = Device()
+        table = MisraHashTable(8, capacity=200, device=device, seed=8)
+        table.bulk_build(make_keys(100, seed=9))
+        assert device.counters.coalesced_read_transactions == 0
+
+    def test_insert_uses_atomic_allocation_and_head_cas(self):
+        device = Device()
+        table = MisraHashTable(8, capacity=10, device=device, seed=10)
+        table.insert(42)
+        assert device.counters.atomic32 >= 2  # atomicAdd for the node + head CAS
+
+    def test_heads_initialized_to_nil(self):
+        table = MisraHashTable(8, capacity=10)
+        assert np.all(table.heads == NIL)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite: small, fast device and allocator configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_alloc import SlabAlloc
+from repro.core.slab_hash import SlabHash
+from repro.gpusim.device import Device
+from repro.gpusim.warp import Warp
+
+
+@pytest.fixture
+def device() -> Device:
+    """A fresh simulated Tesla K40c."""
+    return Device()
+
+
+@pytest.fixture
+def warp(device: Device) -> Warp:
+    """A warp bound to the fresh device's counters."""
+    return Warp(0, device.counters)
+
+
+@pytest.fixture
+def small_alloc_config() -> SlabAllocConfig:
+    """A deliberately small allocator (2 x 8 x 64 units) so tests stay fast."""
+    return SlabAllocConfig(num_super_blocks=2, num_memory_blocks=8, units_per_block=64)
+
+
+@pytest.fixture
+def allocator(device: Device, small_alloc_config: SlabAllocConfig) -> SlabAlloc:
+    return SlabAlloc(device, small_alloc_config, seed=3)
+
+
+@pytest.fixture
+def small_table(small_alloc_config: SlabAllocConfig) -> SlabHash:
+    """A small key-value slab hash with unique keys (the default mode)."""
+    return SlabHash(num_buckets=8, alloc_config=small_alloc_config, seed=7)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_keys(count: int, seed: int = 0) -> np.ndarray:
+    """Distinct random user keys for direct use inside tests."""
+    generator = np.random.default_rng(seed)
+    keys = np.unique(generator.integers(1, 2**30, size=count * 2, dtype=np.uint64))
+    generator.shuffle(keys)
+    return keys[:count].astype(np.uint32)

@@ -1,0 +1,93 @@
+"""Tests for the 32-bit slab address layout (10-bit unit, 14-bit block, 8-bit super block)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.core.address import (
+    BLOCK_BITS,
+    SUPER_BLOCK_BITS,
+    UNIT_BITS,
+    decode_address,
+    is_valid_address,
+    make_address,
+)
+
+
+class TestLayout:
+    def test_bit_widths_match_the_paper(self):
+        assert UNIT_BITS == 10
+        assert BLOCK_BITS == 14
+        assert SUPER_BLOCK_BITS == 8
+        assert UNIT_BITS + BLOCK_BITS + SUPER_BLOCK_BITS == 32
+
+    def test_unit_occupies_low_bits(self):
+        assert make_address(0, 0, 5) == 5
+
+    def test_block_occupies_middle_bits(self):
+        assert make_address(0, 3, 0) == 3 << UNIT_BITS
+
+    def test_super_block_occupies_high_bits(self):
+        assert make_address(2, 0, 0) == 2 << (UNIT_BITS + BLOCK_BITS)
+
+    def test_roundtrip_simple(self):
+        address = make_address(7, 123, 900)
+        assert decode_address(address) == (7, 123, 900)
+
+    def test_rejects_out_of_range_components(self):
+        with pytest.raises(ValueError):
+            make_address(0, 0, 1024)
+        with pytest.raises(ValueError):
+            make_address(0, 2**14, 0)
+        with pytest.raises(ValueError):
+            make_address(256, 0, 0)
+        with pytest.raises(ValueError):
+            make_address(-1, 0, 0)
+
+    def test_reserved_sentinels_rejected_by_encoder(self):
+        # 0xFFFFFFFF would be super block 255, block 16383, unit 1023.
+        with pytest.raises(ValueError):
+            make_address(255, 16383, 1023)
+
+    def test_decode_rejects_sentinels(self):
+        with pytest.raises(ValueError):
+            decode_address(C.EMPTY_POINTER)
+        with pytest.raises(ValueError):
+            decode_address(C.BASE_SLAB)
+
+    def test_is_valid_address(self):
+        assert is_valid_address(make_address(1, 2, 3))
+        assert not is_valid_address(C.EMPTY_POINTER)
+        assert not is_valid_address(-1)
+        assert not is_valid_address(2**32)
+
+
+class TestAddressProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=254),
+        st.integers(min_value=0, max_value=2**14 - 1),
+        st.integers(min_value=0, max_value=1023),
+    )
+    def test_property_roundtrip(self, super_block, block, unit):
+        address = make_address(super_block, block, unit)
+        assert decode_address(address) == (super_block, block, unit)
+        assert 0 <= address <= 0xFFFFFFFF
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        st.tuples(
+            st.integers(min_value=0, max_value=254),
+            st.integers(min_value=0, max_value=2**14 - 1),
+            st.integers(min_value=0, max_value=1023),
+        ),
+        st.tuples(
+            st.integers(min_value=0, max_value=254),
+            st.integers(min_value=0, max_value=2**14 - 1),
+            st.integers(min_value=0, max_value=1023),
+        ),
+    )
+    def test_property_distinct_units_get_distinct_addresses(self, first, second):
+        if first != second:
+            assert make_address(*first) != make_address(*second)

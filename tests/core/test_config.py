@@ -1,0 +1,97 @@
+"""Tests for the slab layout and allocator sizing configuration."""
+
+import pytest
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig, SlabConfig
+
+
+class TestSlabConfig:
+    def test_key_value_mode_stores_15_pairs_per_slab(self):
+        cfg = SlabConfig(key_value=True)
+        assert cfg.elements_per_slab == 15
+        assert cfg.element_bytes == 8
+        assert cfg.lane_stride == 2
+
+    def test_key_only_mode_stores_30_keys_per_slab(self):
+        cfg = SlabConfig(key_value=False)
+        assert cfg.elements_per_slab == 30
+        assert cfg.element_bytes == 4
+        assert cfg.lane_stride == 1
+
+    def test_key_lanes_key_value(self):
+        assert list(SlabConfig(key_value=True).key_lanes) == list(range(0, 30, 2))
+
+    def test_key_lanes_key_only(self):
+        assert list(SlabConfig(key_value=False).key_lanes) == list(range(30))
+
+    def test_valid_key_masks(self):
+        assert SlabConfig(key_value=True).valid_key_mask == C.VALID_KEY_MASK_KEY_VALUE
+        assert SlabConfig(key_value=False).valid_key_mask == C.VALID_KEY_MASK_KEY_ONLY
+
+    def test_address_lane_not_in_valid_key_mask(self):
+        for cfg in (SlabConfig(key_value=True), SlabConfig(key_value=False)):
+            assert not cfg.valid_key_mask & (1 << C.ADDRESS_LANE)
+            assert not cfg.valid_key_mask & (1 << C.AUX_LANE)
+
+    def test_max_memory_utilization_is_94_percent(self):
+        # The paper: slab lists achieve a maximum memory utilization of ~94%.
+        assert SlabConfig(key_value=True).max_memory_utilization == pytest.approx(0.9375)
+        assert SlabConfig(key_value=False).max_memory_utilization == pytest.approx(0.9375)
+
+
+class TestSlabAllocConfig:
+    def test_paper_defaults(self):
+        cfg = SlabAllocConfig()
+        assert cfg.num_super_blocks == 32
+        assert cfg.num_memory_blocks == 256
+        assert cfg.units_per_block == 1024
+
+    def test_capacity_accounting(self):
+        cfg = SlabAllocConfig(num_super_blocks=2, num_memory_blocks=4, units_per_block=64)
+        assert cfg.units_per_super_block == 256
+        assert cfg.capacity_units == 512
+        assert cfg.capacity_bytes == 512 * 128
+
+    def test_paper_scale_capacity_under_one_terabyte(self):
+        # 2^7 * N_S * N_M * N_U < 1 TB for the maximal addressable configuration.
+        cfg = SlabAllocConfig(num_super_blocks=256, num_memory_blocks=2**14, units_per_block=1024)
+        assert cfg.capacity_bytes < 2**40
+        assert cfg.capacity_bytes >= 0.5 * 2**40
+
+    def test_rejects_bad_super_block_count(self):
+        with pytest.raises(ValueError):
+            SlabAllocConfig(num_super_blocks=0)
+        with pytest.raises(ValueError):
+            SlabAllocConfig(num_super_blocks=257)
+
+    def test_rejects_bad_memory_block_count(self):
+        with pytest.raises(ValueError):
+            SlabAllocConfig(num_memory_blocks=2**14 + 1)
+
+    def test_rejects_units_not_multiple_of_32(self):
+        with pytest.raises(ValueError):
+            SlabAllocConfig(units_per_block=100)
+
+    def test_rejects_too_many_units(self):
+        with pytest.raises(ValueError):
+            SlabAllocConfig(units_per_block=2048)
+
+
+class TestConstants:
+    def test_slab_is_128_bytes(self):
+        assert C.SLAB_WORDS == 32
+        assert C.SLAB_BYTES == 128
+
+    def test_reserved_lanes(self):
+        assert C.ADDRESS_LANE == 31
+        assert C.AUX_LANE == 30
+        assert C.DATA_LANES == 30
+
+    def test_reserved_keys_are_distinct_and_outside_user_domain(self):
+        assert C.EMPTY_KEY != C.DELETED_KEY
+        assert C.EMPTY_KEY >= C.MAX_USER_KEY
+        assert C.DELETED_KEY >= C.MAX_USER_KEY
+
+    def test_operation_codes_distinct(self):
+        assert len({C.OP_INSERT, C.OP_DELETE, C.OP_SEARCH}) == 3

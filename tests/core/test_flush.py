@@ -1,0 +1,102 @@
+"""Tests for the FLUSH compaction operation."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.flush import flush_bucket
+from repro.core.slab_hash import SlabHash
+
+from tests.conftest import make_keys
+
+CFG = SlabAllocConfig(num_super_blocks=2, num_memory_blocks=8, units_per_block=64)
+
+
+def build_fragmented_table(num_keys=120, delete_every=2, buckets=2, seed=21):
+    """A table whose chains contain many tombstones."""
+    table = SlabHash(buckets, alloc_config=CFG, seed=seed)
+    keys = make_keys(num_keys, seed=seed)
+    table.bulk_build(keys, keys)
+    deleted = keys[::delete_every]
+    table.bulk_delete(deleted)
+    kept = np.setdiff1d(keys, deleted)
+    return table, kept, deleted
+
+
+class TestFlushBucket:
+    def test_flush_preserves_live_elements(self):
+        table, kept, _ = build_fragmented_table()
+        table.flush()
+        assert np.array_equal(table.bulk_search(kept), kept)
+        assert len(table) == len(kept)
+
+    def test_flush_removes_tombstones(self):
+        table, _, deleted = build_fragmented_table()
+        table.flush()
+        for bucket in range(table.num_buckets):
+            for _, _, words in table.lists.iter_slab_words(bucket):
+                assert C.DELETED_KEY not in words[:30]
+        assert np.all(table.bulk_search(deleted) == C.SEARCH_NOT_FOUND)
+
+    def test_flush_releases_slabs(self):
+        table, kept, _ = build_fragmented_table()
+        before = table.total_slabs()
+        results = table.flush()
+        after = table.total_slabs()
+        released = sum(r.slabs_released for r in results)
+        assert released > 0
+        assert after == before - released
+        assert after >= max(1, -(-len(kept) // 15)) * 1  # at least the needed slabs
+
+    def test_flush_improves_memory_utilization(self):
+        table, _, _ = build_fragmented_table()
+        before = table.memory_utilization()
+        table.flush()
+        assert table.memory_utilization() >= before
+
+    def test_flush_returns_accurate_stats(self):
+        table, kept, _ = build_fragmented_table(buckets=1)
+        result = table.flush(bucket=0)[0]
+        assert result.bucket == 0
+        assert result.live_elements == len(kept)
+        assert result.slabs_before - result.slabs_released == result.slabs_after
+        assert result.slabs_after == table.total_slabs()
+
+    def test_flush_on_empty_bucket_keeps_base_slab(self):
+        table = SlabHash(4, alloc_config=CFG, seed=1)
+        result = table.flush(bucket=2)[0]
+        assert result.slabs_before == 1
+        assert result.slabs_after == 1
+        assert result.slabs_released == 0
+
+    def test_flushed_slabs_can_be_reallocated(self):
+        table, kept, _ = build_fragmented_table()
+        freed_before = table.alloc.allocated_units
+        table.flush()
+        assert table.alloc.allocated_units < freed_before
+        # Re-inserting should be able to reuse the released slabs.
+        new_keys = make_keys(60, seed=99) + np.uint32(2**29)
+        table.bulk_insert(new_keys, new_keys)
+        assert np.array_equal(table.bulk_search(new_keys), new_keys)
+
+    def test_flush_invalid_bucket(self):
+        table = SlabHash(2, alloc_config=CFG)
+        with pytest.raises(ValueError):
+            flush_bucket(table.lists, table._next_warp(), 5)
+
+    def test_flush_after_delete_all_duplicates(self):
+        table = SlabHash(1, alloc_config=CFG, unique_keys=False, seed=3)
+        for value in range(40):
+            table.insert(7, value)
+        table.delete_all(7)
+        result = table.flush(bucket=0)[0]
+        assert result.live_elements == 0
+        assert result.slabs_after == 1
+        assert table.total_slabs() == 1
+
+    def test_flush_counts_kernel_launch(self):
+        table, _, _ = build_fragmented_table()
+        before = table.device.counters.kernel_launches
+        table.flush()
+        assert table.device.counters.kernel_launches == before + 1

@@ -1,0 +1,101 @@
+"""Tests for the universal hash family and the allocator's pair-mixing hash."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.core.hashing import PRIME, UniversalHash, hash_pair, is_user_key
+
+
+class TestUniversalHash:
+    def test_range_respected(self):
+        hash_fn = UniversalHash(97, seed=0)
+        for key in range(1000):
+            assert 0 <= hash_fn(key) < 97
+
+    def test_deterministic_for_fixed_seed(self):
+        a = UniversalHash(64, seed=5)
+        b = UniversalHash(64, seed=5)
+        assert [a(k) for k in range(100)] == [b(k) for k in range(100)]
+
+    def test_different_seeds_give_different_functions(self):
+        a = UniversalHash(1 << 20, seed=1)
+        b = UniversalHash(1 << 20, seed=2)
+        assert [a(k) for k in range(50)] != [b(k) for k in range(50)]
+
+    def test_hash_array_matches_scalar(self):
+        hash_fn = UniversalHash(1000, seed=3)
+        keys = np.arange(1, 2000, 7, dtype=np.uint32)
+        vectorized = hash_fn.hash_array(keys)
+        assert [hash_fn(int(k)) for k in keys] == list(vectorized)
+
+    def test_distribution_is_roughly_uniform(self):
+        hash_fn = UniversalHash(16, seed=11)
+        keys = np.random.default_rng(0).integers(1, 2**30, size=16_000, dtype=np.uint64)
+        buckets = hash_fn.hash_array(keys)
+        counts = np.bincount(buckets, minlength=16)
+        # Each bucket expects 1000 keys; allow generous slack.
+        assert counts.min() > 700
+        assert counts.max() < 1300
+
+    def test_rebucket_keeps_coefficients(self):
+        hash_fn = UniversalHash(100, seed=1)
+        rebucketed = hash_fn.rebucket(10)
+        assert rebucketed.a == hash_fn.a
+        assert rebucketed.b == hash_fn.b
+        assert rebucketed.num_buckets == 10
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            UniversalHash(0)
+
+    def test_prime_spans_the_key_universe(self):
+        assert PRIME > 2**31
+        assert PRIME < 2**32
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=C.MAX_USER_KEY - 1))
+    def test_property_scalar_and_vector_agree(self, key):
+        hash_fn = UniversalHash(513, seed=9)
+        assert hash_fn(key) == int(hash_fn.hash_array(np.array([key]))[0])
+
+
+class TestHashPair:
+    def test_range(self):
+        for x in range(50):
+            for y in range(5):
+                assert 0 <= hash_pair(x, y, 32) < 32
+
+    def test_deterministic(self):
+        assert hash_pair(10, 3, 100, seed=7) == hash_pair(10, 3, 100, seed=7)
+
+    def test_attempt_changes_result_for_most_warps(self):
+        changed = sum(
+            1 for warp in range(100) if hash_pair(warp, 0, 256) != hash_pair(warp, 1, 256)
+        )
+        assert changed > 80
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            hash_pair(1, 2, 0)
+
+    def test_spreads_over_blocks(self):
+        values = {hash_pair(w, 0, 64) for w in range(512)}
+        assert len(values) > 40
+
+
+class TestIsUserKey:
+    def test_reserved_values_rejected(self):
+        assert not is_user_key(C.EMPTY_KEY)
+        assert not is_user_key(C.DELETED_KEY)
+        assert not is_user_key(C.MAX_USER_KEY)
+
+    def test_normal_keys_accepted(self):
+        assert is_user_key(0)
+        assert is_user_key(123456)
+        assert is_user_key(C.MAX_USER_KEY - 1)
+
+    def test_negative_rejected(self):
+        assert not is_user_key(-1)

@@ -1,0 +1,157 @@
+"""Property-based tests: the slab hash behaves like a Python dict / multiset.
+
+These are the core correctness properties of the data structure, checked with
+hypothesis-generated operation sequences against a reference model.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_hash import SlabHash
+
+CFG = SlabAllocConfig(num_super_blocks=2, num_memory_blocks=8, units_per_block=64)
+
+# Small key/value domains maximize collisions, duplicate handling and chains.
+keys_strategy = st.integers(min_value=1, max_value=40)
+values_strategy = st.integers(min_value=0, max_value=1_000_000)
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys_strategy, values_strategy),
+        st.tuples(st.just("delete"), keys_strategy, st.just(0)),
+        st.tuples(st.just("search"), keys_strategy, st.just(0)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestDictEquivalenceUniqueKeys:
+    @settings(max_examples=40, deadline=None)
+    @given(ops=ops_strategy, buckets=st.sampled_from([1, 2, 5]))
+    def test_property_matches_python_dict(self, ops, buckets):
+        table = SlabHash(buckets, alloc_config=CFG, seed=13)
+        reference = {}
+        for op, key, value in ops:
+            if op == "insert":
+                table.insert(key, value)
+                reference[key] = value
+            elif op == "delete":
+                assert table.delete(key) == (key in reference)
+                reference.pop(key, None)
+            else:
+                assert table.search(key) == reference.get(key)
+        assert dict(table.items()) == reference
+        assert len(table) == len(reference)
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=ops_strategy)
+    def test_property_flush_preserves_dict_semantics(self, ops):
+        table = SlabHash(2, alloc_config=CFG, seed=14)
+        reference = {}
+        for op, key, value in ops:
+            if op == "insert":
+                table.insert(key, value)
+                reference[key] = value
+            elif op == "delete":
+                table.delete(key)
+                reference.pop(key, None)
+        table.flush()
+        assert dict(table.items()) == reference
+        for key, value in reference.items():
+            assert table.search(key) == value
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=120, unique=True),
+        buckets=st.sampled_from([1, 3, 8]),
+    )
+    def test_property_bulk_build_stores_every_key(self, keys, buckets):
+        table = SlabHash(buckets, alloc_config=CFG, seed=15)
+        keys = np.array(keys, dtype=np.uint32)
+        values = (keys * 3 + 1).astype(np.uint32)
+        table.bulk_build(keys, values)
+        assert np.array_equal(table.bulk_search(keys), values)
+        assert len(table) == len(keys)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=1, max_value=10_000), min_size=2, max_size=100, unique=True),
+    )
+    def test_property_deleting_half_keeps_other_half(self, keys):
+        table = SlabHash(4, alloc_config=CFG, seed=16)
+        keys = np.array(keys, dtype=np.uint32)
+        table.bulk_build(keys, keys)
+        half = len(keys) // 2
+        table.bulk_delete(keys[:half])
+        assert np.all(table.bulk_search(keys[:half]) == C.SEARCH_NOT_FOUND)
+        assert np.array_equal(table.bulk_search(keys[half:]), keys[half:])
+
+
+class TestMultisetEquivalenceDuplicates:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("insert"), keys_strategy, values_strategy),
+                st.tuples(st.just("delete_all"), keys_strategy, st.just(0)),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_property_matches_python_multiset(self, ops):
+        table = SlabHash(2, alloc_config=CFG, unique_keys=False, seed=17)
+        reference: dict[int, list[int]] = {}
+        for op, key, value in ops:
+            if op == "insert":
+                table.insert(key, value)
+                reference.setdefault(key, []).append(value)
+            else:
+                removed = table.delete_all(key)
+                assert removed == len(reference.pop(key, []))
+        for key, values in reference.items():
+            assert sorted(table.search_all(key)) == sorted(values)
+        assert len(table) == sum(len(v) for v in reference.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        key=keys_strategy,
+        count=st.integers(min_value=1, max_value=40),
+    )
+    def test_property_searchall_counts_duplicates(self, key, count):
+        table = SlabHash(1, alloc_config=CFG, unique_keys=False, seed=18)
+        for i in range(count):
+            table.insert(key, i)
+        assert sorted(table.search_all(key)) == list(range(count))
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=150, unique=True),
+        buckets=st.sampled_from([1, 4, 16]),
+    )
+    def test_property_memory_accounting_invariants(self, keys, buckets):
+        table = SlabHash(buckets, alloc_config=CFG, seed=19)
+        keys = np.array(keys, dtype=np.uint32)
+        table.bulk_build(keys, keys)
+        # Every allocated slab is reachable from exactly one bucket chain.
+        chained = sum(len(table.lists.chain_addresses(b)) for b in range(buckets))
+        assert chained == table.alloc.allocated_units
+        # Utilization never exceeds the theoretical ceiling.
+        assert table.memory_utilization() <= table.config.max_memory_utilization + 1e-9
+        # Slab accounting is consistent.
+        assert table.total_slabs() == buckets + table.alloc.allocated_units
+
+    @settings(max_examples=25, deadline=None)
+    @given(keys=st.lists(st.integers(min_value=1, max_value=10_000), min_size=1, max_size=80, unique=True))
+    def test_property_every_key_hashes_to_its_own_bucket_chain(self, keys):
+        table = SlabHash(8, alloc_config=CFG, seed=20)
+        keys = np.array(keys, dtype=np.uint32)
+        table.bulk_build(keys, keys)
+        for key in keys:
+            bucket = table.hash_fn(int(key))
+            assert int(key) in {k for k, _ in table.lists.live_items(bucket)}

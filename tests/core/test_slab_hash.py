@@ -1,0 +1,257 @@
+"""Tests for the SlabHash public API (single ops, bulk ops, sizing, introspection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_hash import SlabHash
+from repro.gpusim.device import Device
+
+from tests.conftest import make_keys
+
+CFG = SlabAllocConfig(num_super_blocks=2, num_memory_blocks=8, units_per_block=64)
+
+
+def new_table(buckets=8, **kwargs):
+    kwargs.setdefault("alloc_config", CFG)
+    kwargs.setdefault("seed", 7)
+    return SlabHash(buckets, **kwargs)
+
+
+class TestSingleOperations:
+    def test_insert_search_roundtrip(self):
+        table = new_table()
+        table.insert(42, 4200)
+        assert table.search(42) == 4200
+
+    def test_search_missing_returns_none(self):
+        table = new_table()
+        table.insert(42, 4200)
+        assert table.search(99) is None
+
+    def test_contains(self):
+        table = new_table()
+        table.insert(1, 10)
+        assert 1 in table
+        assert 2 not in table
+
+    def test_delete_returns_whether_removed(self):
+        table = new_table()
+        table.insert(5, 50)
+        assert table.delete(5) is True
+        assert table.delete(5) is False
+        assert table.search(5) is None
+
+    def test_replace_value_for_existing_key(self):
+        table = new_table()
+        table.insert(5, 50)
+        table.insert(5, 51)
+        assert table.search(5) == 51
+        assert len(table) == 1
+
+    def test_key_value_mode_requires_value(self):
+        table = new_table()
+        with pytest.raises(ValueError):
+            table.insert(5)
+
+    def test_reserved_keys_rejected(self):
+        table = new_table()
+        with pytest.raises(ValueError):
+            table.insert(C.EMPTY_KEY, 1)
+        with pytest.raises(ValueError):
+            table.insert(C.DELETED_KEY, 1)
+
+    def test_key_only_mode(self):
+        table = new_table(key_value=False)
+        table.insert(77)
+        assert table.search(77) == 77
+        assert table.search(78) is None
+        assert table.delete(77) is True
+
+    def test_duplicates_mode_search_all_and_delete_all(self):
+        table = new_table(unique_keys=False)
+        for value in (1, 2, 3):
+            table.insert(9, value)
+        assert sorted(table.search_all(9)) == [1, 2, 3]
+        assert table.delete_all(9) == 3
+        assert table.search(9) is None
+
+    def test_len_counts_live_elements(self):
+        table = new_table()
+        for key in range(1, 21):
+            table.insert(key, key)
+        assert len(table) == 20
+        table.delete(3)
+        assert len(table) == 19
+
+
+class TestBulkOperations:
+    def test_bulk_build_and_search_all_found(self):
+        table = new_table(buckets=16)
+        keys = make_keys(300, seed=1)
+        values = (keys % 1000).astype(np.uint32)
+        table.bulk_build(keys, values)
+        assert len(table) == 300
+        results = table.bulk_search(keys)
+        assert np.array_equal(results, values)
+
+    def test_bulk_search_none_found(self):
+        table = new_table(buckets=16)
+        keys = make_keys(200, seed=2)
+        table.bulk_build(keys, keys)
+        missing = (keys.astype(np.uint64) + 2**31).astype(np.uint32)
+        results = table.bulk_search(missing)
+        assert np.all(results == C.SEARCH_NOT_FOUND)
+
+    def test_bulk_delete(self):
+        table = new_table(buckets=16)
+        keys = make_keys(200, seed=3)
+        table.bulk_build(keys, keys)
+        removed = table.bulk_delete(keys[:100])
+        assert removed.sum() == 100
+        assert np.all(table.bulk_search(keys[:100]) == C.SEARCH_NOT_FOUND)
+        assert np.array_equal(table.bulk_search(keys[100:]), keys[100:])
+
+    def test_bulk_insert_incrementally_extends(self):
+        table = new_table(buckets=16)
+        first = make_keys(100, seed=4)
+        second = make_keys(100, seed=5) + np.uint32(2**29)
+        table.bulk_insert(first, first)
+        table.bulk_insert(second, second)
+        assert len(table) == len(np.union1d(first, second))
+
+    def test_bulk_build_requires_values_in_key_value_mode(self):
+        table = new_table()
+        with pytest.raises(ValueError):
+            table.bulk_build(make_keys(10))
+
+    def test_bulk_build_length_mismatch(self):
+        table = new_table()
+        with pytest.raises(ValueError):
+            table.bulk_build(make_keys(10), np.zeros(5, dtype=np.uint32))
+
+    def test_bulk_build_rejects_reserved_keys(self):
+        table = new_table()
+        with pytest.raises(ValueError):
+            table.bulk_build(np.array([1, C.EMPTY_KEY], dtype=np.uint32), np.zeros(2, np.uint32))
+
+    def test_bulk_ops_count_kernel_launches(self):
+        table = new_table()
+        keys = make_keys(40, seed=6)
+        table.bulk_build(keys, keys)
+        table.bulk_search(keys)
+        assert table.device.counters.kernel_launches == 2
+
+    def test_partial_warp_tail_handled(self):
+        table = new_table()
+        keys = make_keys(33, seed=7)  # one full warp plus one lane
+        table.bulk_build(keys, keys)
+        assert len(table) == 33
+        assert np.array_equal(table.bulk_search(keys), keys)
+
+    def test_key_only_bulk_ops(self):
+        table = new_table(key_value=False, buckets=16)
+        keys = make_keys(200, seed=8)
+        table.bulk_build(keys)
+        assert np.array_equal(table.bulk_search(keys), keys)
+        assert table.bulk_delete(keys[:50]).sum() == 50
+
+
+class TestBucketSizing:
+    def test_buckets_for_beta_matches_definition(self):
+        # beta = n / (M * B) with M = 15 in key-value mode.
+        assert SlabHash.buckets_for_beta(15_000, 1.0) == 1000
+        assert SlabHash.buckets_for_beta(15_000, 2.0) == 500
+
+    def test_buckets_for_beta_key_only(self):
+        assert SlabHash.buckets_for_beta(30_000, 1.0, key_value=False) == 1000
+
+    def test_expected_utilization_monotonically_increases(self):
+        utils = [SlabHash.expected_utilization(beta) for beta in (0.25, 0.5, 1.0, 2.0, 4.0)]
+        assert utils == sorted(utils)
+
+    def test_expected_utilization_approaches_94_percent(self):
+        assert SlabHash.expected_utilization(50.0) == pytest.approx(0.9375, abs=0.02)
+
+    def test_buckets_for_utilization_hits_target(self):
+        for target in (0.3, 0.5, 0.7):
+            buckets = SlabHash.buckets_for_utilization(20_000, target)
+            beta = 20_000 / (15 * buckets)
+            achieved = SlabHash.expected_utilization(beta)
+            assert achieved == pytest.approx(target, abs=0.05)
+
+    def test_buckets_for_utilization_rejects_impossible_targets(self):
+        with pytest.raises(ValueError):
+            SlabHash.buckets_for_utilization(1000, 0.99)
+        with pytest.raises(ValueError):
+            SlabHash.buckets_for_utilization(1000, 0.0)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            SlabHash.buckets_for_beta(100, 0)
+
+
+class TestIntrospection:
+    def test_memory_utilization_and_beta(self):
+        table = new_table(buckets=4)
+        keys = make_keys(120, seed=9)
+        table.bulk_build(keys, keys)
+        utilization = table.memory_utilization()
+        assert 0.0 < utilization <= table.config.max_memory_utilization + 1e-9
+        assert table.beta() == pytest.approx(120 / (15 * 4))
+
+    def test_more_buckets_lower_utilization(self):
+        keys = make_keys(150, seed=10)
+        small = new_table(buckets=2)
+        large = new_table(buckets=64)
+        small.bulk_build(keys, keys)
+        large.bulk_build(keys, keys)
+        assert small.memory_utilization() > large.memory_utilization()
+
+    def test_bucket_slab_counts_shape(self):
+        table = new_table(buckets=8)
+        table.bulk_build(make_keys(100, seed=11), make_keys(100, seed=11))
+        counts = table.bucket_slab_counts()
+        assert counts.shape == (8,)
+        assert counts.min() >= 1
+        assert counts.sum() == table.total_slabs()
+
+    def test_items_returns_all_pairs(self):
+        table = new_table(buckets=8)
+        keys = make_keys(50, seed=12)
+        table.bulk_build(keys, keys)
+        assert sorted(k for k, _ in table.items()) == sorted(keys.tolist())
+
+    def test_used_bytes_is_slab_count_times_128(self):
+        table = new_table(buckets=8)
+        table.bulk_build(make_keys(64, seed=13), make_keys(64, seed=13))
+        assert table.used_bytes() == table.total_slabs() * 128
+
+    def test_repr_mentions_mode(self):
+        assert "key-value" in repr(new_table())
+        assert "key-only" in repr(new_table(key_value=False))
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            new_table(buckets=0)
+
+
+class TestLightAllocatorIntegration:
+    def test_light_alloc_table_behaves_identically(self):
+        keys = make_keys(200, seed=14)
+        regular = new_table(buckets=8, light_alloc=False)
+        light = new_table(buckets=8, light_alloc=True)
+        regular.bulk_build(keys, keys)
+        light.bulk_build(keys, keys)
+        assert np.array_equal(regular.bulk_search(keys), light.bulk_search(keys))
+
+    def test_light_alloc_uses_fewer_shared_reads(self):
+        keys = make_keys(400, seed=15)
+        regular = new_table(buckets=4, light_alloc=False)
+        light = new_table(buckets=4, light_alloc=True)
+        regular.bulk_build(keys, keys)
+        light.bulk_build(keys, keys)
+        regular.bulk_search(keys)
+        light.bulk_search(keys)
+        assert light.device.counters.shared_reads < regular.device.counters.shared_reads

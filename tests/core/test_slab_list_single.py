@@ -1,0 +1,145 @@
+"""Tests for the standalone SlabList container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_list_single import SlabList
+from repro.gpusim.device import Device
+
+CFG = SlabAllocConfig(num_super_blocks=2, num_memory_blocks=8, units_per_block=64)
+
+
+def new_list(**kwargs):
+    kwargs.setdefault("alloc_config", CFG)
+    kwargs.setdefault("seed", 5)
+    return SlabList(**kwargs)
+
+
+class TestBasicContainerBehaviour:
+    def test_insert_search_delete(self):
+        slab_list = new_list()
+        slab_list.insert(10, 100)
+        assert slab_list.search(10) == 100
+        assert 10 in slab_list
+        assert slab_list.delete(10) is True
+        assert slab_list.search(10) is None
+        assert 10 not in slab_list
+
+    def test_len_and_items(self):
+        slab_list = new_list()
+        slab_list.extend([1, 2, 3], [10, 20, 30])
+        assert len(slab_list) == 3
+        assert dict(slab_list.items()) == {1: 10, 2: 20, 3: 30}
+        assert sorted(slab_list) == [1, 2, 3]
+
+    def test_replace_semantics_in_unique_mode(self):
+        slab_list = new_list()
+        slab_list.insert(7, 1)
+        slab_list.insert(7, 2)
+        assert slab_list.search(7) == 2
+        assert len(slab_list) == 1
+
+    def test_duplicates_mode_and_search_all(self):
+        slab_list = new_list(unique_keys=False)
+        for value in (1, 2, 3):
+            slab_list.insert(7, value)
+        assert sorted(slab_list.search_all(7)) == [1, 2, 3]
+        assert slab_list.delete_all(7) == 3
+        assert len(slab_list) == 0
+
+    def test_key_only_mode(self):
+        slab_list = new_list(key_value=False)
+        slab_list.extend(range(1, 50))
+        assert slab_list.search(13) == 13
+        assert slab_list.search(99) is None
+        assert len(slab_list) == 49
+
+    def test_key_value_mode_requires_values(self):
+        slab_list = new_list()
+        with pytest.raises(ValueError):
+            slab_list.extend([1, 2, 3])
+
+    def test_reserved_keys_rejected(self):
+        slab_list = new_list()
+        with pytest.raises(ValueError):
+            slab_list.insert(C.EMPTY_KEY, 1)
+
+    def test_contains_rejects_reserved_values_gracefully(self):
+        slab_list = new_list()
+        assert C.EMPTY_KEY not in slab_list
+
+
+class TestGrowthAndCompaction:
+    def test_list_grows_beyond_one_slab(self):
+        slab_list = new_list()
+        keys = list(range(1, 100))
+        slab_list.extend(keys, keys)
+        assert slab_list.slab_count() >= 7  # 99 pairs / 15 per slab
+        assert np.array_equal(slab_list.search_many(keys), np.array(keys, dtype=np.uint32))
+
+    def test_flush_compacts_after_deletions(self):
+        slab_list = new_list()
+        keys = list(range(1, 100))
+        slab_list.extend(keys, keys)
+        for key in keys[::2]:
+            slab_list.delete(key)
+        before = slab_list.slab_count()
+        result = slab_list.flush()
+        assert result.slabs_released > 0
+        assert slab_list.slab_count() < before
+        survivors = keys[1::2]
+        assert np.array_equal(
+            slab_list.search_many(survivors), np.array(survivors, dtype=np.uint32)
+        )
+
+    def test_memory_utilization_bounded(self):
+        slab_list = new_list()
+        keys = list(range(1, 200))
+        slab_list.extend(keys, keys)
+        assert 0 < slab_list.memory_utilization() <= slab_list.config.max_memory_utilization + 1e-9
+
+    def test_search_many_missing_marked(self):
+        slab_list = new_list()
+        slab_list.extend([1, 2], [1, 2])
+        results = slab_list.search_many([1, 5, 2, 9])
+        assert results[0] == 1 and results[2] == 2
+        assert results[1] == C.SEARCH_NOT_FOUND and results[3] == C.SEARCH_NOT_FOUND
+
+    def test_shares_device_and_allocator_with_caller(self):
+        device = Device()
+        slab_list = SlabList(device=device, alloc_config=CFG)
+        slab_list.extend(range(1, 40), range(1, 40))
+        assert device.counters.allocations == slab_list.alloc.allocated_units
+        assert device.counters.allocations >= 2
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete", "search"]),
+                st.integers(min_value=1, max_value=30),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_property_matches_dict(self, ops):
+        slab_list = new_list()
+        reference = {}
+        for op, key, value in ops:
+            if op == "insert":
+                slab_list.insert(key, value)
+                reference[key] = value
+            elif op == "delete":
+                assert slab_list.delete(key) == (key in reference)
+                reference.pop(key, None)
+            else:
+                assert slab_list.search(key) == reference.get(key)
+        assert dict(slab_list.items()) == reference

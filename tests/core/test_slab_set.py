@@ -1,0 +1,124 @@
+"""Tests for the SlabSet key-only set wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_set import SlabSet
+from repro.gpusim.scheduler import WarpScheduler
+
+from tests.conftest import make_keys
+
+CFG = SlabAllocConfig(num_super_blocks=2, num_memory_blocks=8, units_per_block=64)
+
+
+def new_set(buckets=8):
+    return SlabSet(buckets, alloc_config=CFG, seed=9)
+
+
+class TestSetSemantics:
+    def test_add_contains_discard(self):
+        s = new_set()
+        s.add(5)
+        assert 5 in s
+        assert 6 not in s
+        assert s.discard(5) is True
+        assert s.discard(5) is False
+        assert 5 not in s
+
+    def test_add_is_idempotent(self):
+        s = new_set()
+        s.add(7)
+        s.add(7)
+        assert len(s) == 1
+
+    def test_remove_raises_keyerror_when_absent(self):
+        s = new_set()
+        with pytest.raises(KeyError):
+            s.remove(3)
+        s.add(3)
+        s.remove(3)
+        assert 3 not in s
+
+    def test_len_bool_iter(self):
+        s = new_set()
+        assert not s
+        s.update([4, 2, 9])
+        assert len(s) == 3
+        assert bool(s)
+        assert list(s) == [2, 4, 9]
+
+    def test_update_and_contains_many(self):
+        s = new_set(buckets=16)
+        keys = make_keys(300, seed=1)
+        s.update(keys)
+        assert len(s) == 300
+        membership = s.contains_many(np.concatenate([keys[:10], np.array([1, 2, 3], np.uint32)]))
+        assert membership[:10].all()
+
+    def test_discard_many_counts_removed(self):
+        s = new_set(buckets=16)
+        keys = make_keys(100, seed=2)
+        s.update(keys)
+        removed = s.discard_many(np.concatenate([keys[:40], keys[:10]]))
+        assert removed == 40
+        assert len(s) == 60
+
+    def test_empty_bulk_calls(self):
+        s = new_set()
+        s.update([])
+        assert s.discard_many(np.array([], dtype=np.uint32)) == 0
+        assert s.contains_many(np.array([], dtype=np.uint32)).size == 0
+
+    def test_flush_and_utilization(self):
+        s = new_set(buckets=4)
+        keys = make_keys(200, seed=3)
+        s.update(keys)
+        s.discard_many(keys[::2])
+        before = s.memory_utilization()
+        s.flush()
+        assert s.memory_utilization() >= before
+        assert len(s) == 100
+
+    def test_concurrent_batch(self):
+        s = new_set(buckets=4)
+        base = make_keys(64, seed=4)
+        s.update(base)
+        new = make_keys(32, seed=5) + np.uint32(2**29)
+        ops = np.concatenate([np.full(32, C.OP_INSERT), np.full(32, C.OP_DELETE)])
+        keys = np.concatenate([new, base[:32]]).astype(np.uint32)
+        s.concurrent_batch(ops, keys, scheduler=WarpScheduler(seed=6))
+        assert all(int(k) in s for k in new)
+        assert not any(int(k) in s for k in base[:32])
+
+    def test_underlying_table_is_key_only_unique(self):
+        s = new_set()
+        assert s.table.config.key_value is False
+        assert s.table.config.unique_keys is True
+        assert s.device is s.table.device
+
+
+class TestSetProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["add", "discard"]), st.integers(min_value=1, max_value=40)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_property_matches_python_set(self, ops):
+        s = new_set(buckets=2)
+        reference = set()
+        for op, key in ops:
+            if op == "add":
+                s.add(key)
+                reference.add(key)
+            else:
+                assert s.discard(key) == (key in reference)
+                reference.discard(key)
+        assert set(s) == reference
+        assert len(s) == len(reference)

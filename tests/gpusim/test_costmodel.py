@@ -1,0 +1,128 @@
+"""Tests for the analytical cost model (event counts -> modelled time)."""
+
+import pytest
+
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import TESLA_K40C
+
+
+@pytest.fixture
+def model():
+    return CostModel(TESLA_K40C)
+
+
+class TestElapsed:
+    def test_zero_events_zero_time(self, model):
+        breakdown = model.elapsed(Counters())
+        assert breakdown.total_time == 0.0
+
+    def test_memory_time_scales_with_transactions(self, model):
+        one = model.elapsed(Counters(coalesced_read_transactions=1_000))
+        two = model.elapsed(Counters(coalesced_read_transactions=2_000))
+        assert two.memory_time == pytest.approx(2 * one.memory_time)
+
+    def test_bottleneck_identification_memory(self, model):
+        breakdown = model.elapsed(Counters(coalesced_read_transactions=10_000))
+        assert breakdown.bottleneck == "memory"
+
+    def test_bottleneck_identification_atomics(self, model):
+        breakdown = model.elapsed(Counters(atomic64=10_000))
+        assert breakdown.bottleneck == "atomics"
+
+    def test_bottleneck_identification_compute(self, model):
+        breakdown = model.elapsed(Counters(warp_instructions=1_000_000))
+        assert breakdown.bottleneck == "compute"
+
+    def test_total_at_least_the_bound_plus_overhead(self, model):
+        counters = Counters(
+            coalesced_read_transactions=1000, atomic64=1000, warp_instructions=10000,
+            kernel_launches=2,
+        )
+        breakdown = model.elapsed(counters)
+        bound = max(breakdown.memory_time, breakdown.atomic_time, breakdown.compute_time)
+        assert breakdown.total_time >= bound
+        assert breakdown.launch_overhead == pytest.approx(2 * TESLA_K40C.kernel_launch_overhead)
+
+    def test_l2_resident_atomics_are_cheaper(self, model):
+        counters = Counters(atomic64=100_000)
+        dram = model.elapsed(counters, working_set_bytes=200 * 1024 * 1024)
+        l2 = model.elapsed(counters, working_set_bytes=256 * 1024)
+        assert l2.atomic_time < dram.atomic_time
+
+    def test_cas_failures_add_contention_cost(self, model):
+        clean = model.elapsed(Counters(atomic32=1000))
+        contended = model.elapsed(Counters(atomic32=1000, cas_failures=1000))
+        assert contended.atomic_time > clean.atomic_time
+
+    def test_uncoalesced_traffic_costs_more_per_useful_byte(self, model):
+        # 1000 words of useful data: coalesced (32 transactions of 32 words)
+        # versus scattered (1000 sector accesses).
+        coalesced = model.elapsed(Counters(coalesced_read_transactions=32))
+        scattered = model.elapsed(Counters(uncoalesced_read_words=1024))
+        assert scattered.memory_time > coalesced.memory_time
+
+    def test_as_dict_roundtrip(self, model):
+        breakdown = model.elapsed(Counters(atomic32=10))
+        data = breakdown.as_dict()
+        assert data["bottleneck"] == "atomics"
+        assert data["total_time"] == breakdown.total_time
+
+
+class TestThroughput:
+    def test_throughput_is_ops_over_time(self, model):
+        counters = Counters(coalesced_read_transactions=1_000)
+        breakdown = model.elapsed(counters)
+        assert model.throughput(1_000, counters) == pytest.approx(1_000 / breakdown.total_time)
+
+    def test_requires_positive_ops(self, model):
+        with pytest.raises(ValueError):
+            model.throughput(0, Counters(atomic32=1))
+
+    def test_requires_some_events(self, model):
+        with pytest.raises(ValueError):
+            model.throughput(10, Counters())
+
+    def test_mops_conversion(self):
+        assert CostModel.mops(512e6) == pytest.approx(512.0)
+
+
+class TestCalibration:
+    """The headline calibration targets documented in the module docstring."""
+
+    def test_slab_search_profile_lands_near_paper_peak(self, model):
+        # One coalesced slab read plus ~45 warp instructions per query.
+        n = 1_000_000
+        counters = Counters(
+            coalesced_read_transactions=n,
+            warp_ballots=2 * n,
+            warp_shuffles=3 * n,
+            warp_instructions=40 * n,
+            kernel_launches=1,
+        )
+        rate = model.throughput(n, counters) / 1e6
+        assert 700 <= rate <= 1200  # paper: 937 M queries/s
+
+    def test_slab_insert_profile_lands_near_paper_peak(self, model):
+        n = 1_000_000
+        counters = Counters(
+            coalesced_read_transactions=n,
+            atomic64=n,
+            warp_ballots=2 * n,
+            warp_shuffles=3 * n,
+            warp_instructions=50 * n,
+            kernel_launches=1,
+        )
+        rate = model.throughput(n, counters) / 1e6
+        assert 350 <= rate <= 700  # paper: 512 M updates/s
+
+    def test_slaballoc_profile_lands_near_paper_rate(self, model):
+        n = 1_000_000
+        counters = Counters(
+            atomic32=n,
+            warp_ballots=n,
+            warp_instructions=16 * n,
+            kernel_launches=1,
+        )
+        rate = model.throughput(n, counters) / 1e6
+        assert 400 <= rate <= 1000  # paper: 600 M allocations/s

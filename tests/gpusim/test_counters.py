@@ -1,0 +1,66 @@
+"""Tests for the device event counters."""
+
+from repro.gpusim.counters import Counters
+
+
+class TestCountersArithmetic:
+    def test_fresh_counters_are_zero(self):
+        counters = Counters()
+        assert all(value == 0 for value in counters.as_dict().values())
+
+    def test_copy_is_independent(self):
+        counters = Counters(atomic32=3)
+        snapshot = counters.copy()
+        counters.atomic32 += 2
+        assert snapshot.atomic32 == 3
+        assert counters.atomic32 == 5
+
+    def test_diff_reports_only_new_events(self):
+        counters = Counters(coalesced_read_transactions=10, atomic64=2)
+        before = counters.copy()
+        counters.coalesced_read_transactions += 5
+        counters.warp_ballots += 7
+        delta = counters.diff(before)
+        assert delta.coalesced_read_transactions == 5
+        assert delta.warp_ballots == 7
+        assert delta.atomic64 == 0
+
+    def test_add_sums_fieldwise(self):
+        total = Counters(atomic32=1, warp_shuffles=2) + Counters(atomic32=4, shared_reads=3)
+        assert total.atomic32 == 5
+        assert total.warp_shuffles == 2
+        assert total.shared_reads == 3
+
+    def test_iadd_accumulates_in_place(self):
+        counters = Counters(uncoalesced_read_words=1)
+        counters += Counters(uncoalesced_read_words=2, allocations=4)
+        assert counters.uncoalesced_read_words == 3
+        assert counters.allocations == 4
+
+    def test_reset_zeroes_everything(self):
+        counters = Counters(atomic32=3, warp_instructions=100, kernel_launches=2)
+        counters.reset()
+        assert counters.as_dict() == Counters().as_dict()
+
+
+class TestDerivedQuantities:
+    def test_coalesced_bytes_counts_128_per_transaction(self):
+        counters = Counters(coalesced_read_transactions=3, coalesced_write_transactions=2)
+        assert counters.coalesced_bytes == 5 * 128
+
+    def test_uncoalesced_transactions_combine_reads_and_writes(self):
+        counters = Counters(uncoalesced_read_words=4, uncoalesced_write_words=6)
+        assert counters.uncoalesced_transactions == 10
+        assert counters.uncoalesced_bytes == 10 * 32
+
+    def test_total_atomics(self):
+        assert Counters(atomic32=2, atomic64=3).total_atomics == 5
+
+    def test_total_warp_instructions_includes_communication(self):
+        counters = Counters(warp_ballots=2, warp_shuffles=3, warp_instructions=10)
+        assert counters.total_warp_instructions == 15
+
+    def test_as_dict_contains_every_field(self):
+        data = Counters().as_dict()
+        for field in ("atomic32", "atomic64", "cas_failures", "resident_changes"):
+            assert field in data

@@ -1,0 +1,75 @@
+"""Tests for the device model and phase measurement."""
+
+import pytest
+
+from repro.gpusim.device import Device, DeviceSpec, GTX_970, TESLA_K40C
+
+
+class TestDeviceSpec:
+    def test_k40c_headline_characteristics(self):
+        assert TESLA_K40C.warp_size == 32
+        assert TESLA_K40C.num_sms == 15
+        assert TESLA_K40C.dram_bandwidth == pytest.approx(288e9)
+        assert TESLA_K40C.dram_capacity == 12 * 1024**3
+
+    def test_effective_bandwidth_below_peak(self):
+        assert TESLA_K40C.effective_bandwidth < TESLA_K40C.dram_bandwidth
+        assert TESLA_K40C.effective_bandwidth > 0.5 * TESLA_K40C.dram_bandwidth
+
+    def test_gtx_970_is_the_gfsl_platform(self):
+        assert GTX_970.dram_bandwidth == pytest.approx(224e9)
+
+    def test_scaled_returns_modified_copy(self):
+        slower = TESLA_K40C.scaled(dram_bandwidth=100e9)
+        assert slower.dram_bandwidth == pytest.approx(100e9)
+        assert slower.num_sms == TESLA_K40C.num_sms
+        assert TESLA_K40C.dram_bandwidth == pytest.approx(288e9)
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(Exception):
+            TESLA_K40C.num_sms = 20  # type: ignore[misc]
+
+
+class TestDevice:
+    def test_default_device_uses_k40c(self):
+        assert Device().spec.name == "Tesla K40c"
+
+    def test_counters_start_at_zero(self):
+        device = Device()
+        assert device.counters.total_atomics == 0
+
+    def test_phase_captures_only_events_inside_block(self):
+        device = Device()
+        device.counters.atomic32 += 5
+        with device.phase() as events:
+            device.counters.atomic32 += 3
+            device.counters.coalesced_read_transactions += 2
+        assert events.atomic32 == 3
+        assert events.coalesced_read_transactions == 2
+        assert device.counters.atomic32 == 8
+
+    def test_phase_captures_events_even_if_body_raises(self):
+        device = Device()
+        with pytest.raises(RuntimeError):
+            with device.phase() as events:
+                device.counters.atomic64 += 1
+                raise RuntimeError("boom")
+        assert events.atomic64 == 1
+
+    def test_snapshot_and_events_since(self):
+        device = Device()
+        snap = device.snapshot()
+        device.counters.warp_ballots += 4
+        assert device.events_since(snap).warp_ballots == 4
+
+    def test_launch_kernel_counts(self):
+        device = Device()
+        device.launch_kernel()
+        device.launch_kernel()
+        assert device.counters.kernel_launches == 2
+
+    def test_reset(self):
+        device = Device()
+        device.counters.atomic32 += 1
+        device.reset()
+        assert device.counters.atomic32 == 0

@@ -1,0 +1,118 @@
+"""Unit and property tests for the warp-wide intrinsic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.intrinsics import (
+    ballot_from_bools,
+    ffs,
+    first_set_lane,
+    lane_mask,
+    popc,
+    set_lanes,
+)
+
+
+class TestBallot:
+    def test_empty_predicates_give_zero(self):
+        assert ballot_from_bools([False] * 32) == 0
+
+    def test_all_true_gives_full_mask(self):
+        assert ballot_from_bools([True] * 32) == 0xFFFFFFFF
+
+    def test_single_lane(self):
+        for lane in (0, 1, 7, 15, 30, 31):
+            preds = [False] * 32
+            preds[lane] = True
+            assert ballot_from_bools(preds) == (1 << lane)
+
+    def test_accepts_numpy_bool_array(self):
+        arr = np.zeros(32, dtype=bool)
+        arr[[2, 5, 31]] = True
+        assert ballot_from_bools(arr) == (1 << 2) | (1 << 5) | (1 << 31)
+
+    def test_accepts_comparison_result(self):
+        data = np.arange(32, dtype=np.uint32)
+        assert ballot_from_bools(data == 7) == 1 << 7
+
+    def test_shorter_than_32_lanes_allowed(self):
+        assert ballot_from_bools([True, False, True]) == 0b101
+
+    def test_more_than_32_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            ballot_from_bools([True] * 33)
+
+    def test_two_dimensional_input_rejected(self):
+        with pytest.raises(ValueError):
+            ballot_from_bools(np.ones((4, 8), dtype=bool))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.booleans(), min_size=0, max_size=32))
+    def test_property_bit_i_matches_predicate_i(self, preds):
+        mask = ballot_from_bools(preds)
+        for lane, pred in enumerate(preds):
+            assert bool(mask & (1 << lane)) == pred
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.booleans(), min_size=32, max_size=32))
+    def test_property_popcount_matches_true_count(self, preds):
+        assert popc(ballot_from_bools(preds)) == sum(preds)
+
+
+class TestFfs:
+    def test_zero_mask(self):
+        assert ffs(0) == 0
+        assert first_set_lane(0) == -1
+
+    def test_lowest_bit(self):
+        assert ffs(1) == 1
+        assert first_set_lane(1) == 0
+
+    def test_highest_bit(self):
+        assert ffs(0x80000000) == 32
+        assert first_set_lane(0x80000000) == 31
+
+    def test_matches_cuda_semantics_on_mixed_mask(self):
+        # __ffs returns the 1-based position of the least significant set bit.
+        assert ffs(0b101000) == 4
+        assert first_set_lane(0b101000) == 3
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(min_value=1, max_value=0xFFFFFFFF))
+    def test_property_ffs_finds_least_significant_bit(self, mask):
+        lane = first_set_lane(mask)
+        assert mask & (1 << lane)
+        assert mask & ((1 << lane) - 1) == 0
+
+
+class TestPopcAndLaneMask:
+    def test_popc_full(self):
+        assert popc(0xFFFFFFFF) == 32
+
+    def test_popc_empty(self):
+        assert popc(0) == 0
+
+    def test_lane_mask_roundtrips_through_set_lanes(self):
+        lanes = [0, 3, 17, 31]
+        assert set_lanes(lane_mask(lanes)) == lanes
+
+    def test_lane_mask_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            lane_mask([32])
+        with pytest.raises(ValueError):
+            lane_mask([-1])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=31)))
+    def test_property_lane_mask_set_lanes_roundtrip(self, lanes):
+        assert set_lanes(lane_mask(sorted(lanes))) == sorted(lanes)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_property_set_lanes_reconstructs_mask(self, mask):
+        reconstructed = 0
+        for lane in set_lanes(mask):
+            reconstructed |= 1 << lane
+        assert reconstructed == mask

@@ -1,0 +1,129 @@
+"""Tests for the accounting global-memory layer (reads, writes, atomics)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import Counters
+from repro.gpusim.errors import MemoryFault
+from repro.gpusim.memory import GlobalMemory
+
+
+@pytest.fixture
+def mem():
+    return GlobalMemory(Counters())
+
+
+@pytest.fixture
+def store():
+    return np.zeros((4, 32), dtype=np.uint32)
+
+
+class TestSlabAccess:
+    def test_read_slab_returns_copy(self, mem, store):
+        store[1, 5] = 42
+        words = mem.read_slab(store, 1)
+        assert words[5] == 42
+        store[1, 5] = 99
+        assert words[5] == 42  # the returned view is a snapshot
+
+    def test_read_slab_counts_one_transaction(self, mem, store):
+        mem.read_slab(store, 0)
+        mem.read_slab(store, 2)
+        assert mem.counters.coalesced_read_transactions == 2
+        assert mem.counters.uncoalesced_read_words == 0
+
+    def test_read_slab_out_of_bounds(self, mem, store):
+        with pytest.raises(MemoryFault):
+            mem.read_slab(store, 4)
+        with pytest.raises(MemoryFault):
+            mem.read_slab(store, -1)
+
+    def test_write_slab_counts_and_stores(self, mem, store):
+        values = np.arange(32, dtype=np.uint32)
+        mem.write_slab(store, 3, values)
+        assert np.array_equal(store[3], values)
+        assert mem.counters.coalesced_write_transactions == 1
+
+    def test_write_slab_size_mismatch(self, mem, store):
+        with pytest.raises(MemoryFault):
+            mem.write_slab(store, 0, np.arange(16, dtype=np.uint32))
+
+
+class TestWordAccess:
+    def test_read_word_counts_uncoalesced(self, mem, store):
+        store[2, 7] = 13
+        assert mem.read_word(store, (2, 7)) == 13
+        assert mem.counters.uncoalesced_read_words == 1
+
+    def test_write_word_counts_and_masks_to_32_bits(self, mem, store):
+        mem.write_word(store, (0, 0), 0x1_0000_0002)
+        assert store[0, 0] == 2
+        assert mem.counters.uncoalesced_write_words == 1
+
+
+class TestAtomics:
+    def test_cas32_success(self, mem, store):
+        old = mem.atomic_cas32(store, (0, 0), 0, 5)
+        assert old == 0
+        assert store[0, 0] == 5
+        assert mem.counters.atomic32 == 1
+        assert mem.counters.cas_failures == 0
+
+    def test_cas32_failure_leaves_memory_untouched(self, mem, store):
+        store[0, 0] = 9
+        old = mem.atomic_cas32(store, (0, 0), 0, 5)
+        assert old == 9
+        assert store[0, 0] == 9
+        assert mem.counters.cas_failures == 1
+
+    def test_cas64_success_swaps_pair(self, mem, store):
+        store[1, 4] = 0xFFFFFFFF
+        store[1, 5] = 0xFFFFFFFF
+        old = mem.atomic_cas64(store, 1, 4, (0xFFFFFFFF, 0xFFFFFFFF), (10, 20))
+        assert old == (0xFFFFFFFF, 0xFFFFFFFF)
+        assert store[1, 4] == 10 and store[1, 5] == 20
+        assert mem.counters.atomic64 == 1
+
+    def test_cas64_failure_when_either_word_differs(self, mem, store):
+        store[1, 4] = 10
+        store[1, 5] = 21
+        old = mem.atomic_cas64(store, 1, 4, (10, 20), (1, 2))
+        assert old == (10, 21)
+        assert store[1, 4] == 10 and store[1, 5] == 21
+        assert mem.counters.cas_failures == 1
+
+    def test_cas64_rejects_odd_lane(self, mem, store):
+        with pytest.raises(MemoryFault):
+            mem.atomic_cas64(store, 0, 3, (0, 0), (1, 1))
+
+    def test_exch32_returns_old(self, mem, store):
+        store[0, 1] = 7
+        assert mem.atomic_exch32(store, (0, 1), 11) == 7
+        assert store[0, 1] == 11
+
+    def test_exch64_swaps_pair_unconditionally(self, mem, store):
+        store[2, 0], store[2, 1] = 3, 4
+        old = mem.atomic_exch64(store, 2, 0, (8, 9))
+        assert old == (3, 4)
+        assert (store[2, 0], store[2, 1]) == (8, 9)
+
+    def test_or_and_add(self, mem):
+        word = np.zeros(4, dtype=np.uint32)
+        assert mem.atomic_or32(word, 1, 0b101) == 0
+        assert word[1] == 0b101
+        assert mem.atomic_and32(word, 1, 0b100) == 0b101
+        assert word[1] == 0b100
+        assert mem.atomic_add32(word, 2, 5) == 0
+        assert word[2] == 5
+        assert mem.counters.atomic32 == 3
+
+    def test_add_wraps_at_32_bits(self, mem):
+        word = np.array([0xFFFFFFFF], dtype=np.uint32)
+        old = mem.atomic_add32(word, 0, 1)
+        assert old == 0xFFFFFFFF
+        assert word[0] == 0
+
+    def test_shared_read_counted(self, mem):
+        mem.shared_read()
+        mem.shared_read()
+        assert mem.counters.shared_reads == 2

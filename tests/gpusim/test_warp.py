@@ -1,0 +1,77 @@
+"""Tests for the 32-lane warp context and its instruction accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.counters import Counters
+from repro.gpusim.warp import WARP_SIZE, Warp
+
+
+@pytest.fixture
+def warp():
+    return Warp(5, Counters())
+
+
+class TestWarpPrimitives:
+    def test_warp_size_is_32(self):
+        assert WARP_SIZE == 32
+
+    def test_lanes_are_0_to_31(self, warp):
+        assert list(warp.lanes) == list(range(32))
+
+    def test_ballot_counts_instruction(self, warp):
+        mask = warp.ballot(np.arange(32) % 2 == 0)
+        assert mask == 0x55555555
+        assert warp.counters.warp_ballots == 1
+
+    def test_shfl_broadcasts_and_counts(self, warp):
+        values = np.arange(100, 132, dtype=np.uint32)
+        assert warp.shfl(values, 3) == 103
+        assert warp.counters.warp_shuffles == 1
+
+    def test_shfl_rejects_out_of_range_lane(self, warp):
+        with pytest.raises(ValueError):
+            warp.shfl(np.zeros(32), 32)
+
+    def test_ffs_and_first_set_lane(self, warp):
+        assert warp.ffs(0b1000) == 4
+        assert warp.first_set_lane(0b1000) == 3
+        assert warp.first_set_lane(0) == -1
+        assert warp.counters.warp_instructions == 3
+
+    def test_popc(self, warp):
+        assert warp.popc(0xF0F0) == 8
+
+    def test_charge_adds_generic_instructions(self, warp):
+        warp.charge(10)
+        warp.charge(5)
+        assert warp.counters.warp_instructions == 15
+
+    def test_charge_divergent_multiplies_by_active_lanes(self, warp):
+        warp.charge_divergent(instructions_per_lane=7, active_lanes=4)
+        assert warp.counters.warp_instructions == 28
+
+    def test_warp_id_preserved(self):
+        assert Warp(17, Counters()).warp_id == 17
+
+
+class TestWarpCooperativePattern:
+    """The ballot/shfl/ffs combination used by every slab-list operation."""
+
+    def test_work_queue_drains_in_lane_order(self, warp):
+        active = np.zeros(32, dtype=bool)
+        active[[3, 10, 25]] = True
+        processed = []
+        queue = warp.ballot(active)
+        while queue:
+            lane = warp.first_set_lane(queue)
+            processed.append(lane)
+            active[lane] = False
+            queue = warp.ballot(active)
+        assert processed == [3, 10, 25]
+
+    def test_search_within_slab_via_ballot(self, warp):
+        slab = np.full(32, 0xFFFFFFFF, dtype=np.uint32)
+        slab[8] = 1234
+        mask = warp.ballot(slab == 1234)
+        assert warp.first_set_lane(mask) == 8

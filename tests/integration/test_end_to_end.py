@@ -1,0 +1,151 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the public API the way the examples and benchmarks do:
+build → query → mutate → compact → query again, with correctness checked
+against reference containers and the device accounting checked for sanity.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Device, SlabAllocConfig, SlabHash
+from repro.baselines.cuckoo import CuckooHashTable
+from repro.baselines.misra import MisraHashTable
+from repro.core import constants as C
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.scheduler import WarpScheduler
+from repro.perf.metrics import measure_phase
+from repro.workloads.distributions import GAMMA_40_UPDATES, build_concurrent_workload
+from repro.workloads.generators import (
+    existing_queries,
+    missing_queries,
+    unique_random_keys,
+    values_for_keys,
+)
+
+CFG = SlabAllocConfig(num_super_blocks=4, num_memory_blocks=16, units_per_block=128)
+
+
+class TestFullLifecycle:
+    def test_build_query_mutate_flush_query(self):
+        keys = unique_random_keys(1500, seed=1)
+        values = values_for_keys(keys)
+        table = SlabHash(SlabHash.buckets_for_utilization(len(keys), 0.6),
+                         alloc_config=CFG, seed=2)
+
+        table.bulk_build(keys, values)
+        assert np.array_equal(table.bulk_search(keys), values)
+        assert np.all(table.bulk_search(missing_queries(500, seed=3)) == C.SEARCH_NOT_FOUND)
+
+        # Delete a third, then flush, then keep going.
+        doomed = keys[::3]
+        assert table.bulk_delete(doomed).sum() == len(doomed)
+        slabs_before = table.total_slabs()
+        table.flush()
+        assert table.total_slabs() <= slabs_before
+
+        survivors = np.setdiff1d(keys, doomed)
+        assert np.array_equal(table.bulk_search(survivors), values_for_keys(survivors))
+
+        # Incremental growth after compaction.
+        more = unique_random_keys(800, seed=4) + np.uint32(2**29)
+        table.bulk_insert(more, values_for_keys(more))
+        assert np.array_equal(table.bulk_search(more), values_for_keys(more))
+        assert len(table) == len(survivors) + len(more)
+
+    def test_concurrent_phase_after_bulk_build(self):
+        keys = unique_random_keys(1000, seed=5)
+        table = SlabHash(64, alloc_config=CFG, seed=6)
+        table.bulk_build(keys, values_for_keys(keys))
+
+        workload = build_concurrent_workload(GAMMA_40_UPDATES, 1000, keys, seed=7)
+        table.concurrent_batch(
+            workload.op_codes, workload.keys, workload.values,
+            scheduler=WarpScheduler(seed=8),
+        )
+
+        reference = {int(k): int(v) for k, v in zip(keys, values_for_keys(keys))}
+        for op, key, value in zip(workload.op_codes, workload.keys, workload.values):
+            if op == C.OP_INSERT:
+                reference[int(key)] = int(value)
+            elif op == C.OP_DELETE:
+                reference.pop(int(key), None)
+        assert dict(table.items()) == reference
+
+    def test_utilization_targeting_end_to_end(self):
+        keys = unique_random_keys(2000, seed=9)
+        for target in (0.4, 0.65):
+            table = SlabHash(SlabHash.buckets_for_utilization(len(keys), target),
+                             alloc_config=CFG, seed=10)
+            table.bulk_build(keys, keys)
+            assert table.memory_utilization() == pytest.approx(target, abs=0.12)
+
+    def test_same_workload_on_all_three_hash_tables(self):
+        keys = unique_random_keys(800, seed=11)
+        hits = existing_queries(keys, 400, seed=12)
+
+        slab = SlabHash(64, alloc_config=CFG, seed=13)
+        slab.bulk_build(keys, keys)
+        cuckoo = CuckooHashTable.for_load_factor(len(keys), 0.6, seed=14)
+        cuckoo.bulk_build(keys, keys)
+        misra = MisraHashTable(64, capacity=len(keys) + 8, seed=15)
+        misra.bulk_build(keys)
+
+        assert np.array_equal(slab.bulk_search(hits), hits)
+        assert np.array_equal(cuckoo.bulk_search(hits), hits)
+        assert misra.bulk_search(hits).all()
+
+
+class TestAccountingIntegration:
+    def test_modelled_throughput_is_finite_and_positive(self):
+        keys = unique_random_keys(1000, seed=16)
+        device = Device()
+        table = SlabHash(64, device=device, alloc_config=CFG, seed=17)
+        build = measure_phase(
+            device, lambda: table.bulk_build(keys, keys), num_ops=len(keys)
+        )
+        search = measure_phase(
+            device, lambda: table.bulk_search(keys), num_ops=len(keys)
+        )
+        assert 0 < build.throughput < 1e11
+        assert 0 < search.throughput < 1e11
+        assert search.throughput > build.throughput  # searches skip the CAS
+
+    def test_search_traffic_grows_with_chain_length(self):
+        keys = unique_random_keys(1200, seed=18)
+
+        def reads_per_query(buckets):
+            device = Device()
+            table = SlabHash(buckets, device=device, alloc_config=CFG, seed=19)
+            table.bulk_build(keys, keys)
+            m = measure_phase(device, lambda: table.bulk_search(keys), num_ops=len(keys))
+            return m.per_op("coalesced_read_transactions")
+
+        assert reads_per_query(4) > reads_per_query(256)
+
+    def test_cost_model_ranks_structures_as_the_paper_does(self):
+        keys = unique_random_keys(1000, seed=20)
+        model = CostModel()
+
+        slab_device = Device()
+        slab = SlabHash(64, device=slab_device, alloc_config=CFG, seed=21)
+        slab.bulk_build(keys, keys)
+        slab_m = measure_phase(slab_device, lambda: slab.bulk_search(keys), num_ops=len(keys),
+                               cost_model=model, scale_to_ops=2**22)
+
+        misra_device = Device()
+        misra = MisraHashTable(64, capacity=len(keys) + 8, device=misra_device, seed=22)
+        misra.bulk_build(keys)
+        misra_m = measure_phase(misra_device, lambda: misra.bulk_search(keys),
+                                num_ops=len(keys), cost_model=model, scale_to_ops=2**22)
+
+        # The warp-cooperative slab hash must beat the per-thread chaining table.
+        assert slab_m.throughput > 2 * misra_m.throughput
+
+    def test_device_counters_shared_between_table_and_allocator(self):
+        device = Device()
+        table = SlabHash(4, device=device, alloc_config=CFG, seed=23)
+        keys = unique_random_keys(400, seed=24)
+        table.bulk_build(keys, keys)
+        assert device.counters.allocations == table.alloc.allocated_units
+        assert device.counters.allocations > 0

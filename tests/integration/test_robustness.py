@@ -1,0 +1,137 @@
+"""Robustness and failure-injection tests.
+
+The paper's structures are designed to degrade gracefully ("for any choice of
+B we can cause performance degradation by continually increasing the number of
+elements, but it never breaks").  These tests push the implementation into its
+failure and pressure paths: allocator exhaustion, allocator growth under
+pressure, deep chains, interrupted bulk operations, and sustained
+insert/delete/flush churn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_alloc import SlabAlloc
+from repro.core.slab_hash import SlabHash
+from repro.gpusim.device import Device
+from repro.gpusim.errors import AllocationError
+
+from tests.conftest import make_keys
+
+
+class TestAllocatorPressure:
+    def test_exhaustion_mid_bulk_insert_raises_cleanly(self):
+        # An allocator with a single non-growable block exhausts quickly.
+        device = Device()
+        alloc = SlabAlloc(
+            device,
+            SlabAllocConfig(1, 1, 32, growth_threshold=10_000, max_super_blocks=1),
+            seed=1,
+        )
+        table = SlabHash(1, device=device, alloc=alloc, seed=2)
+        keys = make_keys(2000, seed=3)
+        with pytest.raises(AllocationError):
+            table.bulk_build(keys, keys)
+        # Everything inserted before the failure is still intact and searchable.
+        stored = dict(table.items())
+        assert 0 < len(stored) < 2000
+        sample = np.array(list(stored)[:50], dtype=np.uint32)
+        assert np.array_equal(table.bulk_search(sample), sample)
+
+    def test_growth_under_pressure_keeps_table_usable(self):
+        device = Device()
+        alloc = SlabAlloc(
+            device,
+            SlabAllocConfig(1, 2, 32, growth_threshold=2, max_super_blocks=16),
+            seed=4,
+        )
+        table = SlabHash(2, device=device, alloc=alloc, seed=5)
+        keys = make_keys(1500, seed=6)
+        table.bulk_build(keys, keys)
+        assert alloc.num_super_blocks > 1  # the allocator had to grow
+        assert np.array_equal(table.bulk_search(keys), keys)
+
+    def test_flush_returns_capacity_to_a_nearly_full_allocator(self):
+        device = Device()
+        alloc = SlabAlloc(
+            device,
+            SlabAllocConfig(1, 1, 96, growth_threshold=10_000, max_super_blocks=1),
+            seed=7,
+        )
+        table = SlabHash(2, device=device, alloc=alloc, seed=8)
+        keys = make_keys(1200, seed=9)
+        table.bulk_build(keys, keys)
+        head_room_before = alloc.capacity_units - alloc.allocated_units
+        table.bulk_delete(keys[::2])
+        table.flush()
+        head_room_after = alloc.capacity_units - alloc.allocated_units
+        assert head_room_after > head_room_before
+        # The reclaimed capacity is actually usable for new insertions.
+        more = make_keys(400, seed=10) + np.uint32(2**29)
+        table.bulk_insert(more, more)
+        assert np.array_equal(table.bulk_search(more), more)
+
+
+class TestDeepChains:
+    def test_single_bucket_table_never_breaks(self):
+        """Everything hashed into one bucket: a very long slab list still works."""
+        cfg = SlabAllocConfig(2, 16, 128)
+        table = SlabHash(1, alloc_config=cfg, seed=11)
+        keys = make_keys(600, seed=12)
+        table.bulk_build(keys, keys)
+        assert table.lists.slab_count(0) >= 40  # ~600 / 15
+        assert np.array_equal(table.bulk_search(keys), keys)
+        assert np.all(
+            table.bulk_search(keys + np.uint32(2**29)) == C.SEARCH_NOT_FOUND
+        )
+        assert table.bulk_delete(keys).sum() == len(keys)
+        assert len(table) == 0
+
+    def test_memory_utilization_approaches_ceiling_on_deep_chain(self):
+        cfg = SlabAllocConfig(2, 16, 128)
+        table = SlabHash(1, alloc_config=cfg, seed=13)
+        keys = make_keys(900, seed=14)
+        table.bulk_build(keys, keys)
+        assert table.memory_utilization() > 0.9
+        assert table.memory_utilization() <= table.config.max_memory_utilization + 1e-9
+
+
+class TestChurn:
+    def test_sustained_insert_delete_flush_cycles(self):
+        cfg = SlabAllocConfig(2, 16, 128)
+        table = SlabHash(8, alloc_config=cfg, seed=15)
+        reference = {}
+        rng = np.random.default_rng(16)
+        key_pool = make_keys(400, seed=17)
+
+        for cycle in range(6):
+            batch = key_pool[rng.choice(len(key_pool), size=120, replace=False)]
+            values = (batch.astype(np.uint64) + cycle).astype(np.uint32)
+            table.bulk_insert(batch, values)
+            reference.update({int(k): int(v) for k, v in zip(batch, values)})
+
+            doomed = batch[::3]
+            table.bulk_delete(doomed)
+            for key in doomed:
+                reference.pop(int(key), None)
+
+            if cycle % 2 == 1:
+                table.flush()
+
+            assert dict(table.items()) == reference
+
+    def test_slab_accounting_is_stable_over_churn(self):
+        cfg = SlabAllocConfig(2, 16, 128)
+        table = SlabHash(4, alloc_config=cfg, seed=18)
+        keys = make_keys(300, seed=19)
+        for _ in range(4):
+            table.bulk_insert(keys, keys)
+            table.bulk_delete(keys)
+            table.flush()
+        # After deleting everything and flushing, only base slabs remain and
+        # the allocator holds no units.
+        assert len(table) == 0
+        assert table.total_slabs() == table.num_buckets
+        assert table.alloc.allocated_units == 0

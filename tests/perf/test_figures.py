@@ -1,0 +1,147 @@
+"""Smoke and trend tests for the per-figure drivers (tiny workloads).
+
+The full paper-scale tables come from ``benchmarks/``; here each driver runs
+with a very small simulated workload and we assert the *trends* that the paper
+reports, which is exactly what the reproduction is expected to preserve.
+"""
+
+import pytest
+
+from repro.perf import figures
+from repro.perf.harness import FigureResult
+
+TINY = 2**10
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def fig4a(self):
+        return figures.figure_4a(sim_elements=TINY, utilizations=(0.2, 0.5, 0.65, 0.9))
+
+    @pytest.fixture(scope="class")
+    def fig4b(self):
+        return figures.figure_4b(sim_elements=TINY, utilizations=(0.2, 0.5, 0.65, 0.9))
+
+    def test_returns_expected_series(self, fig4a):
+        assert isinstance(fig4a, FigureResult)
+        assert {s.label for s in fig4a.series} == {"CUDPP", "SlabHash"}
+
+    def test_slab_hash_build_peak_near_paper(self, fig4a):
+        peak = max(fig4a.series_by_label("SlabHash").y)
+        assert 350 <= peak <= 750  # paper: 512 M updates/s
+
+    def test_slab_hash_build_cliff_at_high_utilization(self, fig4a):
+        slab = fig4a.series_by_label("SlabHash").as_dict()
+        assert slab[0.9] < 0.5 * slab[0.5]
+
+    def test_cudpp_build_declines_with_load_factor(self, fig4a):
+        cudpp = fig4a.series_by_label("CUDPP").y
+        assert cudpp[-1] < cudpp[0]
+
+    def test_search_peak_near_paper(self, fig4b):
+        peak = max(fig4b.series_by_label("SlabHash-all").y)
+        assert 700 <= peak <= 1100  # paper: 937 M queries/s
+
+    def test_search_rate_drops_past_65_percent(self, fig4b):
+        slab_all = fig4b.series_by_label("SlabHash-all").as_dict()
+        assert slab_all[0.9] < 0.5 * slab_all[0.5]
+
+    def test_cuckoo_search_faster_on_geomean(self, fig4b):
+        # The paper: cuckoo ~2x faster on searches over the utilization sweep.
+        assert fig4b.extra["geomean_cuckoo_over_slab_all"] > 1.0
+
+    def test_figure_4c_utilization_increases_with_beta(self):
+        result = figures.figure_4c(sim_elements=TINY, betas=(0.5, 1.0, 3.0))
+        measured = result.series_by_label("measured").y
+        assert measured == sorted(measured)
+        assert measured[-1] <= 0.94 + 1e-6
+        analytic = result.series_by_label("analytic").as_dict()
+        for x, y in zip(result.series_by_label("measured").x,
+                        result.series_by_label("measured").y):
+            assert y == pytest.approx(analytic[x], abs=0.12)
+
+
+class TestFigure5:
+    def test_cudpp_benefits_from_small_tables(self):
+        result = figures.figure_5a(table_sizes=(2**16, 2**24), sim_elements=TINY)
+        cudpp = result.series_by_label("CUDPP").as_dict()
+        assert cudpp[16] > cudpp[24]
+
+    def test_slab_hash_rate_is_size_stable(self):
+        result = figures.figure_5b(table_sizes=(2**16, 2**24), sim_elements=TINY)
+        slab = result.series_by_label("SlabHash-all").y
+        assert max(slab) / min(slab) < 1.5
+
+
+class TestFigure6:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return figures.figure_6(total_elements=2**12, batch_sizes=(128, 256))
+
+    def test_slab_hash_beats_rebuild_from_scratch(self, fig6):
+        speedups = [v for k, v in fig6.extra.items() if k.startswith("speedup")]
+        assert all(s > 2 for s in speedups)
+
+    def test_smaller_batches_widen_the_gap(self, fig6):
+        speedups = [v for k, v in fig6.extra.items() if k.startswith("speedup")]
+        assert speedups[0] > speedups[1]  # first entry is the smallest batch
+
+    def test_cumulative_times_are_monotone(self, fig6):
+        for series in fig6.series:
+            assert series.y == sorted(series.y)
+
+
+class TestFigure7:
+    def test_7a_fewer_updates_means_higher_rate(self):
+        result = figures.figure_7a(sim_elements=TINY, utilizations=(0.4,))
+        rates = {s.label: s.y[0] for s in result.series}
+        assert rates["20% updates, 80% searches"] >= rates["100% updates, 0% searches"]
+
+    def test_7a_high_utilization_degrades(self):
+        result = figures.figure_7a(
+            sim_elements=TINY, utilizations=(0.4, 0.9),
+            distributions=(figures.PAPER_DISTRIBUTIONS[0],),
+        )
+        series = result.series[0]
+        assert series.as_dict()[0.9] < series.as_dict()[0.4]
+
+    def test_7b_slab_hash_beats_misra(self):
+        result = figures.figure_7b(
+            bucket_counts=(32, 128), num_operations=TINY, initial_elements=TINY
+        )
+        speedups = [v for k, v in result.extra.items() if k.startswith("speedup")]
+        assert all(2.0 <= s <= 12.0 for s in speedups)  # paper: 3.1x - 5.1x
+
+
+class TestAllocatorAndAblations:
+    def test_allocator_ordering_matches_paper(self):
+        result = figures.allocator_comparison(sim_allocations=2**10)
+        assert result.extra["slaballoc_mops"] > result.extra["halloc_mops"] > result.extra["cuda_malloc_mops"]
+        assert result.extra["slaballoc_over_halloc"] > 10  # paper: 37x
+        assert result.extra["cuda_malloc_mops"] < 2  # paper: 0.8 M/s
+
+    def test_slaballoc_rate_near_paper(self):
+        result = figures.allocator_comparison(sim_allocations=2**10)
+        assert 300 <= result.extra["slaballoc_mops"] <= 1100  # paper: 600 M/s
+
+    def test_light_allocator_searches_at_least_as_fast(self):
+        result = figures.slaballoc_light_ablation(sim_elements=TINY)
+        assert result.extra["light_speedup"] >= 1.0
+
+    def test_gfsl_analysis_matches_published_rates(self):
+        result = figures.gfsl_comparison()
+        assert result.extra["gfsl_peak_search_mops"] == pytest.approx(100, rel=0.4)
+        assert result.extra["gfsl_peak_update_mops"] == pytest.approx(50, rel=0.4)
+
+    def test_wcws_beats_per_thread_processing(self):
+        result = figures.wcws_vs_per_thread(sim_elements=TINY)
+        assert result.extra["wcws_speedup"] > 1.5
+
+    def test_slab_size_ablation_favours_128_bytes(self):
+        result = figures.slab_size_ablation()
+        cost = result.series_by_label("relative search cost").as_dict()
+        assert cost[128.0] == pytest.approx(1.0)
+        assert cost[32.0] > 1.0
+        assert cost[256.0] > 1.0
+        utilization = result.series_by_label("max utilization").as_dict()
+        assert utilization[128.0] == pytest.approx(0.9375)

@@ -1,0 +1,87 @@
+"""Tests for the Series/FigureResult containers and the report renderers."""
+
+import pytest
+
+from repro.perf.harness import FigureResult, Series
+from repro.perf.report import PAPER_REFERENCE, format_figure, format_table
+
+
+class TestSeries:
+    def test_add_and_lookup(self):
+        series = Series("s")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert series.as_dict() == {1.0: 10.0, 2.0: 20.0}
+
+    def test_geometric_mean(self):
+        series = Series("s", x=[1, 2], y=[4.0, 16.0])
+        assert series.geometric_mean() == pytest.approx(8.0)
+
+    def test_geometric_mean_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            Series("s").geometric_mean()
+        with pytest.raises(ValueError):
+            Series("s", x=[1], y=[0.0]).geometric_mean()
+
+
+class TestFigureResult:
+    def make_figure(self):
+        figure = FigureResult("Fig X", "title", "x", "rate")
+        a = figure.add_series("A")
+        b = figure.add_series("B")
+        for x in (1, 2, 3):
+            a.add(x, x * 10)
+            b.add(x, x * 5)
+        return figure
+
+    def test_series_by_label(self):
+        figure = self.make_figure()
+        assert figure.series_by_label("A").y == [10, 20, 30]
+        with pytest.raises(KeyError):
+            figure.series_by_label("missing")
+
+    def test_to_rows_aligns_series_on_x(self):
+        headers, rows = self.make_figure().to_rows()
+        assert headers == ["x", "A", "B"]
+        assert len(rows) == 3
+        assert rows[0][0] == "1"
+
+    def test_to_rows_handles_missing_points(self):
+        figure = FigureResult("F", "t", "x", "y")
+        a = figure.add_series("A")
+        b = figure.add_series("B")
+        a.add(1, 1.0)
+        b.add(2, 2.0)
+        _, rows = figure.to_rows()
+        assert rows[0][2] == "-"
+        assert rows[1][1] == "-"
+
+    def test_speedup_series(self):
+        figure = self.make_figure()
+        speedup = figure.speedup("A", "B")
+        assert speedup.y == pytest.approx([2.0, 2.0, 2.0])
+
+
+class TestReportRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["col", "value"], [["a", "1"], ["bb", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_figure_includes_title_series_and_notes(self):
+        figure = FigureResult("Fig 9", "demo", "x", "y", notes="a note")
+        figure.add_series("S").add(1, 2.0)
+        figure.extra["speedup"] = 3.0
+        text = format_figure(figure)
+        assert "Fig 9" in text
+        assert "demo" in text
+        assert "S" in text
+        assert "a note" in text
+        assert "speedup" in text
+
+    def test_paper_reference_contains_headline_numbers(self):
+        assert PAPER_REFERENCE["slabhash_peak_updates_mops"] == 512.0
+        assert PAPER_REFERENCE["slabhash_peak_searches_mops"] == 937.0
+        assert PAPER_REFERENCE["slaballoc_rate_mops"] == 600.0
+        assert PAPER_REFERENCE["slabhash_max_utilization"] == pytest.approx(0.94)

@@ -1,0 +1,108 @@
+"""Tests for measurement helpers (phase measurement, counter scaling)."""
+
+import pytest
+
+from repro.gpusim.counters import Counters
+from repro.gpusim.device import Device
+from repro.perf.metrics import measure_phase, scale_counters
+
+
+class TestScaleCounters:
+    def test_scales_event_fields(self):
+        counters = Counters(coalesced_read_transactions=10, atomic64=4)
+        scaled = scale_counters(counters, 8)
+        assert scaled.coalesced_read_transactions == 80
+        assert scaled.atomic64 == 32
+
+    def test_kernel_launches_not_scaled(self):
+        counters = Counters(kernel_launches=3, atomic32=1)
+        scaled = scale_counters(counters, 100)
+        assert scaled.kernel_launches == 3
+        assert scaled.atomic32 == 100
+
+    def test_fractional_factor_rounds(self):
+        counters = Counters(atomic32=3)
+        assert scale_counters(counters, 0.5).atomic32 == 2  # rounds 1.5 -> 2
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            scale_counters(Counters(), 0)
+
+
+class TestMeasurePhase:
+    def test_captures_events_and_computes_throughput(self):
+        device = Device()
+
+        def work():
+            device.counters.coalesced_read_transactions += 1000
+            device.counters.kernel_launches += 1
+
+        measurement = measure_phase(device, work, num_ops=1000, label="unit")
+        assert measurement.num_ops == 1000
+        assert measurement.counters.coalesced_read_transactions == 1000
+        assert measurement.throughput > 0
+        assert measurement.mops == pytest.approx(measurement.throughput / 1e6)
+        assert measurement.per_op("coalesced_read_transactions") == pytest.approx(1.0)
+
+    def test_scale_to_ops_extrapolates(self):
+        device = Device()
+
+        def work():
+            device.counters.atomic64 += 100
+
+        small = measure_phase(device, work, num_ops=100)
+        device2 = Device()
+
+        def work2():
+            device2.counters.atomic64 += 100
+
+        scaled = measure_phase(device2, work2, num_ops=100, scale_to_ops=100_000)
+        assert scaled.num_ops == 100_000
+        assert scaled.counters.atomic64 == 100_000
+        # Per-op cost identical, so throughput should match (launch overhead aside).
+        assert scaled.throughput == pytest.approx(small.throughput, rel=0.05)
+
+    def test_working_set_changes_atomic_rate(self):
+        def run(working_set):
+            device = Device()
+
+            def work():
+                device.counters.atomic64 += 10_000
+                device.counters.kernel_launches += 1
+
+            return measure_phase(device, work, num_ops=10_000, working_set_bytes=working_set)
+
+        in_l2 = run(100 * 1024)
+        in_dram = run(500 * 1024 * 1024)
+        assert in_l2.throughput > in_dram.throughput
+
+    def test_extra_serial_seconds_reduce_throughput(self):
+        def run(extra):
+            device = Device()
+
+            def work():
+                device.counters.atomic32 += 1000
+
+            return measure_phase(device, work, num_ops=1000, extra_serial_seconds=extra)
+
+        assert run(1e-3).throughput < run(0.0).throughput
+
+    def test_extra_serial_seconds_scale_with_ops(self):
+        device = Device()
+
+        def work():
+            device.counters.atomic32 += 10
+
+        m = measure_phase(
+            device, work, num_ops=10, scale_to_ops=1000, extra_serial_seconds=1e-6
+        )
+        assert m.seconds >= 1e-4  # the serial term scaled by 100x
+
+    def test_milliseconds_property(self):
+        device = Device()
+
+        def work():
+            device.counters.coalesced_read_transactions += 10_000_000
+
+        m = measure_phase(device, work, num_ops=10)
+        assert m.milliseconds == pytest.approx(m.seconds * 1e3)

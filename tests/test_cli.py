@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import io
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reproduce_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "fig99"])
+
+    def test_registry_covers_every_paper_figure(self):
+        for required in ("fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig6",
+                         "fig7a", "fig7b", "allocators", "light", "gfsl"):
+            assert required in EXPERIMENTS
+
+
+class TestCommands:
+    def test_list_prints_every_experiment(self):
+        stream = io.StringIO()
+        assert main(["list"], stream=stream) == 0
+        output = stream.getvalue()
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_info_prints_device_and_reference_points(self):
+        stream = io.StringIO()
+        assert main(["info"], stream=stream) == 0
+        output = stream.getvalue()
+        assert "Tesla K40c" in output
+        assert "937" in output and "512" in output
+
+    def test_reproduce_single_experiment_prints_table(self):
+        stream = io.StringIO()
+        assert main(["reproduce", "gfsl"], stream=stream) == 0
+        output = stream.getvalue()
+        assert "GFSL" in output
+        assert "SlabHash" in output
+
+    def test_reproduce_writes_output_files(self, tmp_path):
+        stream = io.StringIO()
+        out_dir = str(tmp_path / "results")
+        assert main(["reproduce", "slabsize", "--out", out_dir], stream=stream) == 0
+        assert os.path.exists(os.path.join(out_dir, "slabsize.txt"))
+        with open(os.path.join(out_dir, "slabsize.txt"), encoding="utf-8") as handle:
+            assert "utilization" in handle.read()
+
+    def test_reproduce_scaled_down_runs_quickly(self):
+        stream = io.StringIO()
+        assert main(["reproduce", "fig4c", "--scale", "0.1"], stream=stream) == 0
+        assert "Figure 4c" in stream.getvalue()
+
+    def test_scale_floor_prevents_degenerate_sizes(self):
+        stream = io.StringIO()
+        # Even an absurdly small scale must still produce a valid run.
+        assert main(["reproduce", "allocators", "--scale", "0.001"], stream=stream) == 0
+        assert "Section V" in stream.getvalue()

@@ -1,0 +1,120 @@
+"""Tests for operation distributions and concurrent workload construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.workloads.distributions import (
+    GAMMA_20_UPDATES,
+    GAMMA_40_UPDATES,
+    GAMMA_UPDATES_ONLY,
+    PAPER_DISTRIBUTIONS,
+    OperationDistribution,
+    build_concurrent_workload,
+    split_into_warp_batches,
+)
+from repro.workloads.generators import unique_random_keys
+
+
+class TestOperationDistribution:
+    def test_paper_distributions_match_section_vi_c(self):
+        assert GAMMA_UPDATES_ONLY.update_fraction == pytest.approx(1.0)
+        assert GAMMA_40_UPDATES.update_fraction == pytest.approx(0.4)
+        assert GAMMA_20_UPDATES.update_fraction == pytest.approx(0.2)
+        assert len(PAPER_DISTRIBUTIONS) == 3
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            OperationDistribution(0.5, 0.5, 0.5, 0.0)
+
+    def test_fractions_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            OperationDistribution(1.2, -0.2, 0.0, 0.0)
+
+    def test_describe_mentions_update_percentage(self):
+        assert "40%" in GAMMA_40_UPDATES.describe()
+        custom = OperationDistribution(0.25, 0.25, 0.25, 0.25)
+        assert "50%" in custom.describe()
+
+
+class TestBuildConcurrentWorkload:
+    def test_size_and_op_codes(self):
+        existing = unique_random_keys(500, seed=1)
+        workload = build_concurrent_workload(GAMMA_40_UPDATES, 1000, existing, seed=2)
+        assert len(workload) == 1000
+        assert set(np.unique(workload.op_codes)) <= {C.OP_INSERT, C.OP_DELETE, C.OP_SEARCH}
+
+    def test_distribution_fractions_approximately_respected(self):
+        existing = unique_random_keys(2000, seed=3)
+        workload = build_concurrent_workload(GAMMA_40_UPDATES, 4000, existing, seed=4)
+        inserts = np.sum(workload.op_codes == C.OP_INSERT)
+        deletes = np.sum(workload.op_codes == C.OP_DELETE)
+        searches = np.sum(workload.op_codes == C.OP_SEARCH)
+        assert inserts / 4000 == pytest.approx(0.2, abs=0.05)
+        assert deletes / 4000 == pytest.approx(0.2, abs=0.05)
+        assert searches / 4000 == pytest.approx(0.6, abs=0.05)
+
+    def test_inserted_keys_are_new(self):
+        existing = unique_random_keys(300, seed=5)
+        workload = build_concurrent_workload(GAMMA_UPDATES_ONLY, 600, existing, seed=6)
+        insert_keys = workload.keys[workload.op_codes == C.OP_INSERT]
+        assert not np.isin(insert_keys, existing).any()
+
+    def test_deleted_keys_come_from_existing_set(self):
+        existing = unique_random_keys(300, seed=7)
+        workload = build_concurrent_workload(GAMMA_UPDATES_ONLY, 400, existing, seed=8)
+        delete_keys = workload.keys[workload.op_codes == C.OP_DELETE]
+        assert np.isin(delete_keys, existing).all()
+
+    def test_deterministic_for_seed(self):
+        existing = unique_random_keys(200, seed=9)
+        a = build_concurrent_workload(GAMMA_20_UPDATES, 500, existing, seed=10)
+        b = build_concurrent_workload(GAMMA_20_UPDATES, 500, existing, seed=10)
+        assert np.array_equal(a.op_codes, b.op_codes)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_requires_existing_keys(self):
+        with pytest.raises(ValueError):
+            build_concurrent_workload(GAMMA_20_UPDATES, 100, np.array([], dtype=np.uint32))
+
+    def test_requires_positive_op_count(self):
+        with pytest.raises(ValueError):
+            build_concurrent_workload(GAMMA_20_UPDATES, 0, unique_random_keys(10, seed=1))
+
+    def test_values_align_with_keys(self):
+        existing = unique_random_keys(100, seed=11)
+        workload = build_concurrent_workload(GAMMA_40_UPDATES, 200, existing, seed=12)
+        assert workload.values.shape == workload.keys.shape
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_operation_types_mix_within_warps(self, seed):
+        existing = unique_random_keys(500, seed=13)
+        workload = build_concurrent_workload(GAMMA_40_UPDATES, 512, existing, seed=seed)
+        # At least one warp (32 consecutive ops) contains more than one op type.
+        mixed = any(
+            len(set(workload.op_codes[i : i + 32])) > 1 for i in range(0, 512, 32)
+        )
+        assert mixed
+
+
+class TestSplitIntoWarpBatches:
+    def test_split_sizes(self):
+        existing = unique_random_keys(100, seed=14)
+        workload = build_concurrent_workload(GAMMA_20_UPDATES, 250, existing, seed=15)
+        batches = split_into_warp_batches(workload, 64)
+        assert [len(b) for b in batches] == [64, 64, 64, 58]
+
+    def test_batches_cover_the_workload(self):
+        existing = unique_random_keys(100, seed=16)
+        workload = build_concurrent_workload(GAMMA_20_UPDATES, 200, existing, seed=17)
+        batches = split_into_warp_batches(workload, 77)
+        assert np.array_equal(np.concatenate([b.keys for b in batches]), workload.keys)
+
+    def test_invalid_batch_size(self):
+        existing = unique_random_keys(10, seed=18)
+        workload = build_concurrent_workload(GAMMA_20_UPDATES, 20, existing, seed=19)
+        with pytest.raises(ValueError):
+            split_into_warp_batches(workload, 0)

@@ -1,0 +1,128 @@
+"""Tests for workload generation (keys, values, query sets, batches)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constants as C
+from repro.workloads.generators import (
+    existing_queries,
+    missing_queries,
+    split_batches,
+    unique_random_keys,
+    values_for_keys,
+    zipf_queries,
+)
+
+
+class TestUniqueRandomKeys:
+    def test_requested_count_and_uniqueness(self):
+        keys = unique_random_keys(5000, seed=1)
+        assert len(keys) == 5000
+        assert len(np.unique(keys)) == 5000
+
+    def test_deterministic_for_seed(self):
+        assert np.array_equal(unique_random_keys(100, seed=7), unique_random_keys(100, seed=7))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(unique_random_keys(100, seed=1), unique_random_keys(100, seed=2))
+
+    def test_keys_are_valid_user_keys(self):
+        keys = unique_random_keys(1000, seed=3)
+        assert keys.min() >= 1
+        assert int(keys.max()) < C.MAX_USER_KEY
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            unique_random_keys(0)
+
+    def test_count_too_large_for_space(self):
+        with pytest.raises(ValueError):
+            unique_random_keys(100, high=50)
+
+    @settings(max_examples=20, deadline=None)
+    @given(count=st.integers(min_value=1, max_value=2000), seed=st.integers(0, 100))
+    def test_property_count_and_uniqueness(self, count, seed):
+        keys = unique_random_keys(count, seed=seed)
+        assert len(keys) == count
+        assert len(np.unique(keys)) == count
+
+
+class TestValuesAndQueries:
+    def test_values_deterministic_function_of_keys(self):
+        keys = unique_random_keys(100, seed=4)
+        assert np.array_equal(values_for_keys(keys), values_for_keys(keys))
+
+    def test_values_dtype_uint32(self):
+        assert values_for_keys(np.array([1, 2, 3])).dtype == np.uint32
+
+    def test_existing_queries_drawn_from_keys(self):
+        keys = unique_random_keys(500, seed=5)
+        queries = existing_queries(keys, 2000, seed=6)
+        assert len(queries) == 2000
+        assert np.isin(queries, keys).all()
+
+    def test_missing_queries_disjoint_from_any_generated_keys(self):
+        keys = unique_random_keys(5000, seed=7)
+        misses = missing_queries(5000, seed=8)
+        assert not np.isin(misses, keys).any()
+        assert int(misses.max()) < C.MAX_USER_KEY
+
+    def test_missing_queries_deterministic(self):
+        assert np.array_equal(missing_queries(100, seed=1), missing_queries(100, seed=1))
+
+
+class TestZipfQueries:
+    def test_queries_drawn_from_key_set(self):
+        keys = unique_random_keys(200, seed=10)
+        queries = zipf_queries(keys, 1000, seed=11)
+        assert len(queries) == 1000
+        assert np.isin(queries, keys).all()
+
+    def test_skew_concentrates_on_few_keys(self):
+        keys = unique_random_keys(1000, seed=12)
+        skewed = zipf_queries(keys, 5000, skew=1.5, seed=13)
+        flat = existing_queries(keys, 5000, seed=13)
+        _, skewed_counts = np.unique(skewed, return_counts=True)
+        _, flat_counts = np.unique(flat, return_counts=True)
+        assert skewed_counts.max() > 3 * flat_counts.max()
+
+    def test_higher_exponent_more_skew(self):
+        keys = unique_random_keys(500, seed=14)
+        mild = zipf_queries(keys, 4000, skew=1.2, seed=15)
+        strong = zipf_queries(keys, 4000, skew=3.0, seed=15)
+        assert len(np.unique(strong)) < len(np.unique(mild))
+
+    def test_deterministic_for_seed(self):
+        keys = unique_random_keys(100, seed=16)
+        assert np.array_equal(zipf_queries(keys, 100, seed=1), zipf_queries(keys, 100, seed=1))
+
+    def test_invalid_arguments(self):
+        keys = unique_random_keys(10, seed=17)
+        with pytest.raises(ValueError):
+            zipf_queries(keys, 0)
+        with pytest.raises(ValueError):
+            zipf_queries(keys, 10, skew=1.0)
+        with pytest.raises(ValueError):
+            zipf_queries(np.array([], dtype=np.uint32), 10)
+
+
+class TestSplitBatches:
+    def test_even_split(self):
+        keys = np.arange(100)
+        batches = split_batches(keys, 25)
+        assert len(batches) == 4
+        assert all(len(b) == 25 for b in batches)
+
+    def test_uneven_tail(self):
+        batches = split_batches(np.arange(10), 4)
+        assert [len(b) for b in batches] == [4, 4, 2]
+
+    def test_concatenation_recovers_input(self):
+        keys = unique_random_keys(77, seed=9)
+        assert np.array_equal(np.concatenate(split_batches(keys, 16)), keys)
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            split_batches(np.arange(10), 0)
