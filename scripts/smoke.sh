@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# CI smoke: exercise every command the documentation shows, at tiny scale.
+#
+# Order: cheap registry/metadata commands first, then the test suites, then
+# the experiment reproductions and examples. Fails fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+echo "== CLI metadata (README quickstart) =="
+python -m repro list
+python -m repro info
+
+echo "== Tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== Smoke-marked subset =="
+python -m pytest -q -m smoke
+
+echo "== Benchmark suite (regenerates every paper table) =="
+python -m pytest -q benchmarks/bench_*.py
+
+echo "== Shard-sweep reproduction (sharded engine) =="
+python -m repro reproduce shard-sweep --scale 0.05 --out results/smoke
+
+echo "== Every experiment, tiny scale =="
+python -m repro reproduce all --scale 0.02 --out results/smoke
+
+echo "== Examples =="
+python examples/quickstart.py
+python examples/sharded_engine.py
+
+echo "== smoke OK =="

@@ -13,6 +13,8 @@ Packages
 * :mod:`repro.allocators` — allocator baselines (CUDA-malloc-like, Halloc-like).
 * :mod:`repro.workloads` — key/query generators and operation distributions.
 * :mod:`repro.perf` — experiment harness, per-figure drivers and reporting.
+* :mod:`repro.engine` — sharded multi-table engine: key-space routing across
+  N independent slab-hash shards, each on its own simulated device.
 
 Quick start
 -----------
@@ -32,12 +34,16 @@ from repro.core.slab_list import SlabListCollection
 from repro.core.slab_list_single import SlabList
 from repro.core.slab_set import SlabSet
 from repro.core.config import SlabAllocConfig, SlabConfig
+from repro.engine import EngineStats, ShardedSlabHash, ShardRouter
 from repro.gpusim.device import Device, DeviceSpec, TESLA_K40C
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SlabHash",
+    "ShardedSlabHash",
+    "ShardRouter",
+    "EngineStats",
     "SlabList",
     "SlabSet",
     "SlabAlloc",

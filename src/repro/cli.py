@@ -7,9 +7,28 @@ Usage (after installation, or with ``PYTHONPATH=src``)::
     python -m repro reproduce all --scale 0.5 --out results/
     python -m repro info                    # device model and calibration summary
 
+Experiment ids (the single source of truth is the :data:`EXPERIMENTS`
+registry below; ``python -m repro list`` prints the same table)::
+
+    fig4a        bulk build rate vs memory utilization
+    fig4b        bulk search rate vs memory utilization
+    fig4c        memory utilization vs average slab count
+    fig5a        build rate vs number of elements
+    fig5b        search rate vs number of elements
+    fig6         incremental batched insertion vs rebuild-from-scratch
+    fig7a        concurrent mixed-operation rate vs utilization
+    fig7b        slab hash vs Misra & Chaudhuri's lock-free hash table
+    allocators   SlabAlloc vs Halloc vs CUDA malloc
+    light        SlabAlloc vs SlabAlloc-light ablation
+    gfsl         analytic GFSL comparison
+    wcws         WCWS vs per-thread processing ablation
+    slabsize     slab-size design-choice ablation
+    shard-sweep  sharded multi-table engine scaling (1..16 shards)
+
 ``--scale`` multiplies the default (scaled-down) simulation sizes: 1.0 is the
 benchmark default, smaller values are faster smoke runs, larger values tighten
-the statistics at the cost of runtime.
+the statistics at the cost of runtime.  See docs/EXPERIMENTS.md for how the
+modelled numbers relate to the paper's K40c measurements.
 """
 
 from __future__ import annotations
@@ -94,6 +113,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "slabsize": (
         "Slab-size design-choice ablation (paper Sec. IV-B)",
         lambda scale: figures.slab_size_ablation(),
+    ),
+    "shard-sweep": (
+        "Sharded multi-table engine: throughput scaling over 1..16 shards",
+        lambda scale: figures.shard_sweep(sim_elements=_scaled(2**13, scale)),
     ),
 }
 

@@ -1,0 +1,30 @@
+"""Sharded multi-table engine: scale the slab hash beyond one device.
+
+This package layers a concurrent-workload engine on top of
+:mod:`repro.core`:
+
+* :class:`~repro.engine.router.ShardRouter` — key-space routing policies
+  (hash-partition, range-partition, round-robin for build-only loads);
+* :class:`~repro.engine.sharded.ShardedSlabHash` — N independent
+  :class:`~repro.core.slab_hash.SlabHash` shards, each with its own simulated
+  device and allocator, behind SlabHash's bulk/concurrent API;
+* :class:`~repro.engine.stats.EngineStats` — merged per-shard counters plus
+  the parallel (max-over-shards) and serial (sum-over-shards) time views.
+
+The ``reproduce shard-sweep`` experiment and ``benchmarks/bench_sharded.py``
+are driven by this package; ``docs/ARCHITECTURE.md`` shows where it sits in
+the layer diagram.
+"""
+
+from repro.engine.router import ROUTING_POLICIES, ShardRouter
+from repro.engine.sharded import ShardedSlabHash
+from repro.engine.stats import EngineStats, ShardPhase, merge_counters
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "ShardRouter",
+    "ShardedSlabHash",
+    "EngineStats",
+    "ShardPhase",
+    "merge_counters",
+]

@@ -1,0 +1,351 @@
+"""A sharded multi-table engine over independent :class:`SlabHash` shards.
+
+The paper's table lives on one GPU and scales with the SMs of that device.
+This engine models the next step: partition the key space across ``N``
+independent slab hashes — each with its own simulated
+:class:`~repro.gpusim.device.Device` and allocator, standing in for a group
+of SMs or a whole extra GPU — and route operation streams between them with a
+:class:`~repro.engine.router.ShardRouter`.
+
+Because the hash-partition (and range-partition) policies send *every*
+occurrence of a key to the same shard, the relative order of the operations
+on any single key is preserved, and every bulk result is **identical** to
+running the same stream through one unsharded table
+(``tests/engine/test_sharded.py`` asserts this element by element).  A
+``concurrent_batch`` is identical too whenever its outcome is
+schedule-independent (no conflicting operations on the same key within the
+batch); conflicting concurrent operations are resolved by *some* legal
+schedule in both settings, but not necessarily the same one, exactly as on
+real hardware.  What
+changes is the performance model: shards execute concurrently, so the
+engine's modelled time for a phase is the *slowest shard's* time rather than
+the sum — :meth:`ShardedSlabHash.measure` returns an
+:class:`~repro.engine.stats.EngineStats` with both views plus the merged
+counters.
+
+The ``reproduce shard-sweep`` experiment
+(:func:`repro.perf.figures.shard_sweep`) sweeps the shard count and reports
+the resulting scaling efficiency on bulk and mixed concurrent workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.slab_hash import SlabHash
+from repro.engine.router import ShardRouter
+from repro.engine.stats import EngineStats
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.device import Device, DeviceSpec, TESLA_K40C
+from repro.gpusim.scheduler import WarpScheduler
+
+__all__ = ["ShardedSlabHash"]
+
+#: Seed offset between the router's hash draw and the shard tables' draws, so
+#: shard choice and bucket choice are independent members of the family.
+_SHARD_SEED_STRIDE = 101
+
+
+class ShardedSlabHash:
+    """N independent slab hashes behind a single key-partitioned front door.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards (independent tables/devices).
+    buckets_per_shard:
+        Bucket count of each shard's slab hash.  With hash routing an
+        N-shard engine with ``B`` buckets per shard behaves like one table
+        with ``N * B`` buckets.
+    policy:
+        Routing policy (see :class:`~repro.engine.router.ShardRouter`):
+        ``"hash"`` (default), ``"range"``, or ``"round-robin"`` (build-only).
+    device_spec:
+        Hardware model used for every shard's fresh device.
+    key_value / unique_keys / light_alloc / alloc_config:
+        Forwarded to each shard's :class:`SlabHash`.
+    seed:
+        Master seed; the router and each shard draw independent hash
+        functions from it.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        buckets_per_shard: int,
+        *,
+        policy: str = "hash",
+        device_spec: DeviceSpec = TESLA_K40C,
+        key_value: bool = True,
+        unique_keys: bool = True,
+        light_alloc: bool = False,
+        alloc_config: Optional[SlabAllocConfig] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.router = ShardRouter(num_shards, policy=policy, seed=seed)
+        self.shards: List[SlabHash] = [
+            SlabHash(
+                buckets_per_shard,
+                device=Device(device_spec),
+                key_value=key_value,
+                unique_keys=unique_keys,
+                light_alloc=light_alloc,
+                alloc_config=alloc_config,
+                seed=seed + _SHARD_SEED_STRIDE * (shard + 1),
+            )
+            for shard in range(num_shards)
+        ]
+        self.cost_model = CostModel(device_spec)
+        self._ops_routed = np.zeros(num_shards, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Sizing helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_utilization(
+        cls,
+        num_shards: int,
+        num_elements: int,
+        utilization: float,
+        *,
+        key_value: bool = True,
+        **kwargs,
+    ) -> "ShardedSlabHash":
+        """Size each shard so the whole engine hits a target memory utilization.
+
+        Hash routing spreads ``num_elements`` keys nearly evenly, so each
+        shard is sized for its expected ``num_elements / num_shards`` share
+        using the same Fig. 4c relation as the unsharded table.
+        """
+        share = max(1, math.ceil(num_elements / num_shards))
+        buckets = SlabHash.buckets_for_utilization(share, utilization, key_value=key_value)
+        return cls(num_shards, buckets, key_value=key_value, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # Routing plumbing
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_shards(self) -> int:
+        return self.router.num_shards
+
+    @property
+    def num_buckets(self) -> int:
+        """Total buckets across all shards."""
+        return sum(shard.num_buckets for shard in self.shards)
+
+    @property
+    def devices(self) -> List[Device]:
+        return [shard.device for shard in self.shards]
+
+    def _require_key_partitioning(self, operation: str) -> None:
+        if not self.router.key_partitioning:
+            raise ValueError(
+                f"{operation} needs a key-partitioning routing policy "
+                f"(hash or range); {self.router.policy!r} routes by stream "
+                "position, so lookups could land on the wrong shard"
+            )
+
+    def _partition(self, keys: np.ndarray) -> List[np.ndarray]:
+        parts = self.router.partition(keys)
+        for shard, idx in enumerate(parts):
+            self._ops_routed[shard] += idx.size
+        return parts
+
+    # ------------------------------------------------------------------ #
+    # Bulk operations (mirror SlabHash's bulk API, shard by shard)
+    # ------------------------------------------------------------------ #
+
+    def bulk_build(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> None:
+        """Build the engine by dynamically inserting every element (cf. SlabHash)."""
+        self.bulk_insert(keys, values)
+
+    def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> None:
+        """Route a batch of insertions to their shards and run each sub-batch."""
+        keys = np.asarray(keys, dtype=np.uint64)
+        values = None if values is None else np.asarray(values)
+        if (
+            not self.router.key_partitioning
+            and self.shards[0].config.unique_keys
+            and np.unique(keys).size != keys.size
+        ):
+            # Round-robin would deal two occurrences of a key to different
+            # shards, silently defeating REPLACE semantics.
+            raise ValueError(
+                "round-robin routing cannot uphold unique-key (REPLACE) "
+                "semantics for batches with repeated keys; use the hash or "
+                "range policy, or deduplicate the batch"
+            )
+        for shard, idx in zip(self.shards, self._partition(keys)):
+            if idx.size:
+                shard.bulk_insert(keys[idx], None if values is None else values[idx])
+
+    def bulk_search(self, queries: Sequence[int]) -> np.ndarray:
+        """Search a batch; results are in query order, exactly as SlabHash returns them."""
+        self._require_key_partitioning("bulk_search")
+        queries = np.asarray(queries, dtype=np.uint64)
+        results = np.full(len(queries), C.SEARCH_NOT_FOUND, dtype=np.uint32)
+        for shard, idx in zip(self.shards, self._partition(queries)):
+            if idx.size:
+                results[idx] = shard.bulk_search(queries[idx])
+        return results
+
+    def bulk_delete(self, keys: Sequence[int]) -> np.ndarray:
+        """Delete a batch; returns per-key removed counts in key order."""
+        self._require_key_partitioning("bulk_delete")
+        keys = np.asarray(keys, dtype=np.uint64)
+        removed = np.zeros(len(keys), dtype=np.int64)
+        for shard, idx in zip(self.shards, self._partition(keys)):
+            if idx.size:
+                removed[idx] = shard.bulk_delete(keys[idx])
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Concurrent mixed batches
+    # ------------------------------------------------------------------ #
+
+    def concurrent_batch(
+        self,
+        op_codes: Sequence[int],
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        *,
+        scheduler_seed: Optional[int] = None,
+        wave_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Run a mixed insert/search/delete batch across the shards.
+
+        Each shard executes its sub-stream with its own
+        :class:`~repro.gpusim.scheduler.WarpScheduler` (seeded from
+        ``scheduler_seed`` plus the shard index) — shards are independent
+        devices, so there is no cross-shard interleaving to model.  Results
+        come back in stream order with SlabHash's conventions: found value
+        for searches, 1/0 for deletions, 0 for insertions.
+        """
+        self._require_key_partitioning("concurrent_batch")
+        op_codes = np.asarray(op_codes, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.uint64)
+        if op_codes.shape != keys.shape:
+            raise ValueError("op_codes and keys must have the same length")
+        values = None if values is None else np.asarray(values)
+        results = np.zeros(len(keys), dtype=np.uint32)
+        for number, (shard, idx) in enumerate(zip(self.shards, self._partition(keys))):
+            if not idx.size:
+                continue
+            scheduler = None
+            if scheduler_seed is not None:
+                scheduler = WarpScheduler(seed=scheduler_seed + number)
+            results[idx] = shard.concurrent_batch(
+                op_codes[idx],
+                keys[idx],
+                None if values is None else values[idx],
+                scheduler=scheduler,
+                wave_size=wave_size,
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Single-operation convenience API
+    # ------------------------------------------------------------------ #
+
+    def insert(self, key: int, value: Optional[int] = None) -> None:
+        shard = self.router.shard_of(key)
+        self._ops_routed[shard] += 1
+        self.shards[shard].insert(key, value)
+
+    def search(self, key: int) -> Optional[int]:
+        self._require_key_partitioning("search")
+        shard = self.router.shard_of(key)
+        self._ops_routed[shard] += 1
+        return self.shards[shard].search(key)
+
+    def __contains__(self, key: int) -> bool:
+        return self.search(key) is not None
+
+    def delete(self, key: int) -> bool:
+        self._require_key_partitioning("delete")
+        shard = self.router.shard_of(key)
+        self._ops_routed[shard] += 1
+        return self.shards[shard].delete(key)
+
+    # ------------------------------------------------------------------ #
+    # Measurement
+    # ------------------------------------------------------------------ #
+
+    def measure(
+        self,
+        fn: Callable[[], object],
+        *,
+        scale_to_ops: Optional[int] = None,
+        label: str = "",
+    ) -> EngineStats:
+        """Run ``fn`` (engine calls) and merge the per-shard events it caused.
+
+        The number of operations each shard handled is taken from the
+        router's accounting, so ``fn`` should drive this engine rather than
+        the shards directly.  Counterpart of
+        :func:`repro.perf.metrics.measure_phase` for multi-device phases.
+        """
+        before_counters = [device.snapshot() for device in self.devices]
+        before_ops = self._ops_routed.copy()
+        fn()
+        events = [
+            device.counters.diff(snap)
+            for device, snap in zip(self.devices, before_counters)
+        ]
+        ops_per_shard = (self._ops_routed - before_ops).tolist()
+        return EngineStats.from_shard_events(
+            events,
+            ops_per_shard,
+            cost_model=self.cost_model,
+            scale_to_ops=scale_to_ops,
+            label=label,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregate maintenance and introspection
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        """Compact every bucket of every shard and release empty slabs."""
+        for shard in self.shards:
+            shard.flush()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def shard_sizes(self) -> np.ndarray:
+        """Stored element count per shard (load-balance diagnostics)."""
+        return np.array([len(shard) for shard in self.shards], dtype=np.int64)
+
+    def used_bytes(self) -> int:
+        return sum(shard.used_bytes() for shard in self.shards)
+
+    def memory_utilization(self) -> float:
+        """Stored data bytes over total slab bytes, across all shards."""
+        stored = sum(
+            len(shard) * shard.config.element_bytes for shard in self.shards
+        )
+        return stored / self.used_bytes()
+
+    def items(self) -> List[tuple]:
+        """All stored (key, value) pairs, shard by shard."""
+        out: List[tuple] = []
+        for shard in self.shards:
+            out.extend(shard.items())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedSlabHash(shards={self.num_shards}, "
+            f"policy={self.router.policy!r}, buckets={self.num_buckets}, "
+            f"elements={len(self)})"
+        )

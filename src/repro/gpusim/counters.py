@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
+__all__ = ["Counters", "scale_counters"]
+
 
 @dataclass
 class Counters:
@@ -136,3 +138,21 @@ class Counters:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
         return f"Counters({parts})"
+
+
+def scale_counters(counters: Counters, factor: float) -> Counters:
+    """Scale every event count by ``factor`` (the simulate-small / model-at-paper-scale step).
+
+    Kernel launches are *not* scaled: running the paper-scale workload still
+    uses the same number of kernel launches as the scaled simulation.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    scaled = Counters()
+    for f in fields(Counters):
+        value = getattr(counters, f.name)
+        if f.name == "kernel_launches":
+            setattr(scaled, f.name, value)
+        else:
+            setattr(scaled, f.name, int(round(value * factor)))
+    return scaled

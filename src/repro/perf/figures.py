@@ -30,6 +30,7 @@ from repro.baselines.misra import MisraHashTable
 from repro.core import constants as C
 from repro.core.config import SlabAllocConfig
 from repro.core.slab_hash import SlabHash
+from repro.engine import ShardedSlabHash
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.counters import Counters
 from repro.gpusim.device import Device, TESLA_K40C
@@ -65,6 +66,7 @@ __all__ = [
     "gfsl_comparison",
     "wcws_vs_per_thread",
     "slab_size_ablation",
+    "shard_sweep",
 ]
 
 #: Memory utilizations swept by Figures 4a, 4b and 7a.
@@ -824,6 +826,102 @@ def wcws_vs_per_thread(
     series.add(1, rate / 1e6)
 
     result.extra["wcws_speedup"] = m_wcws.mops / (rate / 1e6)
+    return result
+
+
+def shard_sweep(
+    sim_elements: int = 2**13,
+    shard_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    *,
+    utilization: float = 0.6,
+    paper_operations: int = PAPER_BULK_ELEMENTS,
+    policy: str = "hash",
+    seed: int = 0,
+) -> FigureResult:
+    """Shard-count sweep of the sharded multi-table engine (beyond the paper).
+
+    Partitions the key space across 1..N independent slab hashes — each with
+    its own simulated device and allocator, modeling multi-SM groups or
+    multiple GPUs — and reports modelled throughput for three workloads:
+
+    * **build** — bulk-build the whole element set through the router;
+    * **search** — bulk-search every stored key;
+    * **mixed** — a Figure-7-style concurrent batch (40 % updates).
+
+    Shards execute in parallel, so engine time is the slowest shard's
+    modelled time; the ``build speedup`` series normalizes build throughput
+    by the smallest swept shard count, which is the scaling-efficiency number
+    quoted in the README.  Hash routing is slightly imbalanced (multinomial
+    key splits), so speedups track, but do not exactly reach, the shard count.
+    """
+    result = FigureResult(
+        figure_id="Shard sweep",
+        title=f"Sharded engine scaling (routing={policy}, utilization {utilization:.0%})",
+        x_label="number of shards",
+        y_label="operation rate (M ops/s)",
+        notes="Each shard is an independent SlabHash on its own simulated "
+        "device; engine time is the slowest shard's modelled time. "
+        "'build speedup' is normalized to the smallest swept shard count.",
+    )
+    build_series = result.add_series("build")
+    search_series = result.add_series("search")
+    mixed_series = result.add_series("mixed 40% updates")
+    speedup_series = result.add_series("build speedup")
+
+    keys = unique_random_keys(sim_elements, seed=seed)
+    values = values_for_keys(keys)
+    hits = existing_queries(keys, sim_elements, seed=seed + 1)
+    workload = build_concurrent_workload(
+        PAPER_DISTRIBUTIONS[1], sim_elements, keys, seed=seed + 13
+    )
+
+    stats_by_count = {}
+    for num_shards in shard_counts:
+        engine = ShardedSlabHash.for_utilization(
+            num_shards,
+            sim_elements,
+            utilization,
+            policy=policy,
+            alloc_config=SIM_ALLOC_CONFIG,
+            seed=seed,
+        )
+        build = engine.measure(
+            lambda: engine.bulk_build(keys, values),
+            scale_to_ops=paper_operations,
+            label=f"build x{num_shards}",
+        )
+        search = engine.measure(
+            lambda: engine.bulk_search(hits),
+            scale_to_ops=paper_operations,
+            label=f"search x{num_shards}",
+        )
+        mixed = engine.measure(
+            lambda: engine.concurrent_batch(
+                workload.op_codes, workload.keys, workload.values,
+                scheduler_seed=seed + 17,
+            ),
+            scale_to_ops=paper_operations,
+            label=f"mixed x{num_shards}",
+        )
+        build_series.add(num_shards, build.mops)
+        search_series.add(num_shards, search.mops)
+        mixed_series.add(num_shards, mixed.mops)
+        stats_by_count[num_shards] = build
+
+    # Normalize to the smallest swept shard count, whatever the sweep order.
+    base = min(stats_by_count)
+    base_build_mops = stats_by_count[base].mops
+    for num_shards in shard_counts:
+        speedup_series.add(num_shards, stats_by_count[num_shards].mops / base_build_mops)
+
+    if 4 in stats_by_count:
+        result.extra["build_speedup_4_shards"] = stats_by_count[4].mops / base_build_mops
+    top = max(stats_by_count)
+    result.extra["build_speedup_max_shards"] = stats_by_count[top].mops / base_build_mops
+    result.extra["scaling_efficiency_max_shards"] = result.extra[
+        "build_speedup_max_shards"
+    ] / (top / base)
+    result.extra["load_imbalance_max_shards"] = stats_by_count[top].load_imbalance
     return result
 
 

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.gpusim.costmodel import CostBreakdown, CostModel
-from repro.gpusim.counters import Counters
+from repro.gpusim.counters import Counters, scale_counters
 from repro.gpusim.device import Device
 
 __all__ = ["Measurement", "measure_phase", "scale_counters"]
@@ -35,24 +35,6 @@ class Measurement:
     def per_op(self, field: str) -> float:
         """Average number of a given counter event per operation."""
         return getattr(self.counters, field) / self.num_ops
-
-
-def scale_counters(counters: Counters, factor: float) -> Counters:
-    """Scale every event count by ``factor`` (the simulate-small / model-at-paper-scale step).
-
-    Kernel launches are *not* scaled: running the paper-scale workload still
-    uses the same number of kernel launches as the scaled simulation.
-    """
-    if factor <= 0:
-        raise ValueError(f"scale factor must be positive, got {factor}")
-    scaled = Counters()
-    for f in fields(Counters):
-        value = getattr(counters, f.name)
-        if f.name == "kernel_launches":
-            setattr(scaled, f.name, value)
-        else:
-            setattr(scaled, f.name, int(round(value * factor)))
-    return scaled
 
 
 def measure_phase(

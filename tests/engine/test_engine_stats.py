@@ -1,0 +1,82 @@
+"""Tests for EngineStats: merged counters and the parallel/serial time views."""
+
+import pytest
+
+from repro.engine.stats import EngineStats, merge_counters
+from repro.gpusim.costmodel import CostModel
+from repro.gpusim.counters import Counters
+
+
+def counters(**kwargs) -> Counters:
+    return Counters(**kwargs)
+
+
+class TestMergeCounters:
+    def test_merge_is_elementwise_sum(self):
+        a = counters(atomic32=3, coalesced_read_transactions=5)
+        b = counters(atomic32=4, warp_shuffles=7)
+        merged = merge_counters([a, b])
+        assert merged.atomic32 == 7
+        assert merged.coalesced_read_transactions == 5
+        assert merged.warp_shuffles == 7
+
+    def test_merge_of_nothing_is_zero(self):
+        assert merge_counters([]).as_dict() == Counters().as_dict()
+
+
+@pytest.mark.smoke
+class TestEngineStats:
+    def make_stats(self, scale_to_ops=None):
+        events = [
+            counters(coalesced_read_transactions=100, atomic64=50, kernel_launches=1),
+            counters(coalesced_read_transactions=300, atomic64=150, kernel_launches=1),
+        ]
+        return EngineStats.from_shard_events(
+            events, [25, 75], cost_model=CostModel(), scale_to_ops=scale_to_ops
+        )
+
+    def test_aggregate_equals_sum_of_shard_counters(self):
+        stats = self.make_stats()
+        agg = stats.aggregate
+        assert agg.coalesced_read_transactions == 400
+        assert agg.atomic64 == 200
+        assert agg.kernel_launches == 2
+        # The aggregate is exactly the field-wise sum of the shard snapshots.
+        expected = merge_counters([p.counters for p in stats.shards])
+        assert agg.as_dict() == expected.as_dict()
+
+    def test_parallel_time_is_the_slowest_shard(self):
+        stats = self.make_stats()
+        assert stats.parallel_seconds == max(p.seconds for p in stats.shards)
+        assert stats.serial_seconds == pytest.approx(sum(p.seconds for p in stats.shards))
+        assert stats.parallel_speedup == pytest.approx(
+            stats.serial_seconds / stats.parallel_seconds
+        )
+
+    def test_throughput_uses_parallel_time(self):
+        stats = self.make_stats()
+        assert stats.throughput == pytest.approx(100 / stats.parallel_seconds)
+        assert stats.mops == pytest.approx(stats.throughput / 1e6)
+
+    def test_load_imbalance(self):
+        stats = self.make_stats()
+        # 75 ops on the busiest of 2 shards, 100 total: 75 * 2 / 100.
+        assert stats.load_imbalance == pytest.approx(1.5)
+
+    def test_scaling_preserves_shard_ratio_and_launches(self):
+        stats = self.make_stats(scale_to_ops=1000)
+        assert stats.num_ops == 1000
+        a, b = stats.shards
+        assert (a.num_ops, b.num_ops) == (250, 750)
+        assert b.counters.coalesced_read_transactions == 3 * a.counters.coalesced_read_transactions
+        assert a.counters.kernel_launches == 1  # launches are never scaled
+
+    def test_mismatched_inputs_are_rejected(self):
+        with pytest.raises(ValueError):
+            EngineStats.from_shard_events([Counters()], [1, 2], cost_model=CostModel())
+        with pytest.raises(ValueError):
+            EngineStats.from_shard_events([Counters()], [0], cost_model=CostModel())
+
+    def test_per_op_reads_the_aggregate(self):
+        stats = self.make_stats()
+        assert stats.per_op("coalesced_read_transactions") == pytest.approx(4.0)

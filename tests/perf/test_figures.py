@@ -145,3 +145,30 @@ class TestAllocatorAndAblations:
         assert cost[256.0] > 1.0
         utilization = result.series_by_label("max utilization").as_dict()
         assert utilization[128.0] == pytest.approx(0.9375)
+
+
+@pytest.mark.smoke
+class TestShardSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return figures.shard_sweep(sim_elements=TINY, shard_counts=(1, 2, 4, 8))
+
+    def test_returns_expected_series(self, sweep):
+        labels = {s.label for s in sweep.series}
+        assert labels == {"build", "search", "mixed 40% updates", "build speedup"}
+
+    def test_throughput_grows_with_shard_count(self, sweep):
+        for label in ("build", "search", "mixed 40% updates"):
+            rates = sweep.series_by_label(label).y
+            assert rates == sorted(rates)
+
+    def test_scaling_efficiency_meets_the_acceptance_bar(self, sweep):
+        # The README quotes >= 1.5x at 4 shards; hash routing actually
+        # delivers close to 4x on the bulk-build workload.
+        assert sweep.extra["build_speedup_4_shards"] >= 1.5
+        speedup = sweep.series_by_label("build speedup").as_dict()
+        assert speedup[1.0] == pytest.approx(1.0)
+        assert speedup[4.0] >= 1.5
+
+    def test_imbalance_is_bounded(self, sweep):
+        assert 1.0 <= sweep.extra["load_imbalance_max_shards"] < 2.0

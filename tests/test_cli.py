@@ -19,18 +19,36 @@ class TestParser:
 
     def test_registry_covers_every_paper_figure(self):
         for required in ("fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig6",
-                         "fig7a", "fig7b", "allocators", "light", "gfsl"):
+                         "fig7a", "fig7b", "allocators", "light", "gfsl",
+                         "shard-sweep"):
             assert required in EXPERIMENTS
+
+    def test_module_docstring_lists_every_experiment(self):
+        """Guard against usage-block drift: the docstring must name every id."""
+        import repro.cli
+        for name in EXPERIMENTS:
+            assert name in repro.cli.__doc__, f"{name} missing from cli docstring"
 
 
 class TestCommands:
-    def test_list_prints_every_experiment(self):
+    @pytest.mark.smoke
+    def test_list_prints_every_experiment_with_description(self):
         stream = io.StringIO()
         assert main(["list"], stream=stream) == 0
         output = stream.getvalue()
-        for name in EXPERIMENTS:
+        for name, (description, _) in EXPERIMENTS.items():
             assert name in output
+            assert description in output
 
+    def test_reproduce_shard_sweep_reports_scaling(self):
+        stream = io.StringIO()
+        assert main(["reproduce", "shard-sweep", "--scale", "0.05"], stream=stream) == 0
+        output = stream.getvalue()
+        assert "Shard sweep" in output
+        assert "build speedup" in output
+        assert "build_speedup_4_shards" in output
+
+    @pytest.mark.smoke
     def test_info_prints_device_and_reference_points(self):
         stream = io.StringIO()
         assert main(["info"], stream=stream) == 0
