@@ -1,0 +1,213 @@
+"""Wall-clock throughput of the bulk backends — the repo's perf trajectory.
+
+Unlike every other benchmark in this directory (which reports *modelled* GPU
+time from the device counters), this one measures **real host wall-clock
+seconds**: how fast the simulation itself executes bulk builds and searches on
+each backend.  It writes a machine-readable ``BENCH_wallclock.json`` so the
+speed of the simulator can be tracked across PRs.
+
+Run directly (or via ``scripts/bench_wallclock.sh``)::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py [--sizes 20000,100000]
+        [--beta 0.6] [--repeats 3] [--out BENCH_wallclock.json]
+
+Schema (``SCHEMA_VERSION``)::
+
+    {
+      "schema_version": 1,
+      "benchmark": "bulk_wallclock",
+      "device_model": "...", "python": "...", "numpy": "...",
+      "config": {"beta": ..., "repeats": ..., "sizes": [...]},
+      "results": [
+        {"op": "bulk_build" | "bulk_search", "backend": "vectorized" |
+         "reference", "num_keys": N, "seconds": s, "ops_per_sec": r}, ...
+      ],
+      "speedups": {"bulk_build_100000": x, "bulk_search_100000": y, ...}
+    }
+
+``validate_document`` is the schema's single source of truth; the smoke test
+``tests/perf/test_wallclock_schema.py`` regenerates a tiny document and fails
+if the schema drifts from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.bulk_exec import BACKENDS
+from repro.core.slab_hash import SlabHash
+from repro.gpusim.device import TESLA_K40C
+
+SCHEMA_VERSION = 1
+DEFAULT_SIZES = (20_000, 100_000)
+DEFAULT_BETA = 0.6
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                           "BENCH_wallclock.json")
+
+OPS = ("bulk_build", "bulk_search")
+
+
+def _make_batch(num_keys: int, seed: int = 1):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(2**28, size=num_keys, replace=False).astype(np.uint32)
+    values = np.arange(num_keys, dtype=np.uint32)
+    return keys, values
+
+
+def _time_backend(backend: str, num_keys: int, beta: float, repeats: int) -> Dict[str, float]:
+    """Best-of-``repeats`` wall-clock seconds for bulk build and search."""
+    keys, values = _make_batch(num_keys)
+    buckets = SlabHash.buckets_for_beta(num_keys, beta)
+    best = {op: float("inf") for op in OPS}
+    for _ in range(repeats):
+        # A fresh table per repetition; drop the previous one first so block
+        # stores do not pile up and skew timings with allocator memory churn.
+        gc.collect()
+        table = SlabHash(buckets, backend=backend, seed=1)
+        start = time.perf_counter()
+        table.bulk_build(keys, values)
+        built = time.perf_counter()
+        table.bulk_search(keys)
+        searched = time.perf_counter()
+        best["bulk_build"] = min(best["bulk_build"], built - start)
+        best["bulk_search"] = min(best["bulk_search"], searched - built)
+        del table
+    return best
+
+
+def run_benchmark(
+    sizes=DEFAULT_SIZES, *, beta: float = DEFAULT_BETA, repeats: int = 3
+) -> dict:
+    """Measure both backends at every size and assemble the JSON document."""
+    # Warm-up amortizes one-time costs (lazy NumPy submodule imports).
+    warm = SlabHash(64, backend="vectorized")
+    warm_keys, warm_values = _make_batch(256, seed=0)
+    warm.bulk_build(warm_keys, warm_values)
+    warm.bulk_search(warm_keys)
+
+    results: List[dict] = []
+    speedups: Dict[str, float] = {}
+    for num_keys in sizes:
+        timings = {
+            backend: _time_backend(backend, num_keys, beta, repeats)
+            for backend in BACKENDS
+        }
+        for backend in BACKENDS:
+            for op in OPS:
+                seconds = timings[backend][op]
+                results.append(
+                    {
+                        "op": op,
+                        "backend": backend,
+                        "num_keys": int(num_keys),
+                        "seconds": seconds,
+                        "ops_per_sec": num_keys / seconds if seconds > 0 else float("inf"),
+                    }
+                )
+        for op in OPS:
+            speedups[f"{op}_{num_keys}"] = (
+                timings["reference"][op] / timings["vectorized"][op]
+            )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "bulk_wallclock",
+        "device_model": f"{TESLA_K40C.name} (simulated)",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "config": {"beta": beta, "repeats": repeats, "sizes": [int(s) for s in sizes]},
+        "results": results,
+        "speedups": speedups,
+    }
+
+
+def validate_document(document: dict) -> None:
+    """Raise ``ValueError`` if ``document`` does not match the schema.
+
+    Single source of truth for the BENCH_wallclock.json layout; the smoke test
+    runs a tiny benchmark through this to catch schema drift.
+    """
+    required_top = {
+        "schema_version": int,
+        "benchmark": str,
+        "device_model": str,
+        "python": str,
+        "numpy": str,
+        "config": dict,
+        "results": list,
+        "speedups": dict,
+    }
+    for field, kind in required_top.items():
+        if field not in document:
+            raise ValueError(f"missing top-level field {field!r}")
+        if not isinstance(document[field], kind):
+            raise ValueError(f"field {field!r} must be {kind.__name__}")
+    if document["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {document['schema_version']} != {SCHEMA_VERSION}"
+        )
+    if document["benchmark"] != "bulk_wallclock":
+        raise ValueError("benchmark field must be 'bulk_wallclock'")
+    for field in ("beta", "repeats", "sizes"):
+        if field not in document["config"]:
+            raise ValueError(f"missing config field {field!r}")
+    if not document["results"]:
+        raise ValueError("results must not be empty")
+    for entry in document["results"]:
+        if entry.get("op") not in OPS:
+            raise ValueError(f"result op must be one of {OPS}, got {entry.get('op')!r}")
+        if entry.get("backend") not in BACKENDS:
+            raise ValueError(f"result backend must be one of {BACKENDS}")
+        for field in ("num_keys", "seconds", "ops_per_sec"):
+            if not isinstance(entry.get(field), (int, float)):
+                raise ValueError(f"result field {field!r} must be numeric")
+    expected_speedups = {
+        f"{op}_{size}" for op in OPS for size in document["config"]["sizes"]
+    }
+    if set(document["speedups"]) != expected_speedups:
+        raise ValueError(
+            f"speedups keys {sorted(document['speedups'])} != {sorted(expected_speedups)}"
+        )
+    for key, value in document["speedups"].items():
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"speedup {key!r} must be a positive number")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=str, default=",".join(str(s) for s in DEFAULT_SIZES),
+                        help="comma-separated batch sizes (default %(default)s)")
+    parser.add_argument("--beta", type=float, default=DEFAULT_BETA,
+                        help="average slab count the tables are sized for (default %(default)s)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per measurement, best-of (default %(default)s)")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_wallclock.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    sizes = [int(part) for part in args.sizes.split(",") if part]
+    document = run_benchmark(sizes, beta=args.beta, repeats=args.repeats)
+    validate_document(document)
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.out}")
+    for entry in document["results"]:
+        print(f"  {entry['op']:12s} {entry['backend']:11s} n={entry['num_keys']:>7d} "
+              f"{entry['seconds']:8.4f}s  {entry['ops_per_sec'] / 1e3:9.1f} kops/s")
+    for key, value in document["speedups"].items():
+        print(f"  speedup {key}: {value:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

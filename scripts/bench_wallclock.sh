@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Measure real host wall-clock throughput of the bulk-execution backends and
+# refresh BENCH_wallclock.json at the repository root (the perf trajectory).
+#
+# Usage: scripts/bench_wallclock.sh [extra bench_wallclock.py args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH}
+
+python benchmarks/bench_wallclock.py "$@"

@@ -30,4 +30,7 @@ echo "== Examples =="
 python examples/quickstart.py
 python examples/sharded_engine.py
 
+echo "== Wall-clock backend benchmark (tiny sizes) =="
+bash scripts/bench_wallclock.sh --sizes 4096 --repeats 1 --out results/smoke/BENCH_wallclock.json
+
 echo "== smoke OK =="

@@ -29,6 +29,12 @@ registry below; ``python -m repro list`` prints the same table)::
 benchmark default, smaller values are faster smoke runs, larger values tighten
 the statistics at the cost of runtime.  See docs/EXPERIMENTS.md for how the
 modelled numbers relate to the paper's K40c measurements.
+
+``--backend`` selects the bulk-execution backend for every table the
+experiments build: ``vectorized`` (default; the NumPy fast path) or
+``reference`` (the per-warp generator schedule).  Both produce identical
+device counters — and therefore identical tables — the flag only changes the
+host-side wall-clock time; see docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -39,9 +45,10 @@ import sys
 import time
 from typing import Callable, Dict, Optional
 
+from repro.core.bulk_exec import BACKENDS
 from repro.gpusim.device import TESLA_K40C
 from repro.perf import figures
-from repro.perf.harness import FigureResult
+from repro.perf.harness import FigureResult, execution_backend
 from repro.perf.report import PAPER_REFERENCE, format_figure, format_table
 
 __all__ = ["EXPERIMENTS", "main", "build_parser"]
@@ -138,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="multiplier on the default simulation sizes (default 1.0)")
     run.add_argument("--out", type=str, default=None,
                      help="directory to write the resulting tables into")
+    run.add_argument("--backend", choices=list(BACKENDS), default="vectorized",
+                     help="bulk-execution backend for every table "
+                          "(identical results; vectorized is much faster)")
     return parser
 
 
@@ -181,8 +191,9 @@ def main(argv: Optional[list] = None, stream=None) -> int:
 
     # command == "reproduce"
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        _run_one(name, args.scale, args.out, stream)
+    with execution_backend(args.backend):
+        for name in names:
+            _run_one(name, args.scale, args.out, stream)
     return 0
 
 

@@ -14,6 +14,7 @@ Public entry points:
 
 from repro.core import constants
 from repro.core.address import decode_address, is_valid_address, make_address
+from repro.core.bulk_exec import BACKENDS, BulkExecutor, get_default_backend, set_default_backend
 from repro.core.config import SlabAllocConfig, SlabConfig
 from repro.core.flush import FlushResult, flush_all, flush_bucket
 from repro.core.hashing import PRIME, UniversalHash, hash_pair, is_user_key
@@ -28,6 +29,10 @@ __all__ = [
     "SlabList",
     "SlabSet",
     "constants",
+    "BACKENDS",
+    "BulkExecutor",
+    "get_default_backend",
+    "set_default_backend",
     "make_address",
     "decode_address",
     "is_valid_address",

@@ -1,0 +1,706 @@
+"""Vectorized bulk-execution backend: a counter-exact NumPy fast path.
+
+The reference bulk driver (:class:`repro.core.slab_hash.SlabHash` with
+``backend="reference"``) executes warps one generator step at a time — faithful
+to the paper's warp-cooperative work sharing (Fig. 2), but the Python generator
+machinery costs microseconds per simulated memory access.  This module executes
+the same bulk batches with batched NumPy array operations and *synthesizes the
+exact device-counter stream* the sequential reference schedule would have
+produced, so the cost model, every figure, and every counter-based test see
+bit-identical numbers.
+
+Why this is possible
+--------------------
+In the bulk ("static comparison") mode the warps are drained sequentially, and
+within a warp the WCWS work queue processes one source lane to completion
+before moving to the next (``first_set_lane`` over a shrinking ballot).  The
+schedule is therefore *strictly serial in array order*: operation ``i``
+executes fully before operation ``i + 1``, and no CAS ever fails.  Final state
+and per-operation results can then be resolved per bucket with sorting and
+ranking primitives, and the counters follow from closed-form per-iteration
+event profiles of the three warp procedures:
+
+===============  ========================================================
+per iteration    SEARCH: 38 warp instrs, 2 ballots, 3 shuffles (key-only
+                 found: terminal iteration has 2), 1 coalesced slab read
+                 REPLACE/INSERT: 46 warp instrs, 2 ballots, 3 shuffles in
+                 key-value mode / 2 in key-only (+1 address shuffle on every
+                 non-terminal iteration), 1 coalesced slab read
+                 DELETE: 36 warp instrs, 2 ballots, 2 shuffles (+1 address
+                 shuffle when the key is not in the slab), 1 coalesced read
+per warp         1 extra ballot (the initial work-queue build)
+per non-base     one address decode: +1 warp instr (SlabAlloc-light) or
+slab visit       +8 warp instrs and 1 shared read (regular SlabAlloc)
+===============  ========================================================
+
+The iteration count of an operation is the number of slabs it visits: the
+destination/match depth plus one, the full chain length for misses, and
+``chain + 2`` for insertions that append a slab (the tail is re-read after the
+pointer CAS).  Slab *allocations* are delegated to the real
+:meth:`~repro.core.slab_alloc.SlabAlloc.warp_allocate` with the correct warp
+ids in the correct global order, so resident-block churn, bitmap atomics and
+growth behave — and count — exactly as in the reference schedule.
+
+Fallback
+--------
+Unique-key (REPLACE) resolution assumes the *canonical* bucket layout that
+every public API preserves: within each bucket's scan order, EMPTY slots only
+follow occupied/tombstoned ones.  If a table is ever observed in a
+non-canonical state (only reachable by external mutation of the stores), the
+executor transparently falls back to the reference generator path for that
+call, which is correct in every state.
+
+When SlabAlloc raises (out of memory) mid-batch, the executor mirrors the
+reference schedule's partial effects: every operation preceding the failing
+one is applied (and counted), the failing operation's traversal up to the
+failed allocation is counted, and the error propagates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.gpusim.errors import AllocationError
+from repro.gpusim.vectorize import (
+    CounterTally,
+    combine_codes,
+    first_occurrence,
+    group_ranks,
+    run_starts,
+)
+from repro.gpusim.warp import WARP_SIZE, Warp
+
+__all__ = [
+    "BulkExecutor",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+]
+
+#: Selectable bulk-execution backends.
+BACKENDS = ("vectorized", "reference")
+
+_DEFAULT_BACKEND = "vectorized"
+
+
+def get_default_backend() -> str:
+    """The backend new :class:`~repro.core.slab_hash.SlabHash` tables use."""
+    return _DEFAULT_BACKEND
+
+
+def set_default_backend(name: str) -> None:
+    """Set the process-wide default bulk-execution backend.
+
+    Affects tables constructed afterwards with ``backend=None``; existing
+    tables keep the backend they were built with.
+    """
+    global _DEFAULT_BACKEND
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    _DEFAULT_BACKEND = name
+
+
+class _AppendFailed(Exception):
+    """Internal: a slab allocation failed while appending for ``op_index``."""
+
+    def __init__(self, op_index: int, error: AllocationError) -> None:
+        super().__init__(str(error))
+        self.op_index = op_index
+        self.error = error
+
+
+class _Snapshot:
+    """Flattened host-side view of the table, in warp traversal (scan) order.
+
+    Wraps a :class:`~repro.core.slab_list.ChainTable` with per-*slot* arrays:
+    slot ``p`` of bucket ``b`` (0-based over the whole chain, ``M`` slots per
+    slab) is the ``p``-th element position a traversing warp would inspect.
+    """
+
+    def __init__(self, lists, cfg) -> None:
+        self.cfg = cfg
+        self.eps = cfg.elements_per_slab
+        self.key_lanes = np.fromiter(cfg.key_lanes, dtype=np.int64)
+        self.ct = lists.chain_table()
+        self.words = self.ct.words()
+        self.keymat = self.words[:, self.key_lanes]
+        self.offsets = self.ct.offsets
+        self.chain_len = self.ct.chain_lengths()
+        self.num_buckets = len(self.chain_len)
+        slab_depth = np.arange(self.ct.num_slabs, dtype=np.int64) - self.offsets[
+            self.ct.bucket_of
+        ]
+        self.slot_bucket = np.repeat(self.ct.bucket_of, self.eps)
+        self.slot_pos = (
+            slab_depth[:, None] * self.eps + np.arange(self.eps, dtype=np.int64)
+        ).ravel()
+        self.slot_key = self.keymat.ravel()
+
+    # -- layout predicates ------------------------------------------------ #
+
+    def is_canonical(self) -> bool:
+        """True when every bucket keeps its EMPTY slots strictly at the tail."""
+        empty = self.slot_key == C.EMPTY_KEY
+        if len(empty) < 2:
+            return True
+        same_bucket = self.slot_bucket[:-1] == self.slot_bucket[1:]
+        violation = empty[:-1] & ~empty[1:] & same_bucket
+        return not bool(violation.any())
+
+    def occupied_counts(self) -> np.ndarray:
+        """Per-bucket count of non-EMPTY slots (live elements plus tombstones)."""
+        occupied = self.slot_key != C.EMPTY_KEY
+        return np.bincount(
+            self.slot_bucket[occupied], minlength=self.num_buckets
+        ).astype(np.int64)
+
+    # -- live-element indexes --------------------------------------------- #
+
+    def live_sorted(self) -> Tuple[np.ndarray, np.ndarray]:
+        """All live slots as (codes, positions), sorted by (bucket, key, pos)."""
+        live = (self.slot_key != C.EMPTY_KEY) & (self.slot_key != C.DELETED_KEY)
+        codes = combine_codes(self.slot_bucket[live], self.slot_key[live])
+        pos = self.slot_pos[live]
+        order = np.argsort(codes, kind="stable")  # stable: pos stays ascending
+        return codes[order], pos[order]
+
+    def live_first_occurrences(self) -> Tuple[np.ndarray, np.ndarray]:
+        """First live occurrence of each (bucket, key): (sorted codes, positions)."""
+        codes, pos = self.live_sorted()
+        first = run_starts(codes)
+        return codes[first], pos[first]
+
+    # -- slot resolution --------------------------------------------------- #
+
+    def values_at(self, buckets: np.ndarray, pos: np.ndarray) -> np.ndarray:
+        """Stored value lane at each (bucket, position) — key-value mode only."""
+        rows = self.offsets[buckets] + pos // self.eps
+        lanes = self.key_lanes[pos % self.eps] + 1
+        return self.words[rows, lanes]
+
+
+class _SlabMap:
+    """Resolves (bucket, chain depth) to a writable (store, row) location.
+
+    Starts from the snapshot's ChainTable and grows as the executor appends
+    slabs, so end-of-call writes can be scattered per store with fancy
+    indexing.
+    """
+
+    def __init__(self, snap: _Snapshot) -> None:
+        self.snap = snap
+        self.stores: List[np.ndarray] = list(snap.ct.stores)
+        self._store_ids = {id(store): index for index, store in enumerate(self.stores)}
+        self.appended_by_bucket: dict = {}  # (bucket, depth) -> (store_idx, row)
+        self._appended_cache = None
+
+    def register_append(self, bucket: int, depth: int, store: np.ndarray, row: int) -> None:
+        key = id(store)
+        if key not in self._store_ids:
+            self._store_ids[key] = len(self.stores)
+            self.stores.append(store)
+        self.appended_by_bucket[(bucket, depth)] = (self._store_ids[key], row)
+        self._appended_cache = None
+
+    def location(self, bucket: int, depth: int) -> Tuple[np.ndarray, int]:
+        chain = int(self.snap.chain_len[bucket])
+        if depth < chain:
+            flat = int(self.snap.offsets[bucket]) + depth
+            return self.stores[int(self.snap.ct.store_idx[flat])], int(self.snap.ct.rows[flat])
+        store_idx, row = self.appended_by_bucket[(bucket, depth)]
+        return self.stores[store_idx], row
+
+    def _appended_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(per-bucket offsets, store_idx, rows) of appended slabs, depth-sorted.
+
+        A bucket's appended slabs occupy consecutive depths starting at its
+        original chain length, so sorting by (bucket, depth) makes them
+        addressable as ``offset[bucket] + depth - chain_len[bucket]``.
+        """
+        if self._appended_cache is None:
+            entries = sorted(self.appended_by_bucket.items())
+            buckets = np.fromiter((key[0] for key, _ in entries), np.int64, len(entries))
+            offsets = np.zeros(self.snap.num_buckets + 1, dtype=np.int64)
+            np.cumsum(np.bincount(buckets, minlength=self.snap.num_buckets), out=offsets[1:])
+            self._appended_cache = (
+                offsets,
+                np.fromiter((loc[0] for _, loc in entries), np.int64, len(entries)),
+                np.fromiter((loc[1] for _, loc in entries), np.int64, len(entries)),
+            )
+        return self._appended_cache
+
+    def locations(self, buckets: np.ndarray, depths: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`location` over arrays (existing and appended slabs)."""
+        store_idx = np.empty(len(buckets), dtype=np.int64)
+        rows = np.empty(len(buckets), dtype=np.int64)
+        in_chain = depths < self.snap.chain_len[buckets]
+        flat = self.snap.offsets[buckets[in_chain]] + depths[in_chain]
+        store_idx[in_chain] = self.snap.ct.store_idx[flat]
+        rows[in_chain] = self.snap.ct.rows[flat]
+        appended = ~in_chain
+        if appended.any():
+            offsets, app_store_idx, app_rows = self._appended_arrays()
+            app_buckets = buckets[appended]
+            index = offsets[app_buckets] + depths[appended] - self.snap.chain_len[app_buckets]
+            store_idx[appended] = app_store_idx[index]
+            rows[appended] = app_rows[index]
+        return store_idx, rows
+
+    def scatter(self, store_idx: np.ndarray, rows: np.ndarray, *writes) -> None:
+        """Apply one or more (lanes, values) write sets at the given slots.
+
+        Writes sharing slot coordinates (e.g. key lane and value lane) are
+        passed together so the store grouping is computed once.
+        """
+        if len(store_idx) == 0:
+            return
+        # Most writes land in the dominant store (the base slabs); peel that
+        # majority off with one mask and sort only the remainder.
+        majority = store_idx[0]
+        in_majority = store_idx == majority
+        select = np.flatnonzero(in_majority) if not in_majority.all() else slice(None)
+        store = self.stores[int(majority)]
+        for lanes, values in writes:
+            store[rows[select], lanes[select]] = values[select].astype(np.uint32, copy=False)
+        if isinstance(select, slice):
+            return
+        rest = np.flatnonzero(~in_majority)
+        order = rest[np.argsort(store_idx[rest], kind="stable")]
+        sorted_idx = store_idx[order]
+        starts = np.flatnonzero(np.r_[True, sorted_idx[1:] != sorted_idx[:-1]])
+        bounds = np.append(starts, len(sorted_idx))
+        for group in range(len(starts)):
+            chosen = order[bounds[group] : bounds[group + 1]]
+            store = self.stores[int(sorted_idx[bounds[group]])]
+            for lanes, values in writes:
+                store[rows[chosen], lanes[chosen]] = values[chosen].astype(np.uint32, copy=False)
+
+
+class BulkExecutor:
+    """Vectorized executor for one table's ``bulk_*`` operations.
+
+    Parameters
+    ----------
+    table:
+        The owning :class:`~repro.core.slab_hash.SlabHash`.  The executor
+        reads/writes the table's stores directly and reports synthesized
+        events into the table's device counters.
+    """
+
+    def __init__(self, table) -> None:
+        self.table = table
+
+    # ------------------------------------------------------------------ #
+    # Shared plumbing
+    # ------------------------------------------------------------------ #
+
+    def _begin_kernel(self, num_ops: int) -> Tuple[int, int]:
+        """Mirror the reference driver's kernel launch and warp-id allocation."""
+        table = self.table
+        table.device.launch_kernel()
+        chunks = math.ceil(num_ops / WARP_SIZE)
+        base_warp = table._warp_counter
+        table._warp_counter += chunks
+        return base_warp, chunks
+
+    @property
+    def _decode_cost(self) -> Tuple[int, int]:
+        """(warp instructions, shared reads) per non-base-slab address decode.
+
+        Mirrors :meth:`~repro.core.slab_alloc.SlabAlloc.charge_address_decode`.
+        """
+        return (1, 0) if self.table.alloc.light else (8, 1)
+
+    def _tally_traversal(
+        self,
+        tally: CounterTally,
+        *,
+        iter_instructions: int,
+        chunks: int,
+        iters: int,
+        decodes: int,
+        shuffles: int,
+    ) -> None:
+        """Common per-iteration events of all three warp procedures."""
+        decode_wi, decode_shared = self._decode_cost
+        tally.add("coalesced_read_transactions", iters)
+        tally.add("warp_ballots", chunks + 2 * iters)
+        tally.add("warp_shuffles", shuffles)
+        # charge(ITER) + first_set_lane(work queue) + first_set_lane(dest/found)
+        tally.add("warp_instructions", (iter_instructions + 2) * iters + decode_wi * decodes)
+        tally.add("shared_reads", decode_shared * decodes)
+
+    def _process_appends(
+        self,
+        tally: CounterTally,
+        slab_map: _SlabMap,
+        append_ops: np.ndarray,
+        buckets: np.ndarray,
+        depths: np.ndarray,
+        base_warp: int,
+    ) -> None:
+        """Allocate and link appended slabs, in global operation order.
+
+        Each event runs the *real* allocator under the triggering warp's id, so
+        resident-block hashing, bitmap atomics, resident changes and growth are
+        reproduced (and counted) exactly; the pointer-append CAS (which cannot
+        fail in the serial bulk schedule) is tallied as one 32-bit atomic.
+        """
+        table = self.table
+        counters = table.device.counters
+        for op in append_ops:
+            bucket = int(buckets[op])
+            depth = int(depths[op])  # chain length before this append
+            warp = Warp(base_warp + int(op) // WARP_SIZE, counters)
+            try:
+                address = table.alloc.warp_allocate(warp)
+            except AllocationError as error:
+                raise _AppendFailed(int(op), error) from error
+            tally.add("atomic32", 1)
+            tail_store, tail_row = slab_map.location(bucket, depth - 1)
+            tail_store[tail_row, C.ADDRESS_LANE] = np.uint32(address)
+            store, row = table.alloc.slab_view(address)
+            slab_map.register_append(bucket, depth, store, row)
+
+    # ------------------------------------------------------------------ #
+    # SEARCH
+    # ------------------------------------------------------------------ #
+
+    def bulk_search(self, queries: np.ndarray) -> np.ndarray:
+        table = self.table
+        cfg = table.config
+        n = len(queries)
+        base_warp, chunks = self._begin_kernel(n)
+        results = np.full(n, C.SEARCH_NOT_FOUND, dtype=np.uint32)
+        if n == 0:
+            return results
+
+        buckets = table.hash_fn.hash_array(queries)
+        snap = _Snapshot(table.lists, cfg)
+        codes, positions = snap.live_first_occurrences()
+        found, index = first_occurrence(codes, combine_codes(buckets, queries))
+
+        pos = positions[index[found]]
+        if cfg.key_value:
+            results[found] = snap.values_at(buckets[found], pos)
+        else:
+            results[found] = queries[found]
+
+        reads = snap.chain_len[buckets].copy()
+        reads[found] = pos // snap.eps + 1
+        iters = int(reads.sum())
+        shuffles = 3 * iters - (0 if cfg.key_value else int(found.sum()))
+
+        tally = CounterTally()
+        self._tally_traversal(
+            tally,
+            iter_instructions=C.SEARCH_ITER_INSTRUCTIONS,
+            chunks=chunks,
+            iters=iters,
+            decodes=iters - n,
+            shuffles=shuffles,
+        )
+        tally.commit(table.device.counters)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # DELETE
+    # ------------------------------------------------------------------ #
+
+    def bulk_delete(self, keys: np.ndarray) -> np.ndarray:
+        table = self.table
+        cfg = table.config
+        n = len(keys)
+        base_warp, chunks = self._begin_kernel(n)
+        removed = np.zeros(n, dtype=np.int64)
+        if n == 0:
+            return removed
+
+        buckets = table.hash_fn.hash_array(keys)
+        snap = _Snapshot(table.lists, cfg)
+        codes, positions = snap.live_sorted()
+        query_codes = combine_codes(buckets, keys)
+        starts = np.searchsorted(codes, query_codes, side="left")
+        counts = np.searchsorted(codes, query_codes, side="right") - starts
+        # The r-th delete of a key (in batch order) removes its r-th live
+        # occurrence in scan order; any further deletes traverse the chain
+        # and miss, exactly like deletes of absent keys.
+        ranks = group_ranks(query_codes)
+        found = ranks < counts
+        removed[found] = 1
+
+        pos = positions[starts[found] + ranks[found]]
+        depth = pos // snap.eps
+        reads = snap.chain_len[buckets].copy()
+        reads[found] = depth + 1
+        iters = int(reads.sum())
+        found_count = int(found.sum())
+
+        tombstone = C.DELETED_KEY if cfg.unique_keys else C.EMPTY_KEY
+        slab_map = _SlabMap(snap)
+        bucket_f = buckets[found]
+        store_idx, rows = slab_map.locations(bucket_f, depth)
+        lanes = snap.key_lanes[pos % snap.eps]
+        words_per_delete = 1
+        writes = [(lanes, np.full(found_count, tombstone, np.uint32))]
+        if cfg.key_value and tombstone == C.EMPTY_KEY:
+            # Recycled slots must read as a full EMPTY_PAIR (cf. _mark_deleted).
+            words_per_delete = 2
+            writes.append((lanes + 1, np.full(found_count, C.EMPTY_VALUE, np.uint32)))
+        slab_map.scatter(store_idx, rows, *writes)
+
+        tally = CounterTally()
+        self._tally_traversal(
+            tally,
+            iter_instructions=C.DELETE_ITER_INSTRUCTIONS,
+            chunks=chunks,
+            iters=iters,
+            decodes=iters - n,
+            shuffles=3 * iters - found_count,
+        )
+        tally.add("uncoalesced_write_words", words_per_delete * found_count)
+        tally.commit(table.device.counters)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # INSERT / REPLACE
+    # ------------------------------------------------------------------ #
+
+    def bulk_insert(self, keys: np.ndarray, values: Optional[np.ndarray]) -> None:
+        table = self.table
+        if table.config.unique_keys:
+            snap = _Snapshot(table.lists, table.config)
+            if not snap.is_canonical():
+                # External mutation produced mid-chain EMPTY slots; REPLACE
+                # semantics then depend on empty-vs-match scan races that only
+                # the reference schedule resolves faithfully.
+                table._reference_bulk_insert(keys, values)
+                return
+            self._insert_resolved(keys, values, snap, self._resolve_unique(snap, keys))
+        else:
+            snap = _Snapshot(table.lists, table.config)
+            self._insert_resolved(keys, values, snap, self._resolve_duplicates(snap, keys))
+
+    def _resolve_unique(
+        self, snap: _Snapshot, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """REPLACE destinations: (buckets, dest position, slot-consuming mask).
+
+        A key already live in its bucket (or inserted earlier in this batch)
+        replaces in place at its first occurrence; each other op claims the
+        bucket's next free slot in arrival order (canonical layout: slot
+        ``occupied + rank``).
+        """
+        table = self.table
+        n = len(keys)
+        buckets = table.hash_fn.hash_array(keys)
+        occupied = snap.occupied_counts()
+        codes, positions = snap.live_first_occurrences()
+        query_codes = combine_codes(buckets, keys)
+        matched, index = first_occurrence(codes, query_codes)
+
+        dest = np.empty(n, dtype=np.int64)
+        dest[matched] = positions[index[matched]]
+        consuming = np.zeros(n, dtype=bool)
+
+        new_ops = np.flatnonzero(~matched)
+        if new_ops.size:
+            # Group batch-new ops by (bucket, key): the first occurrence (in
+            # batch order) claims a slot, later occurrences replace in place.
+            order = np.argsort(query_codes[new_ops], kind="stable")
+            run_start = run_starts(query_codes[new_ops][order])
+            run_ids = np.cumsum(run_start) - 1
+            first_ops = new_ops[order[run_start]]  # min op index of each run
+            consuming_ops = np.sort(first_ops) if len(first_ops) < len(new_ops) else new_ops
+            consuming[consuming_ops] = True
+            dest_consuming = occupied[buckets[consuming_ops]] + group_ranks(
+                buckets[consuming_ops]
+            )
+            dest_per_run = dest_consuming[np.searchsorted(consuming_ops, first_ops)]
+            dest_new = np.empty(len(new_ops), dtype=np.int64)
+            dest_new[order] = dest_per_run[run_ids]
+            dest[new_ops] = dest_new
+        return buckets, dest, consuming
+
+    def _resolve_duplicates(
+        self, snap: _Snapshot, keys: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """INSERT destinations: every op claims the bucket's next EMPTY slot.
+
+        Free slots (including recycled mid-chain ones) are consumed in scan
+        order; overflow continues into appended slabs.
+        """
+        table = self.table
+        n = len(keys)
+        buckets = table.hash_fn.hash_array(keys)
+        empty = snap.slot_key == C.EMPTY_KEY
+        free_pos = snap.slot_pos[empty]
+        free_counts = np.bincount(
+            snap.slot_bucket[empty], minlength=snap.num_buckets
+        ).astype(np.int64)
+        free_offsets = np.zeros(snap.num_buckets + 1, dtype=np.int64)
+        np.cumsum(free_counts, out=free_offsets[1:])
+
+        ranks = group_ranks(buckets)
+        dest = np.empty(n, dtype=np.int64)
+        in_free = ranks < free_counts[buckets]
+        dest[in_free] = free_pos[free_offsets[buckets[in_free]] + ranks[in_free]]
+        overflow = ~in_free
+        capacity = snap.chain_len * snap.eps
+        dest[overflow] = capacity[buckets[overflow]] + (
+            ranks[overflow] - free_counts[buckets[overflow]]
+        )
+        return buckets, dest, np.ones(n, dtype=bool)
+
+    def _insert_resolved(
+        self,
+        keys: np.ndarray,
+        values: Optional[np.ndarray],
+        snap: _Snapshot,
+        resolution: Tuple[np.ndarray, np.ndarray, np.ndarray],
+    ) -> None:
+        table = self.table
+        cfg = table.config
+        n = len(keys)
+        base_warp, chunks = self._begin_kernel(n)
+        if n == 0:
+            return
+        buckets, dest, consuming = resolution
+        eps = snap.eps
+        capacity = snap.chain_len * eps
+        depth = dest // eps
+
+        # A slot-consuming op whose destination is the first slot past the
+        # current capacity appends a slab: it traverses to the tail, allocates,
+        # CASes the pointer, re-reads the tail and follows into the new slab.
+        append_ops = np.flatnonzero(consuming & (dest % eps == 0) & (dest >= capacity[buckets]))
+        reads = depth + 1
+        decodes = depth.copy()
+        if append_ops.size:
+            reads[append_ops] += 1
+            decodes[append_ops] += (depth[append_ops] > 1).astype(np.int64)
+
+        slab_map = _SlabMap(snap)
+        tally = CounterTally()
+        try:
+            self._process_appends(tally, slab_map, append_ops, buckets, depth, base_warp)
+        except _AppendFailed as failed:
+            self._finish_partial_insert(
+                keys, values, tally, slab_map, resolution, reads, decodes,
+                depth, base_warp, failed.op_index,
+            )
+            raise failed.error
+
+        iters = int(reads.sum())
+        base_shuffles = 3 if cfg.key_value else 2
+        self._tally_traversal(
+            tally,
+            iter_instructions=C.REPLACE_ITER_INSTRUCTIONS,
+            chunks=chunks,
+            iters=iters,
+            decodes=int(decodes.sum()),
+            shuffles=base_shuffles * iters + (iters - n),
+        )
+        if cfg.key_value:
+            tally.add("atomic64", n)
+        else:
+            # Key-only REPLACE of an already-present key is a no-op (no CAS);
+            # only slot-claiming insertions issue the 32-bit CAS.
+            tally.add("atomic32", int(consuming.sum()))
+
+        self._apply_insert_writes(keys, values, slab_map, buckets, dest, consuming, None)
+        tally.commit(table.device.counters)
+
+    def _apply_insert_writes(
+        self,
+        keys: np.ndarray,
+        values: Optional[np.ndarray],
+        slab_map: _SlabMap,
+        buckets: np.ndarray,
+        dest: np.ndarray,
+        consuming: np.ndarray,
+        limit: Optional[int],
+    ) -> None:
+        """Write resolved insertions into the stores (ops ``< limit`` only).
+
+        Key-value REPLACE CASes (key, value) for every op (replacing in place
+        re-writes the pair), key-only mode only writes newly claimed slots.
+        The last write to a slot wins, as in serial order.
+        """
+        cfg = self.table.config
+        snap = slab_map.snap
+        n = len(keys) if limit is None else limit
+        write_ops = np.arange(n) if cfg.key_value else np.flatnonzero(consuming[:n])
+        if not write_ops.size:
+            return
+        if bool(consuming[:n].all()) or not cfg.key_value:
+            # Every written slot is distinct (slot-claiming ops claim distinct
+            # slots; key-only mode writes nothing else).
+            keep = write_ops
+        else:
+            slot_ids = buckets[write_ops] * (int(dest.max()) + 1) + dest[write_ops]
+            # Keep the last write per slot: reverse before marking run starts.
+            order = np.argsort(slot_ids, kind="stable")[::-1]
+            keep = write_ops[order[run_starts(slot_ids[order])]]
+
+        keep_depth = dest[keep] // snap.eps
+        store_idx, rows = slab_map.locations(buckets[keep], keep_depth)
+        lanes = snap.key_lanes[dest[keep] % snap.eps]
+        writes = [(lanes, keys[keep])]
+        if cfg.key_value:
+            writes.append((lanes + 1, values[keep]))
+        slab_map.scatter(store_idx, rows, *writes)
+
+    def _finish_partial_insert(
+        self,
+        keys: np.ndarray,
+        values: Optional[np.ndarray],
+        tally: CounterTally,
+        slab_map: _SlabMap,
+        resolution: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        reads: np.ndarray,
+        decodes: np.ndarray,
+        depth: np.ndarray,
+        base_warp: int,
+        failed_op: int,
+    ) -> None:
+        """Mirror the reference schedule's partial effects of a failed append.
+
+        Operations before ``failed_op`` executed fully; ``failed_op`` itself
+        traversed its chain and died inside ``warp_allocate`` (whose own
+        events the real allocator already charged).  Later operations — and
+        later warps — never ran.
+        """
+        table = self.table
+        cfg = table.config
+        launched_chunks = failed_op // WARP_SIZE + 1
+        table._warp_counter = base_warp + launched_chunks
+        buckets, dest, consuming = resolution
+
+        prefix_iters = int(reads[:failed_op].sum())
+        chain = int(depth[failed_op])  # tail depth the failing op reached
+        base_shuffles = 3 if cfg.key_value else 2
+        self._tally_traversal(
+            tally,
+            iter_instructions=C.REPLACE_ITER_INSTRUCTIONS,
+            chunks=launched_chunks,
+            iters=prefix_iters + chain,
+            decodes=int(decodes[:failed_op].sum()) + (chain - 1),
+            shuffles=base_shuffles * (prefix_iters + chain)
+            + (prefix_iters - failed_op)
+            + chain,
+        )
+        # The failing op's last iteration issued the candidate ballot but died
+        # before the end-of-loop work-queue ballot.
+        tally.add("warp_ballots", -1)
+        if cfg.key_value:
+            tally.add("atomic64", failed_op)
+        else:
+            tally.add("atomic32", int(consuming[:failed_op].sum()))
+
+        self._apply_insert_writes(keys, values, slab_map, buckets, dest, consuming, failed_op)
+        tally.commit(table.device.counters)

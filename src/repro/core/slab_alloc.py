@@ -189,6 +189,37 @@ class SlabAlloc:
         self._check_bounds(super_block, block, unit)
         return self._block_store(super_block, block), unit
 
+    def gather_views(self, addresses: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray]:
+        """Vectorized :meth:`slab_view`: resolve many 32-bit addresses at once.
+
+        Returns ``(stores, store_idx, rows)`` where slab ``i`` lives at
+        ``stores[store_idx[i]][rows[i]]``.  Host-side (uncounted) — used by the
+        vectorized bulk backend and the table introspection helpers.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        units = addresses & ((1 << addr.UNIT_BITS) - 1)
+        blocks = (addresses >> addr.UNIT_BITS) & ((1 << addr.BLOCK_BITS) - 1)
+        supers = (addresses >> (addr.UNIT_BITS + addr.BLOCK_BITS)) & (
+            (1 << addr.SUPER_BLOCK_BITS) - 1
+        )
+        if addresses.size:
+            if int(supers.max()) >= self.num_super_blocks:
+                raise AllocationError("gather_views: super block out of range")
+            if int(blocks.max()) >= self.config.num_memory_blocks:
+                raise AllocationError("gather_views: memory block out of range")
+            if int(units.max()) >= self.config.units_per_block:
+                raise AllocationError("gather_views: memory unit out of range")
+        stores: List[np.ndarray] = []
+        store_idx = np.empty(len(addresses), dtype=np.int64)
+        groups = supers * self.config.num_memory_blocks + blocks
+        for group in np.unique(groups):
+            mask = groups == group
+            super_block = int(group) // self.config.num_memory_blocks
+            block = int(group) % self.config.num_memory_blocks
+            store_idx[mask] = len(stores)
+            stores.append(self._block_store(super_block, block))
+        return stores, store_idx, units
+
     def charge_address_decode(self) -> None:
         """Charge the cost of turning a 32-bit layout into a 64-bit pointer.
 

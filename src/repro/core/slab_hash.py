@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core import constants as C
+from repro.core.bulk_exec import BACKENDS, BulkExecutor, get_default_backend
 from repro.core.config import SlabAllocConfig, SlabConfig
 from repro.core.flush import FlushResult, flush_all, flush_bucket
 from repro.core.hashing import UniversalHash, is_user_key
@@ -70,6 +71,15 @@ class SlabHash:
         Supply an existing allocator, or a sizing config for a new one.
     seed:
         Seed for the universal hash function draw.
+    backend:
+        Bulk-execution backend: ``"vectorized"`` (default; batched NumPy
+        resolution with exact counter synthesis, see
+        :mod:`repro.core.bulk_exec`) or ``"reference"`` (the per-warp
+        generator schedule).  Only affects the ``bulk_*`` operations; mixed
+        ``concurrent_batch`` runs always use the reference generators, since
+        scheduler interleavings are the whole point there.  ``None`` picks the
+        process-wide default
+        (:func:`repro.core.bulk_exec.set_default_backend`).
     """
 
     def __init__(
@@ -83,9 +93,13 @@ class SlabHash:
         alloc: Optional[SlabAlloc] = None,
         alloc_config: Optional[SlabAllocConfig] = None,
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         if num_buckets <= 0:
             raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        backend = backend or get_default_backend()
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.device = device or Device()
         self.config = SlabConfig(key_value=key_value, unique_keys=unique_keys)
         if alloc is None:
@@ -99,6 +113,8 @@ class SlabHash:
         self.lists = SlabListCollection(self.device, alloc, num_buckets, self.config)
         self.hash_fn = UniversalHash(num_buckets, seed=seed)
         self._warp_counter = 0
+        self.backend = backend
+        self._bulk_exec = BulkExecutor(self)
 
     # ------------------------------------------------------------------ #
     # Bucket sizing helpers (Fig. 4c)
@@ -188,6 +204,17 @@ class SlabHash:
         lane[: end - start] = values[start:end]
         return lane
 
+    @staticmethod
+    def _fill_lane_array(lane: np.ndarray, values: np.ndarray, start: int, end: int, fill) -> None:
+        """Refill a reusable lane buffer in place (hot-loop variant of _pad_lane_array).
+
+        Safe only when the previous chunk's warp program has been fully
+        drained (the sequential bulk loops); ``concurrent_batch`` keeps
+        per-warp arrays because its programs are live simultaneously.
+        """
+        lane[: end - start] = values[start:end]
+        lane[end - start :] = fill
+
     # ------------------------------------------------------------------ #
     # Single-operation convenience API
     # ------------------------------------------------------------------ #
@@ -268,37 +295,58 @@ class SlabHash:
             values = np.asarray(values, dtype=np.uint32)
             if values.shape != keys.shape:
                 raise ValueError("keys and values must have the same length")
+        if self.backend == "vectorized":
+            self._bulk_exec.bulk_insert(keys, values)
+        else:
+            self._reference_bulk_insert(keys, values)
+
+    def _reference_bulk_insert(self, keys: np.ndarray, values: Optional[np.ndarray]) -> None:
+        """The per-warp generator schedule (one legal concurrent schedule)."""
         buckets = self.hash_fn.hash_array(keys)
         self.device.launch_kernel()
         op = self.lists.warp_replace if self.config.unique_keys else self.lists.warp_insert
 
+        # Lane buffers are reused across chunks: each chunk's warp program is
+        # fully drained by run_sequential before the next refill.
+        is_active = np.zeros(WARP_SIZE, dtype=bool)
+        lane_keys = np.empty(WARP_SIZE, dtype=np.uint32)
+        lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+        lane_values = np.empty(WARP_SIZE, dtype=np.uint32) if self.config.key_value else None
         for start, end in self._warp_chunks(len(keys)):
             warp = self._next_warp()
-            is_active = np.zeros(WARP_SIZE, dtype=bool)
             is_active[: end - start] = True
-            lane_keys = self._pad_lane_array(keys, start, end, C.EMPTY_KEY)
-            lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+            is_active[end - start :] = False
+            self._fill_lane_array(lane_keys, keys, start, end, C.EMPTY_KEY)
             lane_buckets[: end - start] = buckets[start:end]
-            lane_values = None
+            lane_buckets[end - start :] = 0
             if self.config.key_value:
-                lane_values = self._pad_lane_array(values, start, end, C.EMPTY_VALUE)
+                self._fill_lane_array(lane_values, values, start, end, C.EMPTY_VALUE)
             run_sequential([op(warp, is_active, lane_buckets, lane_keys, lane_values)])
 
     def bulk_search(self, queries: Sequence[int]) -> np.ndarray:
         """Search a batch of queries; returns values (or ``SEARCH_NOT_FOUND``)."""
         queries = self._validate_keys(np.asarray(queries))
+        if self.backend == "vectorized":
+            return self._bulk_exec.bulk_search(queries)
+        return self._reference_bulk_search(queries)
+
+    def _reference_bulk_search(self, queries: np.ndarray) -> np.ndarray:
         buckets = self.hash_fn.hash_array(queries)
         results = np.full(len(queries), C.SEARCH_NOT_FOUND, dtype=np.uint32)
         self.device.launch_kernel()
 
+        is_active = np.zeros(WARP_SIZE, dtype=bool)
+        lane_keys = np.empty(WARP_SIZE, dtype=np.uint32)
+        lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+        out_values = np.empty(WARP_SIZE, dtype=np.uint32)
         for start, end in self._warp_chunks(len(queries)):
             warp = self._next_warp()
-            is_active = np.zeros(WARP_SIZE, dtype=bool)
             is_active[: end - start] = True
-            lane_keys = self._pad_lane_array(queries, start, end, C.EMPTY_KEY)
-            lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+            is_active[end - start :] = False
+            self._fill_lane_array(lane_keys, queries, start, end, C.EMPTY_KEY)
             lane_buckets[: end - start] = buckets[start:end]
-            out_values = np.full(WARP_SIZE, C.SEARCH_NOT_FOUND, dtype=np.uint32)
+            lane_buckets[end - start :] = 0
+            out_values[:] = C.SEARCH_NOT_FOUND
             run_sequential(
                 [self.lists.warp_search(warp, is_active, lane_buckets, lane_keys, out_values)]
             )
@@ -308,18 +356,27 @@ class SlabHash:
     def bulk_delete(self, keys: Sequence[int]) -> np.ndarray:
         """Delete a batch of keys; returns per-key removed counts (0 or 1)."""
         keys = self._validate_keys(np.asarray(keys))
+        if self.backend == "vectorized":
+            return self._bulk_exec.bulk_delete(keys)
+        return self._reference_bulk_delete(keys)
+
+    def _reference_bulk_delete(self, keys: np.ndarray) -> np.ndarray:
         buckets = self.hash_fn.hash_array(keys)
         removed = np.zeros(len(keys), dtype=np.int64)
         self.device.launch_kernel()
 
+        is_active = np.zeros(WARP_SIZE, dtype=bool)
+        lane_keys = np.empty(WARP_SIZE, dtype=np.uint32)
+        lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+        out_deleted = np.empty(WARP_SIZE, dtype=np.int64)
         for start, end in self._warp_chunks(len(keys)):
             warp = self._next_warp()
-            is_active = np.zeros(WARP_SIZE, dtype=bool)
             is_active[: end - start] = True
-            lane_keys = self._pad_lane_array(keys, start, end, C.EMPTY_KEY)
-            lane_buckets = np.zeros(WARP_SIZE, dtype=np.int64)
+            is_active[end - start :] = False
+            self._fill_lane_array(lane_keys, keys, start, end, C.EMPTY_KEY)
             lane_buckets[: end - start] = buckets[start:end]
-            out_deleted = np.zeros(WARP_SIZE, dtype=np.int64)
+            lane_buckets[end - start :] = 0
+            out_deleted[:] = 0
             run_sequential(
                 [self.lists.warp_delete(warp, is_active, lane_buckets, lane_keys, out_deleted)]
             )
@@ -459,16 +516,11 @@ class SlabHash:
 
     def bucket_slab_counts(self) -> np.ndarray:
         """Per-bucket slab counts (useful for load-balance diagnostics)."""
-        return np.array(
-            [self.lists.slab_count(b) for b in range(self.num_buckets)], dtype=np.int64
-        )
+        return self.lists.slab_counts()
 
     def items(self) -> List[tuple]:
         """All stored (key, value) pairs (value ``None`` in key-only mode)."""
-        out: List[tuple] = []
-        for bucket in range(self.num_buckets):
-            out.extend(self.lists.live_items(bucket))
-        return out
+        return self.lists.all_live_items()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "key-value" if self.config.key_value else "key-only"

@@ -26,6 +26,7 @@ value is actually replaced.  (See DESIGN.md, "Key design decisions".)
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,9 +38,50 @@ from repro.gpusim.device import Device
 from repro.gpusim.memory import GlobalMemory
 from repro.gpusim.warp import Warp
 
-__all__ = ["SlabListCollection"]
+__all__ = ["ChainTable", "SlabListCollection"]
 
 WarpProgram = Generator[None, None, None]
+
+
+@dataclass
+class ChainTable:
+    """A flattened, host-side snapshot of every slab chain in a collection.
+
+    Slabs appear grouped by bucket and ordered by chain depth within each
+    bucket, so flattened slot index ``offsets[b] * M + p`` is exactly the
+    traversal (scan) order of the warp-cooperative procedures.  Used by the
+    vectorized bulk backend and the vectorized introspection helpers; building
+    it is uncounted (no device events), like the other host-side scans.
+    """
+
+    #: Distinct backing stores; index 0 is always the base-slab store.
+    stores: List[np.ndarray]
+    #: Per-slab store index into :attr:`stores`.
+    store_idx: np.ndarray
+    #: Per-slab row within its store.
+    rows: np.ndarray
+    #: Per-slab owning bucket.
+    bucket_of: np.ndarray
+    #: Per-slab 32-bit address (``BASE_SLAB`` for base slabs).
+    addresses: np.ndarray
+    #: Bucket b's slabs occupy flattened indices ``offsets[b]:offsets[b+1]``.
+    offsets: np.ndarray
+
+    @property
+    def num_slabs(self) -> int:
+        return len(self.rows)
+
+    def chain_lengths(self) -> np.ndarray:
+        """Number of slabs per bucket (including the base slab)."""
+        return np.diff(self.offsets)
+
+    def words(self) -> np.ndarray:
+        """Gather every slab's 32 words into one ``(num_slabs, 32)`` matrix."""
+        out = np.empty((self.num_slabs, C.SLAB_WORDS), dtype=np.uint32)
+        for index, store in enumerate(self.stores):
+            mask = self.store_idx == index
+            out[mask] = store[self.rows[mask]]
+        return out
 
 
 class SlabListCollection:
@@ -424,9 +466,73 @@ class SlabListCollection:
         """Number of slabs in ``bucket``'s chain, including the base slab."""
         return 1 + len(self.chain_addresses(bucket))
 
+    def chain_table(self) -> ChainTable:
+        """Build a :class:`ChainTable` snapshot of every chain, vectorized.
+
+        Walks all chains level by level: one vectorized address decode and one
+        grouped gather per chain depth, rather than one Python loop iteration
+        per slab.  The result is grouped by bucket in traversal order.
+        """
+        num = self.num_lists
+        level_buckets = [np.arange(num, dtype=np.int64)]
+        level_store_idx = [np.zeros(num, dtype=np.int64)]
+        level_rows = [np.arange(num, dtype=np.int64)]
+        level_addresses = [np.full(num, C.BASE_SLAB, dtype=np.int64)]
+        level_depths = [np.zeros(num, dtype=np.int64)]
+        stores: List[np.ndarray] = [self.base_slabs]
+        store_ids = {id(self.base_slabs): 0}
+
+        buckets = level_buckets[0]
+        pointers = self.base_slabs[:, C.ADDRESS_LANE].astype(np.int64)
+        depth = 1
+        while True:
+            live = pointers != C.EMPTY_POINTER
+            if not live.any():
+                break
+            buckets = buckets[live]
+            pointers = pointers[live]
+            gathered_stores, gathered_idx, gathered_rows = self.alloc.gather_views(pointers)
+            remap = np.empty(len(gathered_stores), dtype=np.int64)
+            for index, store in enumerate(gathered_stores):
+                key = id(store)
+                if key not in store_ids:
+                    store_ids[key] = len(stores)
+                    stores.append(store)
+                remap[index] = store_ids[key]
+            level_buckets.append(buckets.copy())
+            level_store_idx.append(remap[gathered_idx])
+            level_rows.append(gathered_rows)
+            level_addresses.append(pointers.copy())
+            level_depths.append(np.full(len(buckets), depth, dtype=np.int64))
+            next_pointers = np.empty(len(pointers), dtype=np.int64)
+            for index, store in enumerate(gathered_stores):
+                mask = gathered_idx == index
+                next_pointers[mask] = store[gathered_rows[mask], C.ADDRESS_LANE].astype(np.int64)
+            pointers = next_pointers
+            depth += 1
+
+        bucket_of = np.concatenate(level_buckets)
+        depths = np.concatenate(level_depths)
+        order = np.lexsort((depths, bucket_of))
+        counts = np.bincount(bucket_of, minlength=num)
+        offsets = np.zeros(num + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return ChainTable(
+            stores=stores,
+            store_idx=np.concatenate(level_store_idx)[order],
+            rows=np.concatenate(level_rows)[order],
+            bucket_of=bucket_of[order],
+            addresses=np.concatenate(level_addresses)[order],
+            offsets=offsets,
+        )
+
+    def slab_counts(self) -> np.ndarray:
+        """Per-bucket slab counts for all buckets at once (vectorized)."""
+        return self.chain_table().chain_lengths()
+
     def total_slabs(self) -> int:
         """Total slabs across all lists (base slabs plus allocated slabs)."""
-        return self.num_lists + sum(len(self.chain_addresses(b)) for b in range(self.num_lists))
+        return int(self.chain_table().num_slabs)
 
     def iter_slab_words(self, bucket: int):
         """Yield ``(store, row, words)`` for every slab in ``bucket``'s chain (uncounted)."""
@@ -449,8 +555,28 @@ class SlabListCollection:
         return items
 
     def live_item_count(self) -> int:
-        """Total stored elements across all lists (uncounted host-side scan)."""
-        return sum(len(self.live_items(bucket)) for bucket in range(self.num_lists))
+        """Total stored elements across all lists (vectorized host-side scan)."""
+        keys = self.chain_table().words()[:, list(self.config.key_lanes)]
+        return int(np.count_nonzero((keys != C.EMPTY_KEY) & (keys != C.DELETED_KEY)))
+
+    def all_live_items(self) -> List[Tuple[int, Optional[int]]]:
+        """All stored (key, value) pairs across all lists, in bucket scan order.
+
+        Vectorized equivalent of chaining :meth:`live_items` over every bucket
+        (the ChainTable rows are grouped by bucket in traversal order, so
+        row-major iteration reproduces the per-bucket scan order exactly).
+        """
+        cfg = self.config
+        words = self.chain_table().words()
+        keys = words[:, list(cfg.key_lanes)]
+        mask = (keys != C.EMPTY_KEY) & (keys != C.DELETED_KEY)
+        rows, cols = np.nonzero(mask)
+        found_keys = keys[rows, cols].tolist()
+        if cfg.key_value:
+            value_lanes = np.asarray([lane + 1 for lane in cfg.key_lanes])
+            found_values = words[rows, value_lanes[cols]].tolist()
+            return list(zip(found_keys, found_values))
+        return [(key, None) for key in found_keys]
 
     def used_bytes(self) -> int:
         """Memory occupied by the collection: base slabs plus allocated slabs."""

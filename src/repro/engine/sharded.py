@@ -72,6 +72,11 @@ class ShardedSlabHash:
     seed:
         Master seed; the router and each shard draw independent hash
         functions from it.
+    backend:
+        Bulk-execution backend for every shard (``"vectorized"`` or
+        ``"reference"``; ``None`` picks the process default).  Shards route
+        bulk batches through their own bulk paths, so the engine inherits the
+        backend's speed and its counter-exactness guarantee unchanged.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class ShardedSlabHash:
         light_alloc: bool = False,
         alloc_config: Optional[SlabAllocConfig] = None,
         seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -99,6 +105,7 @@ class ShardedSlabHash:
                 light_alloc=light_alloc,
                 alloc_config=alloc_config,
                 seed=seed + _SHARD_SEED_STRIDE * (shard + 1),
+                backend=backend,
             )
             for shard in range(num_shards)
         ]

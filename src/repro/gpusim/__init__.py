@@ -29,8 +29,13 @@ from repro.gpusim.warp import Warp, WARP_SIZE
 from repro.gpusim.intrinsics import ballot_from_bools, first_set_lane, lane_mask, popc
 from repro.gpusim.scheduler import WarpScheduler, run_sequential
 from repro.gpusim.costmodel import CostModel, CostBreakdown
+from repro.gpusim.vectorize import CounterTally, combine_codes, first_occurrence, group_ranks
 
 __all__ = [
+    "CounterTally",
+    "combine_codes",
+    "first_occurrence",
+    "group_ranks",
     "Counters",
     "Device",
     "DeviceSpec",

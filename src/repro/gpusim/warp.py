@@ -27,6 +27,12 @@ __all__ = ["Warp", "WARP_SIZE"]
 #: SIMD width of the modelled device (NVIDIA warp).
 WARP_SIZE = 32
 
+#: Shared, immutable lane-index vector (0..31), so ``Warp.lanes`` does not
+#: allocate a fresh ``np.arange`` per access.  Read-only: callers that need a
+#: mutable copy must copy it explicitly.
+_LANES = np.arange(WARP_SIZE)
+_LANES.setflags(write=False)
+
 
 class Warp:
     """A warp: 32 lanes executing in lockstep, with instruction accounting.
@@ -111,8 +117,8 @@ class Warp:
 
     @property
     def lanes(self) -> np.ndarray:
-        """Array of lane indices 0..31."""
-        return np.arange(WARP_SIZE)
+        """Array of lane indices 0..31 (shared read-only buffer)."""
+        return _LANES
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Warp(id={self.warp_id})"

@@ -12,7 +12,7 @@ preserves every trend the paper reports while keeping runtimes reasonable.
 """
 
 from repro.perf.metrics import Measurement, measure_phase, scale_counters
-from repro.perf.harness import Series, FigureResult
+from repro.perf.harness import Series, FigureResult, execution_backend
 from repro.perf import figures
 from repro.perf.report import format_figure, format_table
 
@@ -22,6 +22,7 @@ __all__ = [
     "scale_counters",
     "Series",
     "FigureResult",
+    "execution_backend",
     "figures",
     "format_figure",
     "format_table",

@@ -1,11 +1,38 @@
-"""Result containers shared by the per-figure drivers and the reports."""
+"""Result containers shared by the per-figure drivers and the reports.
+
+Also hosts :func:`execution_backend`, the harness-level switch between the
+vectorized and reference bulk backends.  The two backends produce identical
+device counters (the vectorized one synthesizes the reference schedule's
+events exactly; see :mod:`repro.core.bulk_exec`), so every figure is
+backend-independent — the switch only changes how long the *simulation*
+takes on the host, which is what ``benchmarks/bench_wallclock.py`` measures.
+"""
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
-__all__ = ["Series", "FigureResult"]
+from repro.core.bulk_exec import get_default_backend, set_default_backend
+
+__all__ = ["Series", "FigureResult", "execution_backend"]
+
+
+@contextmanager
+def execution_backend(name: str) -> Iterator[None]:
+    """Temporarily set the process-wide default bulk-execution backend.
+
+    Used by the CLI's ``--backend`` flag so every table an experiment driver
+    constructs picks up the requested backend, without threading a parameter
+    through every figure function.
+    """
+    previous = get_default_backend()
+    set_default_backend(name)
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
 
 
 @dataclass

@@ -1,0 +1,59 @@
+"""Schema guard for the wall-clock benchmark output (BENCH_wallclock.json).
+
+Runs a tiny instance of ``benchmarks/bench_wallclock.py`` end to end and
+validates the emitted document against ``validate_document`` — the single
+source of truth for the schema — so any drift in the JSON layout fails CI
+before a malformed BENCH_wallclock.json lands at the repo root.  Also
+validates the committed repo-root file when present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "benchmarks"))
+
+import bench_wallclock  # noqa: E402  (needs the path insertion above)
+
+
+@pytest.mark.smoke
+def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
+    out = tmp_path / "BENCH_wallclock.json"
+    assert bench_wallclock.main(["--sizes", "1024", "--repeats", "1", "--out", str(out)]) == 0
+    with open(out, encoding="utf-8") as handle:
+        document = json.load(handle)
+    bench_wallclock.validate_document(document)  # raises on drift
+    assert document["speedups"]["bulk_build_1024"] > 0
+    ops = {(entry["op"], entry["backend"]) for entry in document["results"]}
+    assert ops == {
+        (op, backend)
+        for op in ("bulk_build", "bulk_search")
+        for backend in ("vectorized", "reference")
+    }
+
+
+@pytest.mark.smoke
+def test_committed_trajectory_file_matches_schema():
+    path = os.path.join(_REPO_ROOT, "BENCH_wallclock.json")
+    if not os.path.exists(path):
+        pytest.skip("no BENCH_wallclock.json at the repo root yet")
+    with open(path, encoding="utf-8") as handle:
+        bench_wallclock.validate_document(json.load(handle))
+
+
+def test_validate_document_rejects_drift():
+    document = bench_wallclock.run_benchmark([256], repeats=1)
+    bench_wallclock.validate_document(document)
+    broken = dict(document)
+    broken.pop("speedups")
+    with pytest.raises(ValueError, match="speedups"):
+        bench_wallclock.validate_document(broken)
+    renamed = dict(document)
+    renamed["results"] = [dict(entry, op="build") for entry in document["results"]]
+    with pytest.raises(ValueError, match="result op"):
+        bench_wallclock.validate_document(renamed)
