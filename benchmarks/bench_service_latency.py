@@ -1,0 +1,240 @@
+"""Latency/throughput of the request-service layer — the serving trajectory.
+
+Drives a Figure-7-style mixed operation stream (Gamma_1: 40 % updates, 60 %
+searches) through :class:`repro.service.SlabHashService` in front of a
+sharded engine, with clients submitting in small concurrent bursts so the
+operation-log micro-batcher genuinely coalesces.  Records per-operation
+wall-clock latency percentiles (:mod:`repro.perf.latency`), wall-clock and
+modelled-device throughput, and batching efficiency into a machine-readable
+``BENCH_service.json`` at the repository root.
+
+Run directly (or via ``scripts/smoke.sh`` at a tiny scale)::
+
+    PYTHONPATH=src python benchmarks/bench_service_latency.py
+        [--num-ops 20000] [--num-shards 4] [--initial 20000]
+        [--max-batch 1024] [--max-delay 0.002] [--burst 256]
+        [--out BENCH_service.json]
+
+Schema (``SCHEMA_VERSION``)::
+
+    {
+      "schema_version": 1,
+      "benchmark": "service_latency",
+      "device_model": "...", "python": "...", "numpy": "...",
+      "config": {"num_ops": ..., "num_shards": ..., "initial_elements": ...,
+                 "max_batch_size": ..., "max_delay_s": ..., "burst": ...,
+                 "distribution": "40% updates, 60% searches"},
+      "latency": {"count": ..., "mean_s": ..., "p50_s": ..., "p90_s": ...,
+                  "p99_s": ..., "max_s": ...},
+      "throughput": {"wall_seconds": ..., "ops_per_sec": ...,
+                     "modelled_seconds": ..., "modelled_ops_per_sec": ...},
+      "batches": {"executed": ..., "mean_size": ..., "warp_aligned_fraction": ...}
+    }
+
+``validate_document`` is the schema's single source of truth; the smoke test
+``tests/perf/test_service_schema.py`` regenerates a tiny document and fails
+if the schema drifts from it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import platform
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.sharded import ShardedSlabHash
+from repro.gpusim.device import TESLA_K40C
+from repro.service import ServiceConfig, SlabHashService
+from repro.workloads.distributions import GAMMA_40_UPDATES, build_concurrent_workload
+from repro.workloads.generators import unique_random_keys, values_for_keys
+
+SCHEMA_VERSION = 1
+DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                           "BENCH_service.json")
+
+
+async def _drive(service: SlabHashService, workload, burst: int) -> None:
+    """Submit the workload in concurrent bursts of ``burst`` operations.
+
+    Each burst's futures are created together (one event-loop turn), so
+    operations pile into the log and the batcher can cut warp-aligned
+    batches, mimicking many simultaneous clients.
+    """
+    for start in range(0, len(workload), burst):
+        end = min(start + burst, len(workload))
+        await service.submit_many(
+            workload.op_codes[start:end],
+            workload.keys[start:end],
+            workload.values[start:end],
+        )
+
+
+def run_benchmark(
+    *,
+    num_ops: int = 20_000,
+    num_shards: int = 4,
+    initial_elements: int = 20_000,
+    max_batch_size: int = 1024,
+    max_delay: float = 0.002,
+    burst: int = 256,
+    seed: int = 1,
+) -> dict:
+    """Build the engine, serve the stream, and assemble the JSON document."""
+    engine = ShardedSlabHash.for_utilization(
+        num_shards, initial_elements, 0.6, seed=seed
+    )
+    keys = unique_random_keys(initial_elements, seed=seed)
+    engine.bulk_build(keys, values_for_keys(keys))
+    workload = build_concurrent_workload(GAMMA_40_UPDATES, num_ops, keys, seed=seed + 7)
+    config = ServiceConfig(max_batch_size=max_batch_size, max_delay=max_delay)
+    service = SlabHashService(engine, config=config)
+
+    async def main() -> None:
+        async with service:
+            await _drive(service, workload, burst)
+
+    asyncio.run(main())
+    stats = service.stats()
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "service_latency",
+        "device_model": f"{TESLA_K40C.name} (simulated)",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "config": {
+            "num_ops": int(num_ops),
+            "num_shards": int(num_shards),
+            "initial_elements": int(initial_elements),
+            "max_batch_size": int(max_batch_size),
+            "max_delay_s": float(max_delay),
+            "burst": int(burst),
+            "distribution": GAMMA_40_UPDATES.describe(),
+        },
+        "latency": stats.latency.as_dict(),
+        "throughput": {
+            "wall_seconds": stats.wall_seconds,
+            "ops_per_sec": stats.ops_per_second,
+            "modelled_seconds": stats.modelled_seconds,
+            "modelled_ops_per_sec": stats.modelled_ops_per_second,
+        },
+        "batches": {
+            "executed": stats.batches_executed,
+            "mean_size": stats.mean_batch_size,
+            "warp_aligned_fraction": (
+                stats.warp_aligned_batches / stats.batches_executed
+                if stats.batches_executed
+                else 0.0
+            ),
+        },
+    }
+
+
+def validate_document(document: dict) -> None:
+    """Raise ``ValueError`` if ``document`` does not match the schema.
+
+    Single source of truth for the BENCH_service.json layout; the smoke test
+    runs a tiny benchmark through this to catch schema drift.
+    """
+    required_top = {
+        "schema_version": int,
+        "benchmark": str,
+        "device_model": str,
+        "python": str,
+        "numpy": str,
+        "config": dict,
+        "latency": dict,
+        "throughput": dict,
+        "batches": dict,
+    }
+    for field, kind in required_top.items():
+        if field not in document:
+            raise ValueError(f"missing top-level field {field!r}")
+        if not isinstance(document[field], kind):
+            raise ValueError(f"field {field!r} must be {kind.__name__}")
+    if document["schema_version"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema_version {document['schema_version']} != {SCHEMA_VERSION}"
+        )
+    if document["benchmark"] != "service_latency":
+        raise ValueError("benchmark field must be 'service_latency'")
+    for field in ("num_ops", "num_shards", "initial_elements", "max_batch_size",
+                  "max_delay_s", "burst", "distribution"):
+        if field not in document["config"]:
+            raise ValueError(f"missing config field {field!r}")
+    for field in ("count", "mean_s", "p50_s", "p90_s", "p99_s", "max_s"):
+        value = document["latency"].get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"latency field {field!r} must be a non-negative number")
+    if document["latency"]["count"] != document["config"]["num_ops"]:
+        raise ValueError("latency count must equal the configured num_ops")
+    if not (document["latency"]["p50_s"] <= document["latency"]["p90_s"]
+            <= document["latency"]["p99_s"] <= document["latency"]["max_s"]):
+        raise ValueError("latency percentiles must be monotone")
+    for field in ("wall_seconds", "ops_per_sec", "modelled_seconds", "modelled_ops_per_sec"):
+        value = document["throughput"].get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"throughput field {field!r} must be a non-negative number")
+    batches = document["batches"]
+    if not isinstance(batches.get("executed"), int) or batches["executed"] <= 0:
+        raise ValueError("batches.executed must be a positive integer")
+    if not isinstance(batches.get("mean_size"), (int, float)) or batches["mean_size"] <= 0:
+        raise ValueError("batches.mean_size must be positive")
+    fraction = batches.get("warp_aligned_fraction")
+    if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
+        raise ValueError("batches.warp_aligned_fraction must be in [0, 1]")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-ops", type=int, default=20_000,
+                        help="operations in the served stream (default %(default)s)")
+    parser.add_argument("--num-shards", type=int, default=4,
+                        help="shards behind the service (default %(default)s)")
+    parser.add_argument("--initial", type=int, default=20_000,
+                        help="elements pre-built into the engine (default %(default)s)")
+    parser.add_argument("--max-batch", type=int, default=1024,
+                        help="micro-batcher batch-size cap (default %(default)s)")
+    parser.add_argument("--max-delay", type=float, default=0.002,
+                        help="co-batching latency budget, seconds (default %(default)s)")
+    parser.add_argument("--burst", type=int, default=256,
+                        help="client submission burst size (default %(default)s)")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUT,
+                        help="output JSON path (default: BENCH_service.json at the repo root)")
+    args = parser.parse_args(argv)
+
+    document = run_benchmark(
+        num_ops=args.num_ops,
+        num_shards=args.num_shards,
+        initial_elements=args.initial,
+        max_batch_size=args.max_batch,
+        max_delay=args.max_delay,
+        burst=args.burst,
+    )
+    validate_document(document)
+    os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.out}")
+    latency = document["latency"]
+    throughput = document["throughput"]
+    batches = document["batches"]
+    print(f"  latency  p50 {latency['p50_s'] * 1e3:7.2f} ms   "
+          f"p90 {latency['p90_s'] * 1e3:7.2f} ms   p99 {latency['p99_s'] * 1e3:7.2f} ms")
+    print(f"  wall     {throughput['ops_per_sec'] / 1e3:9.1f} kops/s over "
+          f"{throughput['wall_seconds']:.3f}s")
+    print(f"  modelled {throughput['modelled_ops_per_sec'] / 1e6:9.1f} Mops/s "
+          f"({throughput['modelled_seconds'] * 1e3:.3f} ms device time)")
+    print(f"  batches  {batches['executed']} executed, mean size {batches['mean_size']:.0f}, "
+          f"{batches['warp_aligned_fraction']:.0%} warp-aligned")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,27 +2,30 @@
 
 Unlike every other benchmark in this directory (which reports *modelled* GPU
 time from the device counters), this one measures **real host wall-clock
-seconds**: how fast the simulation itself executes bulk builds and searches on
-each backend.  It writes a machine-readable ``BENCH_wallclock.json`` so the
-speed of the simulator can be tracked across PRs.
+seconds**: how fast the simulation itself executes bulk builds, bulk
+searches, and Figure-7-style concurrent mixed batches (40 % updates, 60 %
+searches, run on an already-built table) on each backend.  It writes a
+machine-readable ``BENCH_wallclock.json`` so the speed of the simulator can
+be tracked across PRs.
 
 Run directly (or via ``scripts/bench_wallclock.sh``)::
 
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--sizes 20000,100000]
         [--beta 0.6] [--repeats 3] [--out BENCH_wallclock.json]
 
-Schema (``SCHEMA_VERSION``)::
+Schema (``SCHEMA_VERSION``; version 2 added ``concurrent_mixed``)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "benchmark": "bulk_wallclock",
       "device_model": "...", "python": "...", "numpy": "...",
       "config": {"beta": ..., "repeats": ..., "sizes": [...]},
       "results": [
-        {"op": "bulk_build" | "bulk_search", "backend": "vectorized" |
-         "reference", "num_keys": N, "seconds": s, "ops_per_sec": r}, ...
+        {"op": "bulk_build" | "bulk_search" | "concurrent_mixed",
+         "backend": "vectorized" | "reference",
+         "num_keys": N, "seconds": s, "ops_per_sec": r}, ...
       ],
-      "speedups": {"bulk_build_100000": x, "bulk_search_100000": y, ...}
+      "speedups": {"bulk_build_100000": x, "concurrent_mixed_100000": y, ...}
     }
 
 ``validate_document`` is the schema's single source of truth; the smoke test
@@ -45,14 +48,15 @@ import numpy as np
 from repro.core.bulk_exec import BACKENDS
 from repro.core.slab_hash import SlabHash
 from repro.gpusim.device import TESLA_K40C
+from repro.workloads.distributions import GAMMA_40_UPDATES, build_concurrent_workload
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_SIZES = (20_000, 100_000)
 DEFAULT_BETA = 0.6
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                            "BENCH_wallclock.json")
 
-OPS = ("bulk_build", "bulk_search")
+OPS = ("bulk_build", "bulk_search", "concurrent_mixed")
 
 
 def _make_batch(num_keys: int, seed: int = 1):
@@ -63,9 +67,17 @@ def _make_batch(num_keys: int, seed: int = 1):
 
 
 def _time_backend(backend: str, num_keys: int, beta: float, repeats: int) -> Dict[str, float]:
-    """Best-of-``repeats`` wall-clock seconds for bulk build and search."""
+    """Best-of-``repeats`` wall-clock seconds per operation kind.
+
+    ``concurrent_mixed`` is the paper's Figure-7 scenario: the table already
+    holds ``num_keys`` elements, then one mixed batch of ``num_keys``
+    operations drawn from the Gamma_1 distribution (40 % updates, 60 %
+    searches) runs truly concurrently (unscheduled phased schedule, so both
+    backends execute the identical deterministic schedule).
+    """
     keys, values = _make_batch(num_keys)
     buckets = SlabHash.buckets_for_beta(num_keys, beta)
+    workload = build_concurrent_workload(GAMMA_40_UPDATES, num_keys, keys, seed=7)
     best = {op: float("inf") for op in OPS}
     for _ in range(repeats):
         # A fresh table per repetition; drop the previous one first so block
@@ -77,8 +89,11 @@ def _time_backend(backend: str, num_keys: int, beta: float, repeats: int) -> Dic
         built = time.perf_counter()
         table.bulk_search(keys)
         searched = time.perf_counter()
+        table.concurrent_batch(workload.op_codes, workload.keys, workload.values)
+        mixed = time.perf_counter()
         best["bulk_build"] = min(best["bulk_build"], built - start)
         best["bulk_search"] = min(best["bulk_search"], searched - built)
+        best["concurrent_mixed"] = min(best["concurrent_mixed"], mixed - searched)
         del table
     return best
 

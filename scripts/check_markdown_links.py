@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Verify that relative markdown links in the docs resolve to real files.
+
+Scans ``[text](target)`` links in the given markdown files (directories
+are walked for ``*.md``): external links (``http(s)://``, ``mailto:``) are
+skipped — this repo's CI has no network — and every other target must
+exist on disk relative to the file containing it. In-page anchors
+(``#section``) are checked only for the file part; pure-anchor links are
+accepted when the current file is the target.
+
+Usage::
+
+    python scripts/check_markdown_links.py README.md docs [more...]
+
+Exits non-zero listing every broken link. Used by scripts/smoke.sh and
+the CI docs job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(paths: Iterable[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for name in sorted(files):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        else:
+            yield path
+
+
+def check_file(path: str) -> List[Tuple[int, str, str]]:
+    """Return (line, target, reason) for every broken link in ``path``."""
+    broken: List[Tuple[int, str, str]] = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, encoding="utf-8") as handle:
+        in_fence = False
+        for number, line in enumerate(handle, start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+            if in_fence:
+                continue
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                file_part = target.split("#", 1)[0]
+                if not file_part:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, file_part))
+                if not os.path.exists(resolved):
+                    broken.append((number, target, f"missing: {resolved}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    files = list(iter_markdown_files(argv))
+    if not files:
+        print("no markdown files found")
+        return 2
+    failures = 0
+    for path in files:
+        broken = check_file(path)
+        for line, target, reason in broken:
+            print(f"{path}:{line}: broken link ({target}) -> {reason}")
+        failures += len(broken)
+        if not broken:
+            print(f"ok {path}")
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print("all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Execute every fenced ``python`` code block of a markdown document.
+
+The tutorial's promise is that its snippets run; this script enforces it.
+Blocks execute top to bottom in one shared namespace (exactly how a reader
+would follow along), so later snippets can use names earlier ones defined.
+Non-``python`` fences (``bash``, plain) are skipped.
+
+Usage::
+
+    PYTHONPATH=src python scripts/run_doc_snippets.py docs/TUTORIAL.md [more.md ...]
+
+Exits non-zero on the first failing snippet, printing the snippet and the
+error. Used by scripts/smoke.sh and the CI docs job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+import traceback
+from typing import List, Tuple
+
+#: Matches any fence line; group 1 is the info string (may carry
+#: attributes, e.g. ``python title=setup`` — only the first word is the
+#: language).
+_FENCE = re.compile(r"^```(.*)$")
+
+
+def extract_python_blocks(text: str) -> List[Tuple[int, str]]:
+    """Return (starting line number, source) for every ``python`` fence."""
+    blocks: List[Tuple[int, str]] = []
+    language = None
+    buffer: List[str] = []
+    start = 0
+    for number, line in enumerate(text.splitlines(), start=1):
+        match = _FENCE.match(line.strip())
+        if match and language is None:
+            info = match.group(1).strip()
+            language = info.split()[0].lower() if info else "text"
+            buffer = []
+            start = number + 1
+        elif match:
+            if language == "python":
+                blocks.append((start, "\n".join(buffer)))
+            language = None
+        elif language is not None:
+            buffer.append(line)
+    return blocks
+
+
+def run_document(path: str) -> int:
+    with open(path, encoding="utf-8") as handle:
+        blocks = extract_python_blocks(handle.read())
+    if not blocks:
+        print(f"{path}: no python snippets found")
+        return 0
+    namespace: dict = {"__name__": "__doc_snippets__"}
+    for index, (line, source) in enumerate(blocks, start=1):
+        label = f"{path}:{line} (snippet {index}/{len(blocks)})"
+        try:
+            code = compile(source, f"{path}:snippet-{index}", "exec")
+            exec(code, namespace)  # noqa: S102 - the whole point of this script
+        except Exception:
+            print(f"FAILED {label}\n{'-' * 60}\n{source}\n{'-' * 60}")
+            traceback.print_exc()
+            return 1
+        print(f"ok {label}")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    for path in argv:
+        if not os.path.exists(path):
+            print(f"no such file: {path}")
+            return 2
+        status = run_document(path)
+        if status:
+            return status
+    print("all snippets passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -30,7 +30,17 @@ echo "== Examples =="
 python examples/quickstart.py
 python examples/sharded_engine.py
 
+echo "== Tutorial snippets (docs/TUTORIAL.md, executed top to bottom) =="
+python scripts/run_doc_snippets.py docs/TUTORIAL.md
+
+echo "== Markdown link check (README.md + docs/) =="
+python scripts/check_markdown_links.py README.md docs
+
 echo "== Wall-clock backend benchmark (tiny sizes) =="
 bash scripts/bench_wallclock.sh --sizes 4096 --repeats 1 --out results/smoke/BENCH_wallclock.json
+
+echo "== Service-latency benchmark (tiny stream) =="
+python benchmarks/bench_service_latency.py --num-ops 2048 --initial 2048 \
+  --num-shards 2 --max-batch 256 --burst 128 --out results/smoke/BENCH_service.json
 
 echo "== smoke OK =="

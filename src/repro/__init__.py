@@ -15,6 +15,9 @@ Packages
 * :mod:`repro.perf` — experiment harness, per-figure drivers and reporting.
 * :mod:`repro.engine` — sharded multi-table engine: key-space routing across
   N independent slab-hash shards, each on its own simulated device.
+* :mod:`repro.service` — async request-service layer: an operation-log
+  micro-batcher that coalesces awaited single operations into warp-aligned
+  concurrent batches and reports latency/throughput percentiles.
 
 Quick start
 -----------
@@ -36,14 +39,18 @@ from repro.core.slab_set import SlabSet
 from repro.core.config import SlabAllocConfig, SlabConfig
 from repro.engine import EngineStats, ShardedSlabHash, ShardRouter
 from repro.gpusim.device import Device, DeviceSpec, TESLA_K40C
+from repro.service import ServiceConfig, ServiceStats, SlabHashService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SlabHash",
     "ShardedSlabHash",
     "ShardRouter",
     "EngineStats",
+    "SlabHashService",
+    "ServiceConfig",
+    "ServiceStats",
     "SlabList",
     "SlabSet",
     "SlabAlloc",

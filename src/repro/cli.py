@@ -30,11 +30,13 @@ benchmark default, smaller values are faster smoke runs, larger values tighten
 the statistics at the cost of runtime.  See docs/EXPERIMENTS.md for how the
 modelled numbers relate to the paper's K40c measurements.
 
-``--backend`` selects the bulk-execution backend for every table the
-experiments build: ``vectorized`` (default; the NumPy fast path) or
-``reference`` (the per-warp generator schedule).  Both produce identical
-device counters — and therefore identical tables — the flag only changes the
-host-side wall-clock time; see docs/PERFORMANCE.md.
+``--backend`` selects the execution backend for every table the experiments
+build: ``vectorized`` (default; the NumPy fast path for bulk operations and
+unscheduled concurrent batches) or ``reference`` (the per-warp generator
+schedule).  Both produce identical device counters — and therefore identical
+tables — the flag only changes the host-side wall-clock time; see
+docs/PERFORMANCE.md.  (Scheduler-interleaved concurrent runs, e.g. fig7a/b,
+always execute the reference generators on either backend.)
 """
 
 from __future__ import annotations
@@ -146,8 +148,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--out", type=str, default=None,
                      help="directory to write the resulting tables into")
     run.add_argument("--backend", choices=list(BACKENDS), default="vectorized",
-                     help="bulk-execution backend for every table "
-                          "(identical results; vectorized is much faster)")
+                     help="execution backend for every table: bulk ops and "
+                          "unscheduled concurrent batches (identical results; "
+                          "vectorized is much faster)")
     return parser
 
 

@@ -4,10 +4,15 @@ The reference bulk driver (:class:`repro.core.slab_hash.SlabHash` with
 ``backend="reference"``) executes warps one generator step at a time — faithful
 to the paper's warp-cooperative work sharing (Fig. 2), but the Python generator
 machinery costs microseconds per simulated memory access.  This module executes
-the same bulk batches with batched NumPy array operations and *synthesizes the
-exact device-counter stream* the sequential reference schedule would have
-produced, so the cost model, every figure, and every counter-based test see
-bit-identical numbers.
+the same batches with batched NumPy resolution plus a compact serial replay and
+*synthesizes the exact device-counter stream* the sequential reference schedule
+would have produced, so the cost model, every figure, and every counter-based
+test see bit-identical numbers.  It covers both the homogeneous ``bulk_*``
+operations and — since the concurrent fast path landed — unscheduled
+``concurrent_batch`` calls (mixed insert/delete/search batches run without an
+explicit :class:`~repro.gpusim.scheduler.WarpScheduler`); scheduler-interleaved
+runs still use the reference generators, since seeded interleavings are the
+whole point there.
 
 Why this is possible
 --------------------
@@ -18,7 +23,17 @@ schedule is therefore *strictly serial in array order*: operation ``i``
 executes fully before operation ``i + 1``, and no CAS ever fails.  Final state
 and per-operation results can then be resolved per bucket with sorting and
 ranking primitives, and the counters follow from closed-form per-iteration
-event profiles of the three warp procedures:
+event profiles of the three warp procedures.
+
+The same argument extends to an unscheduled ``concurrent_batch``: the driver
+enqueues, per warp chunk, one program per operation type present (insert,
+then delete, then search) and drains them sequentially, so the mixed batch is
+strictly serial in ``(chunk, phase, lane)`` order
+(:func:`repro.gpusim.vectorize.phased_order`).  Because interleaved phases
+mutate the very chains later phases traverse, the concurrent path resolves
+destinations with an incremental per-bucket replay of that serial order
+instead of whole-batch rank arithmetic, then applies state and counters in
+bulk.  Event profiles:
 
 ===============  ========================================================
 per iteration    SEARCH: 38 warp instrs, 2 ballots, 3 shuffles (key-only
@@ -48,7 +63,8 @@ every public API preserves: within each bucket's scan order, EMPTY slots only
 follow occupied/tombstoned ones.  If a table is ever observed in a
 non-canonical state (only reachable by external mutation of the stores), the
 executor transparently falls back to the reference generator path for that
-call, which is correct in every state.
+call — both for ``bulk_insert`` and for ``concurrent_batch`` — which is
+correct in every state.
 
 When SlabAlloc raises (out of memory) mid-batch, the executor mirrors the
 reference schedule's partial effects: every operation preceding the failing
@@ -70,6 +86,7 @@ from repro.gpusim.vectorize import (
     combine_codes,
     first_occurrence,
     group_ranks,
+    phased_order,
     run_starts,
 )
 from repro.gpusim.warp import WARP_SIZE, Warp
@@ -342,6 +359,9 @@ class BulkExecutor:
         buckets: np.ndarray,
         depths: np.ndarray,
         base_warp: int,
+        *,
+        warp_ops: Optional[np.ndarray] = None,
+        on_append=None,
     ) -> None:
         """Allocate and link appended slabs, in global operation order.
 
@@ -349,13 +369,21 @@ class BulkExecutor:
         resident-block hashing, bitmap atomics, resident changes and growth are
         reproduced (and counted) exactly; the pointer-append CAS (which cannot
         fail in the serial bulk schedule) is tallied as one 32-bit atomic.
+
+        ``warp_ops`` maps each index in ``append_ops`` to the operation index
+        that determines its warp id (identity for the bulk paths; the original
+        batch position for the concurrent fast path, whose arrays are compacted
+        to the replayed subset).  ``on_append`` is invoked as
+        ``on_append(op, bucket, depth)`` after each successful append (the
+        concurrent path records its append log through it).
         """
         table = self.table
         counters = table.device.counters
         for op in append_ops:
             bucket = int(buckets[op])
             depth = int(depths[op])  # chain length before this append
-            warp = Warp(base_warp + int(op) // WARP_SIZE, counters)
+            warp_op = int(op) if warp_ops is None else int(warp_ops[op])
+            warp = Warp(base_warp + warp_op // WARP_SIZE, counters)
             try:
                 address = table.alloc.warp_allocate(warp)
             except AllocationError as error:
@@ -365,6 +393,8 @@ class BulkExecutor:
             tail_store[tail_row, C.ADDRESS_LANE] = np.uint32(address)
             store, row = table.alloc.slab_view(address)
             slab_map.register_append(bucket, depth, store, row)
+            if on_append is not None:
+                on_append(int(op), bucket, depth)
 
     # ------------------------------------------------------------------ #
     # SEARCH
@@ -704,3 +734,499 @@ class BulkExecutor:
 
         self._apply_insert_writes(keys, values, slab_map, buckets, dest, consuming, failed_op)
         tally.commit(table.device.counters)
+
+    # ------------------------------------------------------------------ #
+    # CONCURRENT MIXED BATCHES (unscheduled; Figure 7 fast path)
+    # ------------------------------------------------------------------ #
+
+    def concurrent_batch(
+        self,
+        op_codes: np.ndarray,
+        keys: np.ndarray,
+        values: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Resolve an *unscheduled* mixed batch on the phased serial schedule.
+
+        Mirrors ``run_sequential`` over the reference driver's per-chunk
+        (insert, delete, search) programs: operations execute serially in
+        ``(chunk, phase, lane)`` order, so results, final table state and the
+        synthesized counters are bit-identical to the reference generators.
+        Interleaved phases mutate the chains later phases traverse, so the
+        batch splits into two resolution strategies:
+
+        * **Schedule-dependent operations** are replayed serially against
+          incremental per-bucket slot lists: all insertions, plus deletions
+          and searches whose key some other operation in the batch also
+          touches.  Slab appends call the real allocator under the triggering
+          warp's id in global order.
+        * **Schedule-invariant operations** resolve vectorized against the
+          snapshot, like the bulk paths: searches of keys no mutation
+          touches, and (under unique keys) single deletions of keys nothing
+          else touches — the key's occurrence set cannot change before they
+          run.  Only a *miss* traversal length depends on time (chains grow
+          as earlier insertions append slabs); it is reconstructed from the
+          append log with ``searchsorted``.
+
+        State changes are collected in a write log (slot-granular, last write
+        wins) and scattered into the stores in one vectorized pass.
+        """
+        table = self.table
+        cfg = table.config
+        snap = _Snapshot(table.lists, cfg)
+        if cfg.unique_keys and not snap.is_canonical():
+            # Same guard as bulk_insert: non-canonical REPLACE scan races are
+            # only resolved faithfully by the reference schedule.
+            return table._reference_concurrent_batch(op_codes, keys, values, None, None)
+
+        n = len(keys)
+        base_warp, chunks = self._begin_kernel(n)
+        if n == 0:
+            return np.zeros(0, dtype=np.uint32)
+
+        buckets = table.hash_fn.hash_array(keys)
+        # Operations with codes outside {INSERT, DELETE, SEARCH} join no
+        # program in the reference driver; they occupy warp slots but execute
+        # nothing and leave their result at 0.
+        phases_all = np.full(n, -1, dtype=np.int64)
+        phases_all[op_codes == C.OP_INSERT] = 0
+        phases_all[op_codes == C.OP_DELETE] = 1
+        phases_all[op_codes == C.OP_SEARCH] = 2
+        valid = np.flatnonzero(phases_all >= 0)
+        order, program_start = phased_order(valid // WARP_SIZE, phases_all[valid])
+        serial_all = valid[order]  # op indices in serial execution order
+        phases_serial = phases_all[serial_all]
+        skeys = keys[serial_all]
+
+        # --- split schedule-resolvable operations out of the serial replay ---
+        # Group operations by key once; per-key phase counts decide which
+        # operations genuinely need the serial replay.  Keys nothing inserts
+        # have a frozen occurrence set except for (under unique keys) a single
+        # deletion, whose serial rank fully determines what each search of
+        # that key observes — no replay needed for any of them.
+        is_delete = phases_serial == 1
+        is_search = phases_serial == 2
+        _, inv = np.unique(skeys, return_inverse=True)
+        num_groups = int(inv.max()) + 1 if inv.size else 0
+        has_insert = (np.bincount(inv[phases_serial == 0], minlength=num_groups) > 0)[inv]
+        delete_count = np.bincount(inv[is_delete], minlength=num_groups)[inv]
+        no_rank = len(serial_all) + 1
+        delete_rank = np.full(num_groups, no_rank, dtype=np.int64)
+        delete_rank[inv[is_delete]] = np.flatnonzero(is_delete)
+        if cfg.unique_keys:
+            # A single deletion of a never-inserted key tombstones a slot no
+            # replayed operation ever looks at; searches of that key hit the
+            # snapshot before the deletion's rank and miss after it.  (With
+            # duplicates allowed, deletions recycle slots as EMPTY, which
+            # later insertions claim — those stay in the replay.)
+            vec_delete = is_delete & ~has_insert & (delete_count == 1)
+            vec_search = is_search & ~has_insert & (delete_count <= 1)
+        else:
+            vec_delete = np.zeros(len(serial_all), dtype=bool)
+            vec_search = is_search & ~has_insert & (delete_count == 0)
+
+        replay_serial = np.flatnonzero(~(vec_search | vec_delete))
+        replay_ops_arr = serial_all[replay_serial]
+        replay_serial_l = replay_serial.tolist()
+
+        eps = snap.eps
+        kv = cfg.key_value
+        replace = cfg.unique_keys
+        base_sh = 3 if kv else 2
+        empty = int(C.EMPTY_KEY)
+        empty_value = int(C.EMPTY_VALUE)
+        not_found = int(C.SEARCH_NOT_FOUND)
+        tombstone = int(C.DELETED_KEY) if replace else empty
+        delete_words = 2 if (kv and not replace) else 1
+
+        slab_map = _SlabMap(snap)
+        counters = table.device.counters
+        results_l = [0] * n
+        #: one (bucket, serial rank) entry per appended slab, in append order
+        append_buckets: List[int] = []
+        append_ranks: List[int] = []
+        #: write log, one entry per written 32-bit word, in schedule order
+        klog_bucket: List[int] = []
+        klog_pos: List[int] = []
+        klog_word: List[int] = []
+        vlog_bucket: List[int] = []
+        vlog_pos: List[int] = []
+        vlog_word: List[int] = []
+
+        tally = CounterTally()
+        upsert_iters = delete_iters = search_iters = 0
+        decodes = shuffles = atomic32 = atomic64 = write_words = 0
+        ballot_adjust = 0
+        position = 0
+        error: Optional[AllocationError] = None
+
+        # The Gamma workloads usually leave a pure-insert replay (their
+        # deletions and searches are schedule-resolvable), and insertions
+        # against a static snapshot are exactly what the bulk REPLACE/INSERT
+        # rank arithmetic resolves — the vectorized tombstones only turn live
+        # slots into non-EMPTY tombstones, which neither the canonical layout
+        # nor the snapshot's occupied counts depend on.  Skip the serial
+        # replay loop entirely in that case.
+        pure_insert = (
+            replay_serial.size > 0 and int(phases_serial[replay_serial].max()) == 0
+        )
+
+        if pure_insert:
+            rkeys = keys[replay_ops_arr]
+            rvalues = values[replay_ops_arr] if kv else None
+            if replace:
+                r_buckets, dest, consuming = self._resolve_unique(snap, rkeys)
+            else:
+                r_buckets, dest, consuming = self._resolve_duplicates(snap, rkeys)
+            depth = dest // eps
+            capacity = snap.chain_len * eps
+            append_local = np.flatnonzero(
+                consuming & (dest % eps == 0) & (dest >= capacity[r_buckets])
+            )
+            reads = depth + 1
+            decodes_arr = depth.copy()
+            if append_local.size:
+                reads[append_local] += 1
+                decodes_arr[append_local] += (depth[append_local] > 1).astype(np.int64)
+
+                def log_append(local: int, bucket: int, chain: int) -> None:
+                    append_buckets.append(bucket)
+                    append_ranks.append(replay_serial_l[local])
+
+                try:
+                    self._process_appends(
+                        tally, slab_map, append_local, r_buckets, depth, base_warp,
+                        warp_ops=replay_ops_arr, on_append=log_append,
+                    )
+                except _AppendFailed as failed:
+                    error = failed.error
+                    position = failed.op_index
+            if error is None:
+                iters = int(reads.sum())
+                upsert_iters += iters
+                decodes += int(decodes_arr.sum())
+                shuffles += base_sh * iters + (iters - len(rkeys))
+                if kv:
+                    atomic64 += len(rkeys)
+                else:
+                    atomic32 += int(consuming.sum())
+                self._apply_insert_writes(
+                    rkeys, rvalues, slab_map, r_buckets, dest, consuming, None
+                )
+            else:
+                # Mirror _finish_partial_insert on the concurrent tallies:
+                # operations before the failing one applied fully, the
+                # failing one traversed to its tail and died allocating.
+                chain = int(depth[position])
+                prefix_iters = int(reads[:position].sum())
+                upsert_iters += prefix_iters + chain
+                decodes += int(decodes_arr[:position].sum()) + (chain - 1)
+                shuffles += (
+                    base_sh * (prefix_iters + chain) + (prefix_iters - position) + chain
+                )
+                ballot_adjust = -1
+                if kv:
+                    atomic64 += position
+                else:
+                    atomic32 += int(consuming[:position].sum())
+                self._apply_insert_writes(
+                    rkeys, rvalues, slab_map, r_buckets, dest, consuming, position
+                )
+        # Python-native views for the replay loop (plain ints and list slices
+        # are much faster than NumPy scalars and per-bucket array calls).
+        if pure_insert or not replay_serial.size:
+            replay_ops, replay_phases, replay_keys, replay_buckets = [], [], [], []
+            models: dict = {}
+            values_l = slot_keys_all = vals_all = slot_off = chain_l = None
+        else:
+            replay_ops = replay_ops_arr.tolist()
+            replay_phases = phases_serial[replay_serial].tolist()
+            replay_keys = keys[replay_ops_arr].tolist()
+            replay_buckets = buckets[replay_ops_arr].tolist()
+            values_l = values.tolist() if kv else None
+            slot_keys_flat = snap.slot_key
+            vals_flat = snap.words[:, snap.key_lanes + 1].ravel() if kv else None
+            slot_off = snap.offsets
+            chain_arr = snap.chain_len
+            #: bucket -> [slot keys (scan order), slot values or None, chain]
+            models = {}
+
+        for op, phase, bucket, key in zip(replay_ops, replay_phases, replay_buckets, replay_keys):
+            try:
+                model = models[bucket]
+            except KeyError:
+                # Lazy per-bucket materialization: only buckets the replay
+                # actually touches pay the array-to-list conversion.
+                chain_len = int(chain_arr[bucket])
+                lo = int(slot_off[bucket]) * eps
+                hi = lo + chain_len * eps
+                model = models[bucket] = [
+                    slot_keys_flat[lo:hi].tolist(),
+                    vals_flat[lo:hi].tolist() if kv else None,
+                    chain_len,
+                ]
+            slots = model[0]
+
+            if phase == 2:  # SEARCH
+                try:
+                    slot = slots.index(key)
+                except ValueError:
+                    iters = model[2]
+                    shuffles += 3 * iters
+                    results_l[op] = not_found
+                else:
+                    iters = slot // eps + 1
+                    shuffles += 3 * iters - (0 if kv else 1)
+                    results_l[op] = model[1][slot] if kv else key
+                search_iters += iters
+                decodes += iters - 1
+            elif phase == 1:  # DELETE
+                try:
+                    slot = slots.index(key)
+                except ValueError:
+                    iters = model[2]
+                    shuffles += 3 * iters
+                else:
+                    iters = slot // eps + 1
+                    shuffles += 3 * iters - 1
+                    slots[slot] = tombstone
+                    klog_bucket.append(bucket)
+                    klog_pos.append(slot)
+                    klog_word.append(tombstone)
+                    if kv and not replace:
+                        model[1][slot] = empty_value
+                        vlog_bucket.append(bucket)
+                        vlog_pos.append(slot)
+                        vlog_word.append(empty_value)
+                    write_words += delete_words
+                    results_l[op] = 1
+                delete_iters += iters
+                decodes += iters - 1
+            else:  # INSERT / REPLACE
+                value = values_l[op] if kv else 0
+                dest = -1
+                inplace = False
+                if replace:
+                    try:
+                        match = slots.index(key)
+                    except ValueError:
+                        match = -1
+                    try:
+                        free = slots.index(empty)
+                    except ValueError:
+                        free = -1
+                    if match >= 0 and (free < 0 or match < free):
+                        dest = match
+                        inplace = True
+                    else:
+                        dest = free
+                else:
+                    try:
+                        dest = slots.index(empty)
+                    except ValueError:
+                        dest = -1
+                if dest >= 0:
+                    iters = dest // eps + 1
+                    upsert_iters += iters
+                    decodes += iters - 1
+                    shuffles += base_sh * iters + (iters - 1)
+                else:
+                    # Append: traverse to the tail, allocate under the
+                    # triggering warp's id, link, re-read the tail, follow.
+                    chain = model[2]
+                    warp = Warp(base_warp + op // WARP_SIZE, counters)
+                    try:
+                        address = table.alloc.warp_allocate(warp)
+                    except AllocationError as failure:
+                        # The failing op traversed its chain and died inside
+                        # warp_allocate (whose own events are already
+                        # charged); its last iteration issued the candidate
+                        # ballot but not the end-of-loop ballot.
+                        upsert_iters += chain
+                        decodes += chain - 1
+                        shuffles += (base_sh + 1) * chain
+                        ballot_adjust = -1
+                        error = failure
+                        break
+                    atomic32 += 1  # the pointer-append CAS (cannot fail)
+                    tail_store, tail_row = slab_map.location(bucket, chain - 1)
+                    tail_store[tail_row, C.ADDRESS_LANE] = np.uint32(address)
+                    store, row = table.alloc.slab_view(address)
+                    slab_map.register_append(bucket, chain, store, row)
+                    append_buckets.append(bucket)
+                    append_ranks.append(replay_serial_l[position])
+                    slots.extend([empty] * eps)
+                    if kv:
+                        model[1].extend([empty_value] * eps)
+                    model[2] = chain + 1
+                    dest = chain * eps
+                    iters = chain + 2
+                    upsert_iters += iters
+                    decodes += chain + (1 if chain > 1 else 0)
+                    shuffles += base_sh * iters + (iters - 1)
+                if inplace:
+                    # The 64-bit CAS rewrites the whole pair in place; the
+                    # key-only REPLACE of a present key is a no-op (no CAS).
+                    if kv:
+                        model[1][dest] = value
+                        atomic64 += 1
+                        klog_bucket.append(bucket)
+                        klog_pos.append(dest)
+                        klog_word.append(key)
+                        vlog_bucket.append(bucket)
+                        vlog_pos.append(dest)
+                        vlog_word.append(value)
+                else:
+                    slots[dest] = key
+                    klog_bucket.append(bucket)
+                    klog_pos.append(dest)
+                    klog_word.append(key)
+                    if kv:
+                        model[1][dest] = value
+                        atomic64 += 1
+                        vlog_bucket.append(bucket)
+                        vlog_pos.append(dest)
+                        vlog_word.append(value)
+                    else:
+                        atomic32 += 1
+            position += 1
+
+        # One initial work-queue ballot per program *started*.  On the happy
+        # path every program runs; after a mid-batch allocation failure only
+        # programs up to (and including) the failing operation's ever issued
+        # their initial ballot (generators are lazy under run_sequential),
+        # and schedule-invariant operations only count if they precede it.
+        if error is None:
+            programs = int(program_start.sum())
+            vec_search_serial = np.flatnonzero(vec_search)
+            vec_delete_serial = np.flatnonzero(vec_delete)
+        else:
+            failed_rank = replay_serial_l[position]
+            programs = int(program_start[: failed_rank + 1].sum())
+            vec_search_serial = np.flatnonzero(vec_search[:failed_rank])
+            vec_delete_serial = np.flatnonzero(vec_delete[:failed_rank])
+        results = np.asarray(results_l, dtype=np.uint32)
+
+        vec_tombstones: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        if vec_search_serial.size or vec_delete_serial.size:
+            codes, positions = snap.live_first_occurrences()
+            if append_buckets:
+                stride = len(serial_all) + 1
+                append_codes = np.asarray(append_buckets, dtype=np.int64) * stride + np.asarray(
+                    append_ranks, dtype=np.int64
+                )
+                append_codes.sort()
+
+            def chains_at(miss_buckets: np.ndarray, miss_ranks: np.ndarray) -> np.ndarray:
+                """Chain length of each bucket at the given serial rank.
+
+                The snapshot chain plus every slab appended by an earlier
+                (lower serial rank) operation on the same bucket.
+                """
+                chains = snap.chain_len[miss_buckets]
+                if not append_buckets:
+                    return chains
+                lo = miss_buckets * stride
+                return chains + (
+                    np.searchsorted(append_codes, lo + miss_ranks)
+                    - np.searchsorted(append_codes, lo)
+                )
+
+            if vec_search_serial.size:
+                vec_ops = serial_all[vec_search_serial]
+                vq_keys = keys[vec_ops]
+                vq_buckets = buckets[vec_ops]
+                found, index = first_occurrence(codes, combine_codes(vq_buckets, vq_keys))
+                # A search past its key's (single) deletion rank misses; with
+                # no deletion of the key, delete_rank sorts after everything.
+                found &= vec_search_serial < delete_rank[inv[vec_search_serial]]
+                pos = positions[index[found]]
+                if error is None:
+                    if kv:
+                        results[vec_ops] = not_found
+                        results[vec_ops[found]] = snap.values_at(vq_buckets[found], pos)
+                    else:
+                        results[vec_ops] = np.where(found, vq_keys, np.uint32(not_found))
+                miss = ~found
+                vec_iters = int((pos // eps + 1).sum()) + int(
+                    chains_at(vq_buckets[miss], vec_search_serial[miss]).sum()
+                )
+                search_iters += vec_iters
+                decodes += vec_iters - int(vec_ops.size)
+                shuffles += 3 * vec_iters - (0 if kv else int(found.sum()))
+
+            if vec_delete_serial.size:
+                vd_ops = serial_all[vec_delete_serial]
+                vd_keys = keys[vd_ops]
+                vd_buckets = buckets[vd_ops]
+                found, index = first_occurrence(codes, combine_codes(vd_buckets, vd_keys))
+                pos = positions[index[found]]
+                found_count = int(found.sum())
+                results[vd_ops[found]] = 1
+                miss = ~found
+                vec_iters = int((pos // eps + 1).sum()) + int(
+                    chains_at(vd_buckets[miss], vec_delete_serial[miss]).sum()
+                )
+                delete_iters += vec_iters
+                decodes += vec_iters - int(vd_ops.size)
+                shuffles += 3 * vec_iters - found_count
+                write_words += found_count  # unique mode: one tombstone word
+                vec_tombstones = (vd_buckets[found], pos)
+
+        decode_wi, decode_shared = self._decode_cost
+        total_iters = upsert_iters + delete_iters + search_iters
+        tally.add("coalesced_read_transactions", total_iters)
+        tally.add("warp_ballots", programs + 2 * total_iters + ballot_adjust)
+        tally.add("warp_shuffles", shuffles)
+        tally.add(
+            "warp_instructions",
+            (C.REPLACE_ITER_INSTRUCTIONS + 2) * upsert_iters
+            + (C.DELETE_ITER_INSTRUCTIONS + 2) * delete_iters
+            + (C.SEARCH_ITER_INSTRUCTIONS + 2) * search_iters
+            + decode_wi * decodes,
+        )
+        tally.add("shared_reads", decode_shared * decodes)
+        tally.add("atomic32", atomic32)
+        tally.add("atomic64", atomic64)
+        tally.add("uncoalesced_write_words", write_words)
+
+        if vec_tombstones is not None:
+            klog_bucket.extend(vec_tombstones[0].tolist())
+            klog_pos.extend(vec_tombstones[1].tolist())
+            klog_word.extend([tombstone] * len(vec_tombstones[0]))
+        self._scatter_lane_writes(slab_map, klog_bucket, klog_pos, klog_word, 0)
+        if kv:
+            self._scatter_lane_writes(slab_map, vlog_bucket, vlog_pos, vlog_word, 1)
+        tally.commit(counters)
+        if error is not None:
+            raise error
+        return results
+
+    def _scatter_lane_writes(
+        self,
+        slab_map: _SlabMap,
+        log_buckets: List[int],
+        log_pos: List[int],
+        log_words: List[int],
+        lane_offset: int,
+    ) -> None:
+        """Apply one channel of the concurrent write log to the stores.
+
+        Entries are in schedule order and slot-granular; the last write to a
+        slot wins, exactly as in the serial reference schedule.
+        ``lane_offset`` selects the key lane (0) or value lane (1) of each
+        logged slot position.
+        """
+        if not log_buckets:
+            return
+        snap = slab_map.snap
+        buckets = np.asarray(log_buckets, dtype=np.int64)
+        pos = np.asarray(log_pos, dtype=np.int64)
+        words = np.asarray(log_words, dtype=np.uint32)
+        slot_ids = buckets * (int(pos.max()) + 1) + pos
+        # Keep the last write per slot: reverse before marking run starts.
+        order = np.argsort(slot_ids, kind="stable")[::-1]
+        keep = order[run_starts(slot_ids[order])]
+        buckets, pos, words = buckets[keep], pos[keep], words[keep]
+        store_idx, rows = slab_map.locations(buckets, pos // snap.eps)
+        lanes = snap.key_lanes[pos % snap.eps] + lane_offset
+        slab_map.scatter(store_idx, rows, (lanes, words))

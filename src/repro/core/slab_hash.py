@@ -19,7 +19,8 @@ universal hash ``h(k; a, b) = ((a*k + b) mod p) mod B``.
   concurrent benchmark (Section VI-C): each thread in a batch gets one
   operation drawn from an operation distribution, all operation types mixed
   within warps, and the warps' procedures are interleaved by a seeded
-  scheduler.  Used by Figure 7.
+  scheduler (or drained on the deterministic phased schedule when no
+  scheduler is given).  Used by Figure 7.
 
 Throughput numbers are obtained by measuring the device counters around a
 bulk/concurrent call and applying :class:`repro.gpusim.costmodel.CostModel`;
@@ -75,10 +76,12 @@ class SlabHash:
         Bulk-execution backend: ``"vectorized"`` (default; batched NumPy
         resolution with exact counter synthesis, see
         :mod:`repro.core.bulk_exec`) or ``"reference"`` (the per-warp
-        generator schedule).  Only affects the ``bulk_*`` operations; mixed
-        ``concurrent_batch`` runs always use the reference generators, since
-        scheduler interleavings are the whole point there.  ``None`` picks the
-        process-wide default
+        generator schedule).  Covers the ``bulk_*`` operations and
+        *unscheduled* ``concurrent_batch`` calls (``scheduler=None``, the
+        deterministic phased schedule); passing an explicit
+        :class:`~repro.gpusim.scheduler.WarpScheduler` always runs the
+        reference generators, since seeded interleavings are the whole point
+        there.  ``None`` picks the process-wide default
         (:func:`repro.core.bulk_exec.set_default_backend`).
     """
 
@@ -406,6 +409,16 @@ class SlabHash:
         operation type present (as in the paper's concurrent benchmark), and
         all procedures of all warps are interleaved by ``scheduler``.
 
+        When ``scheduler`` is ``None`` the warps' procedures are drained
+        sequentially (one legal concurrent schedule, deterministic); on the
+        ``"vectorized"`` backend that case runs through the fast path of
+        :class:`~repro.core.bulk_exec.BulkExecutor`, with bit-identical
+        results, state and counters.  Passing a scheduler always executes the
+        reference generators, because interleaving at memory-access
+        granularity is exactly what a scheduler is for; ``wave_size`` bounds
+        how many warps are concurrently live under a scheduler (it is ignored
+        without one).
+
         Returns an array with, per operation: the found value for searches
         (``SEARCH_NOT_FOUND`` if absent), 1/0 for deletions (removed or not),
         and 0 for insertions.
@@ -421,6 +434,19 @@ class SlabHash:
             if values.shape != keys.shape:
                 raise ValueError("keys and values must have the same length")
 
+        if scheduler is None and self.backend == "vectorized":
+            return self._bulk_exec.concurrent_batch(op_codes, keys, values)
+        return self._reference_concurrent_batch(op_codes, keys, values, scheduler, wave_size)
+
+    def _reference_concurrent_batch(
+        self,
+        op_codes: np.ndarray,
+        keys: np.ndarray,
+        values: Optional[np.ndarray],
+        scheduler: Optional[WarpScheduler],
+        wave_size: Optional[int],
+    ) -> np.ndarray:
+        """The per-warp generator schedule of a mixed batch (any scheduler)."""
         buckets = self.hash_fn.hash_array(keys)
         results = np.zeros(len(keys), dtype=np.uint32)
         self.device.launch_kernel()

@@ -73,10 +73,11 @@ class ShardedSlabHash:
         Master seed; the router and each shard draw independent hash
         functions from it.
     backend:
-        Bulk-execution backend for every shard (``"vectorized"`` or
+        Execution backend for every shard (``"vectorized"`` or
         ``"reference"``; ``None`` picks the process default).  Shards route
-        bulk batches through their own bulk paths, so the engine inherits the
-        backend's speed and its counter-exactness guarantee unchanged.
+        bulk batches — and unscheduled concurrent sub-batches — through
+        their own backend paths, so the engine inherits the backend's speed
+        and its counter-exactness guarantee unchanged.
     """
 
     def __init__(
@@ -230,12 +231,15 @@ class ShardedSlabHash:
     ) -> np.ndarray:
         """Run a mixed insert/search/delete batch across the shards.
 
-        Each shard executes its sub-stream with its own
-        :class:`~repro.gpusim.scheduler.WarpScheduler` (seeded from
-        ``scheduler_seed`` plus the shard index) — shards are independent
-        devices, so there is no cross-shard interleaving to model.  Results
-        come back in stream order with SlabHash's conventions: found value
-        for searches, 1/0 for deletions, 0 for insertions.
+        With ``scheduler_seed`` given, each shard executes its sub-stream
+        under its own :class:`~repro.gpusim.scheduler.WarpScheduler` (seeded
+        from ``scheduler_seed`` plus the shard index) — shards are
+        independent devices, so there is no cross-shard interleaving to
+        model.  Without it (the default) every shard drains its sub-stream
+        on the deterministic phased schedule, which the vectorized backend
+        runs on its concurrent fast path.  Results come back in stream order
+        with SlabHash's conventions: found value for searches, 1/0 for
+        deletions, 0 for insertions.
         """
         self._require_key_partitioning("concurrent_batch")
         op_codes = np.asarray(op_codes, dtype=np.int64)

@@ -15,6 +15,9 @@ nothing about slabs:
   occurrence" and "the r-th new key of bucket b takes the r-th free slot".
 * :func:`combine_codes` / :func:`first_occurrence` — (bucket, key) group codes
   and first-occurrence resolution in table scan order.
+* :func:`phased_order` — the serial execution order of a phased mixed-op
+  schedule (the ``concurrent_batch`` fast path): per warp chunk, one program
+  per operation phase present, drained sequentially.
 """
 
 from __future__ import annotations
@@ -30,6 +33,7 @@ __all__ = [
     "combine_codes",
     "first_occurrence",
     "group_ranks",
+    "phased_order",
     "run_starts",
 ]
 
@@ -97,6 +101,32 @@ def group_ranks(codes: np.ndarray) -> np.ndarray:
     ranks = np.empty(n, dtype=np.int64)
     ranks[order] = ranks_sorted
     return ranks
+
+
+def phased_order(chunk_ids: np.ndarray, phases: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Serial execution order of a phased mixed-op warp schedule.
+
+    The reference concurrent driver enqueues, per warp chunk, one warp
+    program per operation phase present (insert, then delete, then search)
+    and ``run_sequential`` drains them in that order; within a program the
+    WCWS work queue processes lanes in ascending lane order.  The serial
+    execution order of the operations is therefore ``(chunk, phase, lane)``.
+
+    ``chunk_ids[i]`` / ``phases[i]`` give operation ``i``'s warp chunk and
+    phase rank (both already in lane order within each chunk).  Returns
+    ``(order, program_start)``: ``order`` permutes operations into serial
+    execution order, and ``program_start[j]`` is True when the ``j``-th
+    operation *in serial order* is the first of its (chunk, phase) program —
+    i.e. the operation whose program issues the initial work-queue ballot.
+    """
+    chunk_ids = np.asarray(chunk_ids, dtype=np.int64)
+    phases = np.asarray(phases, dtype=np.int64)
+    order = np.lexsort((np.arange(len(chunk_ids)), phases, chunk_ids))
+    if len(order) == 0:
+        return order, np.zeros(0, dtype=bool)
+    stride = int(phases.max()) + 1 if len(phases) else 1
+    codes = chunk_ids[order] * stride + phases[order]
+    return order, run_starts(codes)
 
 
 def first_occurrence(

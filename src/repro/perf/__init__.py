@@ -13,6 +13,7 @@ preserves every trend the paper reports while keeping runtimes reasonable.
 
 from repro.perf.metrics import Measurement, measure_phase, scale_counters
 from repro.perf.harness import Series, FigureResult, execution_backend
+from repro.perf.latency import LatencyRecorder, LatencyReport
 from repro.perf import figures
 from repro.perf.report import format_figure, format_table
 
@@ -23,6 +24,8 @@ __all__ = [
     "Series",
     "FigureResult",
     "execution_backend",
+    "LatencyRecorder",
+    "LatencyReport",
     "figures",
     "format_figure",
     "format_table",

@@ -1,0 +1,105 @@
+"""Per-operation latency accounting: percentile reports for the service layer.
+
+The request-service layer (:mod:`repro.service`) trades latency for
+throughput: operations wait in a micro-batch so the engine can run them as
+one warp-aligned concurrent batch.  This module provides the measurement
+side of that trade-off — a lightweight recorder for per-operation latency
+samples and a frozen percentile report — so the service (and the
+``benchmarks/bench_service_latency.py`` benchmark) can quote p50/p90/p99
+next to throughput, the way a serving system would.
+
+Latencies here are *host wall-clock* seconds (enqueue to completion), which
+is what a client of the simulation-backed service actually waits; the
+modelled device time of each executed batch is reported separately by
+:class:`repro.service.ServiceStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = ["LatencyReport", "LatencyRecorder", "DEFAULT_PERCENTILES"]
+
+#: The percentiles a :class:`LatencyReport` always carries.
+DEFAULT_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Summary statistics over a set of latency samples (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Iterable[float]) -> "LatencyReport":
+        """Build a report from raw samples; all-zero when there are none."""
+        values = np.asarray(list(samples), dtype=np.float64)
+        if values.size == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+        p50, p90, p99 = np.percentile(values, DEFAULT_PERCENTILES)
+        return cls(
+            count=int(values.size),
+            mean=float(values.mean()),
+            p50=float(p50),
+            p90=float(p90),
+            p99=float(p99),
+            max=float(values.max()),
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view with explicit units (used by the bench JSON)."""
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "p50_s": self.p50,
+            "p90_s": self.p90,
+            "p99_s": self.p99,
+            "max_s": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LatencyReport(n={self.count}, p50={self.p50 * 1e3:.3f}ms, "
+            f"p90={self.p90 * 1e3:.3f}ms, p99={self.p99 * 1e3:.3f}ms)"
+        )
+
+
+class LatencyRecorder:
+    """Accumulates latency samples and produces :class:`LatencyReport` views.
+
+    Deliberately minimal: a list of floats plus a report constructor, so the
+    service can record one sample per completed operation without measurable
+    overhead, then summarize on demand.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+
+    def record(self, seconds: float) -> None:
+        """Record one completed operation's latency."""
+        self._samples.append(float(seconds))
+
+    def extend(self, seconds: Iterable[float]) -> None:
+        """Record a batch worth of latencies at once."""
+        self._samples.extend(float(s) for s in seconds)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def report(self) -> LatencyReport:
+        """Summarize everything recorded so far."""
+        return LatencyReport.from_samples(self._samples)
+
+    def reset(self) -> None:
+        """Drop all recorded samples."""
+        self._samples.clear()

@@ -1,0 +1,33 @@
+"""Request-service layer: an async micro-batching front door for the engine.
+
+Where :mod:`repro.core` scales the table *up* and :mod:`repro.engine`
+scales it *out*, this package makes it *servable*: callers await single
+operations, an operation-log micro-batcher coalesces everything arriving
+within a latency budget into warp-aligned mixed batches, and each batch
+runs through the sharded engine's ``concurrent_batch`` — on the vectorized
+concurrent fast path by default.
+
+* :class:`~repro.service.batcher.MicroBatcher` — the event-loop-agnostic
+  coalescing core (warp-aligned cuts, forced ragged flushes);
+* :class:`~repro.service.service.SlabHashService` — the asyncio front door
+  (``insert`` / ``search`` / ``delete`` / ``submit_many``), drain loop,
+  and per-operation latency/throughput accounting;
+* :class:`~repro.service.service.ServiceConfig` /
+  :class:`~repro.service.service.ServiceStats` — tuning knobs and the
+  measurement snapshot (percentiles via :mod:`repro.perf.latency`).
+
+``benchmarks/bench_service_latency.py`` drives a Figure-7-style operation
+stream through this layer and records the latency/throughput document at
+the repo root; ``docs/TUTORIAL.md`` walks through using it.
+"""
+
+from repro.service.batcher import MicroBatcher, PendingOp
+from repro.service.service import ServiceConfig, ServiceStats, SlabHashService
+
+__all__ = [
+    "MicroBatcher",
+    "PendingOp",
+    "ServiceConfig",
+    "ServiceStats",
+    "SlabHashService",
+]

@@ -1,0 +1,117 @@
+"""The operation-log micro-batcher: coalesce single operations into batches.
+
+The slab hash's throughput comes from warp-cooperative batch execution —
+one operation per thread, 32 per warp — but a service front door receives
+operations one at a time.  :class:`MicroBatcher` is the (event-loop
+agnostic) coalescing core the async service builds on: an append-only
+operation log from which batches are cut **warp-aligned** (multiples of the
+warp size) whenever possible, so the engine's warps run full, and cut
+unaligned only when a latency deadline forces a flush of the ragged tail.
+
+The batcher is a pure data structure — no clocks, no tasks — which keeps
+the coalescing policy unit-testable; :class:`repro.service.SlabHashService`
+owns the timing (max-delay deadlines) and the execution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.gpusim.warp import WARP_SIZE
+
+__all__ = ["PendingOp", "MicroBatcher"]
+
+
+class PendingOp:
+    """One logged operation waiting to be executed as part of a batch."""
+
+    __slots__ = ("op_code", "key", "value", "future", "enqueued_at")
+
+    def __init__(self, op_code: int, key: int, value: int, future, enqueued_at: float) -> None:
+        self.op_code = int(op_code)
+        self.key = int(key)
+        self.value = int(value)
+        self.future = future
+        self.enqueued_at = float(enqueued_at)
+
+
+class MicroBatcher:
+    """Append-only operation log with warp-aligned batch extraction.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Upper bound on the number of operations per extracted batch; rounded
+        down to a multiple of the warp size (and at least one warp).
+    warp_size:
+        Threads per warp of the target engine (32 for the modelled GPU).
+    """
+
+    def __init__(self, max_batch_size: int = 1024, *, warp_size: int = WARP_SIZE) -> None:
+        if warp_size <= 0:
+            raise ValueError(f"warp_size must be positive, got {warp_size}")
+        if max_batch_size < warp_size:
+            raise ValueError(
+                f"max_batch_size ({max_batch_size}) must be at least one warp ({warp_size})"
+            )
+        self.warp_size = int(warp_size)
+        self.max_batch_size = (int(max_batch_size) // self.warp_size) * self.warp_size
+        self._log: Deque[PendingOp] = deque()
+        #: Totals for :class:`repro.service.ServiceStats`.
+        self.ops_enqueued = 0
+        self.batches_cut = 0
+        self.aligned_batches = 0
+
+    # ------------------------------------------------------------------ #
+    # Logging
+    # ------------------------------------------------------------------ #
+
+    def add(self, op: PendingOp) -> None:
+        """Append one operation to the log."""
+        self._log.append(op)
+        self.ops_enqueued += 1
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    @property
+    def full(self) -> bool:
+        """True when a maximum-size batch can be cut immediately."""
+        return len(self._log) >= self.max_batch_size
+
+    def oldest_enqueued_at(self) -> Optional[float]:
+        """Enqueue time of the head of the log (None when empty)."""
+        return self._log[0].enqueued_at if self._log else None
+
+    # ------------------------------------------------------------------ #
+    # Batch extraction
+    # ------------------------------------------------------------------ #
+
+    def take(self, *, force: bool = False) -> List[PendingOp]:
+        """Cut the next batch from the head of the log.
+
+        Without ``force`` only whole warps are cut (the largest multiple of
+        ``warp_size`` available, capped at ``max_batch_size``): fewer than 32
+        pending operations yield an empty batch, keeping warps full while
+        traffic keeps arriving.  With ``force`` (deadline expired, or the
+        service is draining) the ragged tail is cut too, up to
+        ``max_batch_size`` operations.
+        """
+        available = len(self._log)
+        count = min(available, self.max_batch_size)
+        if not force:
+            count = (count // self.warp_size) * self.warp_size
+        if count == 0:
+            return []
+        batch = [self._log.popleft() for _ in range(count)]
+        self.batches_cut += 1
+        if count % self.warp_size == 0:
+            self.aligned_batches += 1
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroBatcher(pending={len(self._log)}, max={self.max_batch_size}, "
+            f"cut={self.batches_cut})"
+        )

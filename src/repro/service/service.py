@@ -1,0 +1,377 @@
+"""An async request-service layer over the (sharded) slab hash.
+
+:class:`SlabHashService` is the front door a traffic-serving deployment
+would put in front of the engine: callers ``await`` single operations
+(``insert`` / ``search`` / ``delete``) while an operation-log micro-batcher
+(:class:`repro.service.batcher.MicroBatcher`) coalesces everything that
+arrives within a latency budget into warp-aligned mixed batches, runs each
+batch through :meth:`~repro.engine.sharded.ShardedSlabHash.concurrent_batch`
+(the router scatters it across the shards), and resolves the callers'
+futures with the per-operation results.
+
+Batches run on whatever bulk-execution backend the engine was built with;
+with the default ``"vectorized"`` backend and no scheduler seed, every
+batch takes the concurrent fast path of :mod:`repro.core.bulk_exec`.
+
+Measurement is built in: per-operation wall-clock latency percentiles
+(:mod:`repro.perf.latency`) and both wall-clock and modelled-device
+throughput are available from :meth:`SlabHashService.stats` at any time —
+the numbers ``benchmarks/bench_service_latency.py`` records.
+
+The batch execution itself is synchronous CPU work (the simulator), so the
+event loop pauses while a batch runs; coalescing still works because the
+log fills *between* executions, exactly like a GPU serving pipeline that
+admits requests while the previous kernel is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.core.hashing import is_user_key
+from repro.core.slab_hash import SlabHash
+from repro.engine.sharded import ShardedSlabHash
+from repro.gpusim.scheduler import WarpScheduler
+from repro.perf.latency import LatencyRecorder, LatencyReport
+from repro.perf.metrics import measure_phase
+from repro.service.batcher import MicroBatcher, PendingOp
+
+__all__ = ["ServiceConfig", "ServiceStats", "SlabHashService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs of the request-service layer.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Most operations one concurrent batch may carry (rounded down to a
+        warp multiple by the batcher).
+    max_delay:
+        Longest time (seconds) an operation may wait in the log for
+        co-batching before a ragged (non-warp-aligned) flush is forced.
+    scheduler_seed:
+        When given, every batch runs under a seeded
+        :class:`~repro.gpusim.scheduler.WarpScheduler` (seed advanced per
+        batch) — true interleaved execution through the reference
+        generators.  ``None`` (default) uses the deterministic phased
+        schedule, which the vectorized backend executes on its fast path.
+    wave_size:
+        Bound on concurrently live warps under a scheduler (ignored
+        without ``scheduler_seed``).
+    measure_device_time:
+        Also collect the modelled device time of every executed batch
+        (adds one counter snapshot per batch).
+    """
+
+    max_batch_size: int = 1024
+    max_delay: float = 0.002
+    scheduler_seed: Optional[int] = None
+    wave_size: Optional[int] = None
+    measure_device_time: bool = True
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """A point-in-time snapshot of the service's accounting."""
+
+    ops_enqueued: int
+    ops_completed: int
+    ops_failed: int
+    batches_executed: int
+    warp_aligned_batches: int
+    mean_batch_size: float
+    latency: LatencyReport
+    wall_seconds: float
+    ops_per_second: float
+    modelled_seconds: float
+    modelled_ops_per_second: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (used by the service-latency benchmark JSON)."""
+        return {
+            "ops_enqueued": self.ops_enqueued,
+            "ops_completed": self.ops_completed,
+            "ops_failed": self.ops_failed,
+            "batches_executed": self.batches_executed,
+            "warp_aligned_batches": self.warp_aligned_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "latency": self.latency.as_dict(),
+            "wall_seconds": self.wall_seconds,
+            "ops_per_second": self.ops_per_second,
+            "modelled_seconds": self.modelled_seconds,
+            "modelled_ops_per_second": self.modelled_ops_per_second,
+        }
+
+
+class SlabHashService:
+    """Async micro-batching front door over a sharded (or single) slab hash.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`~repro.engine.sharded.ShardedSlabHash` (operations are
+        routed to shards through its :class:`~repro.engine.router.ShardRouter`)
+        or a single :class:`~repro.core.slab_hash.SlabHash`.
+    config:
+        Coalescing and execution knobs; defaults favour throughput with a
+        2 ms co-batching budget.
+
+    Use as an async context manager, or call :meth:`start` / :meth:`stop`::
+
+        engine = ShardedSlabHash(4, 256)
+        async with SlabHashService(engine) as service:
+            await service.insert(42, 1000)
+            assert await service.search(42) == 1000
+    """
+
+    def __init__(
+        self,
+        engine: Union[ShardedSlabHash, SlabHash],
+        *,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self._sharded = isinstance(engine, ShardedSlabHash)
+        table_config = engine.shards[0].config if self._sharded else engine.config
+        self._key_value = table_config.key_value
+        self._batcher = MicroBatcher(self.config.max_batch_size)
+        self._latency = LatencyRecorder()
+        self._wake: Optional[asyncio.Event] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._closing = False
+        self._batch_index = 0
+        self._ops_completed = 0
+        self._ops_failed = 0
+        self._modelled_seconds = 0.0
+        self._first_enqueue: Optional[float] = None
+        self._last_completion: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "SlabHashService":
+        """Spawn the drain loop; idempotent."""
+        if self._drain_task is None or self._drain_task.done():
+            self._closing = False
+            self._wake = asyncio.Event()
+            self._drain_task = asyncio.get_running_loop().create_task(self._drain())
+        return self
+
+    async def stop(self) -> None:
+        """Flush every logged operation, then stop the drain loop."""
+        if self._drain_task is None:
+            return
+        self._closing = True
+        self._wake.set()
+        await self._drain_task
+        self._drain_task = None
+
+    async def __aenter__(self) -> "SlabHashService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+    # Submission API
+    # ------------------------------------------------------------------ #
+
+    def _enqueue(self, op_code: int, key: int, value: int) -> "asyncio.Future[int]":
+        if self._drain_task is None or self._drain_task.done():
+            raise RuntimeError("service is not running; use 'async with' or await start()")
+        if not is_user_key(key):
+            raise ValueError(f"key 0x{int(key):08X} is outside the storable key domain")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        now = time.perf_counter()
+        if self._first_enqueue is None:
+            self._first_enqueue = now
+        self._batcher.add(PendingOp(op_code, key, value, future, now))
+        self._wake.set()
+        return future
+
+    async def submit(self, op_code: int, key: int, value: Optional[int] = None) -> int:
+        """Log one operation and await its raw result (SlabHash conventions).
+
+        Searches resolve to the found value or ``SEARCH_NOT_FOUND``,
+        deletions to 1/0 (removed or not), insertions to 0.
+        """
+        if op_code not in (C.OP_INSERT, C.OP_DELETE, C.OP_SEARCH):
+            raise ValueError(f"unknown operation code {op_code!r}")
+        if op_code == C.OP_INSERT and self._key_value and value is None:
+            raise ValueError("key-value mode requires a value for insertions")
+        return await self._enqueue(op_code, key, 0 if value is None else value)
+
+    async def insert(self, key: int, value: Optional[int] = None) -> None:
+        """Insert one key (and value in key-value mode)."""
+        await self.submit(C.OP_INSERT, key, value)
+
+    async def search(self, key: int) -> Optional[int]:
+        """Return the stored value (the key itself in key-only mode), or None."""
+        result = await self.submit(C.OP_SEARCH, key)
+        return None if result == C.SEARCH_NOT_FOUND else result
+
+    async def delete(self, key: int) -> bool:
+        """Delete ``key``; True when an element was removed."""
+        return bool(await self.submit(C.OP_DELETE, key))
+
+    async def submit_many(
+        self,
+        op_codes: Sequence[int],
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Log a stream of operations and await all their results (in order)."""
+        op_codes = np.asarray(op_codes, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.int64)
+        if values is None:
+            values = np.zeros(len(keys), dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if not (len(op_codes) == len(keys) == len(values)):
+            raise ValueError("op_codes, keys and values must have the same length")
+        futures = [
+            self._enqueue(int(op), int(key), int(value))
+            for op, key, value in zip(op_codes, keys, values)
+        ]
+        results = await asyncio.gather(*futures)
+        return np.asarray(results, dtype=np.uint32)
+
+    # ------------------------------------------------------------------ #
+    # Drain loop and batch execution
+    # ------------------------------------------------------------------ #
+
+    async def _drain(self) -> None:
+        while True:
+            if len(self._batcher) == 0:
+                if self._closing:
+                    return
+                self._wake.clear()
+                if len(self._batcher):  # raced with an enqueue
+                    continue
+                await self._wake.wait()
+                continue
+            if self._batcher.full or self._closing:
+                self._execute(self._batcher.take(force=self._closing))
+                await asyncio.sleep(0)  # let queued submitters run
+                continue
+            deadline = self._batcher.oldest_enqueued_at() + self.config.max_delay
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                self._execute(self._batcher.take(force=True))
+                await asyncio.sleep(0)
+                continue
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                pass
+
+    def _run_batch(
+        self, op_codes: np.ndarray, keys: np.ndarray, values: Optional[np.ndarray]
+    ) -> np.ndarray:
+        seed = self.config.scheduler_seed
+        if self._sharded:
+            return self.engine.concurrent_batch(
+                op_codes,
+                keys,
+                values,
+                scheduler_seed=None if seed is None else seed + self._batch_index,
+                wave_size=self.config.wave_size,
+            )
+        scheduler = None if seed is None else WarpScheduler(seed=seed + self._batch_index)
+        return self.engine.concurrent_batch(
+            op_codes, keys, values, scheduler=scheduler, wave_size=self.config.wave_size
+        )
+
+    def _execute(self, batch: List[PendingOp]) -> None:
+        if not batch:
+            return
+        op_codes = np.fromiter((op.op_code for op in batch), dtype=np.int64, count=len(batch))
+        keys = np.fromiter((op.key for op in batch), dtype=np.uint64, count=len(batch))
+        values = None
+        if self._key_value:
+            values = np.fromiter((op.value for op in batch), dtype=np.uint32, count=len(batch))
+        holder = {}
+
+        def run() -> None:
+            holder["results"] = self._run_batch(op_codes, keys, values)
+
+        try:
+            if self.config.measure_device_time:
+                if self._sharded:
+                    stats = self.engine.measure(run, label=f"service batch {self._batch_index}")
+                    self._modelled_seconds += stats.parallel_seconds
+                else:
+                    measurement = measure_phase(
+                        self.engine.device,
+                        run,
+                        num_ops=len(batch),
+                        label=f"service batch {self._batch_index}",
+                    )
+                    self._modelled_seconds += measurement.seconds
+                results = holder["results"]
+            else:
+                run()
+                results = holder["results"]
+        except Exception as exc:  # noqa: BLE001 - a failed batch fails its ops
+            self._batch_index += 1
+            self._ops_failed += len(batch)
+            for op in batch:
+                if not op.future.done():
+                    op.future.set_exception(exc)
+            return
+        self._batch_index += 1
+        completed_at = time.perf_counter()
+        self._last_completion = completed_at
+        self._ops_completed += len(batch)
+        for op, result in zip(batch, results):
+            self._latency.record(completed_at - op.enqueued_at)
+            if not op.future.done():
+                op.future.set_result(int(result))
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def pending(self) -> int:
+        """Operations currently waiting in the log."""
+        return len(self._batcher)
+
+    def stats(self) -> ServiceStats:
+        """Snapshot the service's accounting (latency, throughput, batching)."""
+        wall = 0.0
+        if self._first_enqueue is not None and self._last_completion is not None:
+            wall = max(0.0, self._last_completion - self._first_enqueue)
+        batches = self._batcher.batches_cut
+        return ServiceStats(
+            ops_enqueued=self._batcher.ops_enqueued,
+            ops_completed=self._ops_completed,
+            ops_failed=self._ops_failed,
+            batches_executed=batches,
+            warp_aligned_batches=self._batcher.aligned_batches,
+            mean_batch_size=(self._ops_completed + self._ops_failed) / batches if batches else 0.0,
+            latency=self._latency.report(),
+            wall_seconds=wall,
+            ops_per_second=self._ops_completed / wall if wall > 0 else 0.0,
+            modelled_seconds=self._modelled_seconds,
+            modelled_ops_per_second=(
+                self._ops_completed / self._modelled_seconds if self._modelled_seconds > 0 else 0.0
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        target = "sharded" if self._sharded else "single-table"
+        return (
+            f"SlabHashService({target}, pending={self.pending}, "
+            f"completed={self._ops_completed})"
+        )

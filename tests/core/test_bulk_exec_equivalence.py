@@ -322,10 +322,11 @@ class TestBackendSelection:
             set_default_backend("vectorized")
         assert SlabHash(2, alloc_config=SMALL_ALLOC).backend == "vectorized"
 
-    def test_concurrent_batch_always_uses_reference_generators(self):
-        # Scheduler-interleaved runs must not silently change semantics: both
-        # backends give identical concurrent results because the vectorized
-        # table routes concurrent_batch through the generator path.
+    def test_unscheduled_concurrent_batch_follows_the_backend(self):
+        # Without a scheduler, concurrent_batch runs the deterministic phased
+        # schedule, which the vectorized backend resolves through its fast
+        # path with identical results and counters (the full sweep lives in
+        # tests/core/test_concurrent_exec_equivalence.py).
         rng = np.random.default_rng(37)
         keys = rng.choice(2**20, 128, replace=False).astype(np.uint32)
         ops = np.full(128, C.OP_INSERT, dtype=np.int64)

@@ -1,0 +1,59 @@
+"""Schema guard for the service-latency benchmark output (BENCH_service.json).
+
+Runs a tiny instance of ``benchmarks/bench_service_latency.py`` end to end
+and validates the emitted document against ``validate_document`` — the
+single source of truth for the schema — so drift in the JSON layout fails CI
+before a malformed BENCH_service.json lands at the repo root.  Also
+validates the committed repo-root file when present.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+import pytest
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+sys.path.insert(0, os.path.join(_REPO_ROOT, "benchmarks"))
+
+import bench_service_latency  # noqa: E402  (needs the path insertion above)
+
+
+@pytest.mark.smoke
+def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
+    out = tmp_path / "BENCH_service.json"
+    assert bench_service_latency.main(
+        ["--num-ops", "512", "--initial", "512", "--num-shards", "2",
+         "--max-batch", "128", "--burst", "64", "--out", str(out)]
+    ) == 0
+    with open(out, encoding="utf-8") as handle:
+        document = json.load(handle)
+    bench_service_latency.validate_document(document)  # raises on drift
+    assert document["latency"]["count"] == 512
+    assert document["batches"]["executed"] >= 512 // 128
+
+
+@pytest.mark.smoke
+def test_committed_service_file_matches_schema():
+    path = os.path.join(_REPO_ROOT, "BENCH_service.json")
+    if not os.path.exists(path):
+        pytest.skip("no BENCH_service.json at the repo root yet")
+    with open(path, encoding="utf-8") as handle:
+        bench_service_latency.validate_document(json.load(handle))
+
+
+def test_validate_document_rejects_drift():
+    document = bench_service_latency.run_benchmark(
+        num_ops=256, initial_elements=256, num_shards=2, max_batch_size=64, burst=64
+    )
+    bench_service_latency.validate_document(document)
+    broken = dict(document)
+    broken.pop("latency")
+    with pytest.raises(ValueError, match="latency"):
+        bench_service_latency.validate_document(broken)
+    wrong_count = json.loads(json.dumps(document))
+    wrong_count["latency"]["count"] = 1
+    with pytest.raises(ValueError, match="num_ops"):
+        bench_service_latency.validate_document(wrong_count)

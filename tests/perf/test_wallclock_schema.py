@@ -28,11 +28,13 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     with open(out, encoding="utf-8") as handle:
         document = json.load(handle)
     bench_wallclock.validate_document(document)  # raises on drift
+    assert document["schema_version"] == 2
     assert document["speedups"]["bulk_build_1024"] > 0
+    assert document["speedups"]["concurrent_mixed_1024"] > 0
     ops = {(entry["op"], entry["backend"]) for entry in document["results"]}
     assert ops == {
         (op, backend)
-        for op in ("bulk_build", "bulk_search")
+        for op in ("bulk_build", "bulk_search", "concurrent_mixed")
         for backend in ("vectorized", "reference")
     }
 

@@ -1,0 +1,86 @@
+"""Unit tests for the operation-log micro-batcher's coalescing policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpusim.warp import WARP_SIZE
+from repro.service.batcher import MicroBatcher, PendingOp
+
+
+def pending(index: int) -> PendingOp:
+    return PendingOp(op_code=1, key=index, value=index, future=None, enqueued_at=float(index))
+
+
+class TestConstruction:
+    def test_max_batch_rounds_down_to_warp_multiple(self):
+        assert MicroBatcher(100).max_batch_size == 96
+        assert MicroBatcher(1024).max_batch_size == 1024
+
+    def test_rejects_sub_warp_max_batch(self):
+        with pytest.raises(ValueError, match="at least one warp"):
+            MicroBatcher(WARP_SIZE - 1)
+
+    def test_rejects_non_positive_warp_size(self):
+        with pytest.raises(ValueError, match="warp_size"):
+            MicroBatcher(64, warp_size=0)
+
+
+class TestCutting:
+    def test_unforced_take_is_warp_aligned(self):
+        batcher = MicroBatcher(128)
+        for index in range(70):
+            batcher.add(pending(index))
+        batch = batcher.take()
+        assert len(batch) == 64  # largest warp multiple <= 70
+        assert len(batcher) == 6
+
+    def test_unforced_take_below_one_warp_yields_nothing(self):
+        batcher = MicroBatcher(128)
+        for index in range(WARP_SIZE - 1):
+            batcher.add(pending(index))
+        assert batcher.take() == []
+        assert len(batcher) == WARP_SIZE - 1
+
+    def test_forced_take_flushes_the_ragged_tail(self):
+        batcher = MicroBatcher(128)
+        for index in range(70):
+            batcher.add(pending(index))
+        batcher.take()
+        tail = batcher.take(force=True)
+        assert len(tail) == 6
+        assert len(batcher) == 0
+
+    def test_take_caps_at_max_batch_size(self):
+        batcher = MicroBatcher(64)
+        for index in range(200):
+            batcher.add(pending(index))
+        assert batcher.full
+        assert len(batcher.take()) == 64
+        assert len(batcher.take(force=True)) == 64
+
+    def test_fifo_order_preserved(self):
+        batcher = MicroBatcher(64)
+        for index in range(40):
+            batcher.add(pending(index))
+        batch = batcher.take()
+        assert [op.key for op in batch] == list(range(32))
+
+    def test_oldest_enqueued_at(self):
+        batcher = MicroBatcher(64)
+        assert batcher.oldest_enqueued_at() is None
+        batcher.add(pending(7))
+        batcher.add(pending(9))
+        assert batcher.oldest_enqueued_at() == 7.0
+
+
+class TestAccounting:
+    def test_counters_track_cuts_and_alignment(self):
+        batcher = MicroBatcher(64)
+        for index in range(70):
+            batcher.add(pending(index))
+        batcher.take()            # 64 ops, aligned
+        batcher.take(force=True)  # 6 ops, ragged
+        assert batcher.ops_enqueued == 70
+        assert batcher.batches_cut == 2
+        assert batcher.aligned_batches == 1
