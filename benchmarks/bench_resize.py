@@ -1,0 +1,224 @@
+"""Amortized wall-clock cost of online resizing under churn.
+
+Measures **real host wall-clock seconds** (like ``bench_wallclock.py``, not
+modelled GPU time) for the churn scenario of :mod:`repro.workloads.churn`:
+the population swings between ``peak / BASE_DIVISOR`` and ``peak`` for
+``CYCLES`` insert/delete cycles.  Two tables run the identical operation
+stream:
+
+* **auto** — starts sized for the base population with a
+  :class:`~repro.core.resize.LoadFactorPolicy` attached, so it grows and
+  shrinks with the population; every migration's cost is *included* in its
+  wall-clock time (that is the amortization being measured);
+* **fixed** — the same undersized table without a policy; chains stretch at
+  every peak and (unique-keys mode) tombstones accumulate cycle over cycle,
+  so every later batch pays for history.
+
+The results feed ``BENCH_wallclock.json`` schema v3: per-backend
+``resize_churn`` entries in ``results`` / ``speedups`` (recorded by
+``bench_wallclock.py``, which imports this module) and the top-level
+``resize_churn`` comparison section whose ``auto_over_fixed`` ratio is the
+headline number — amortized resize churn beats the fixed undersized table.
+
+Run standalone to refresh just the comparison section of an existing
+``BENCH_wallclock.json``::
+
+    PYTHONPATH=src python benchmarks/bench_resize.py [--num-keys 100000]
+        [--cycles 6] [--out BENCH_wallclock.json] [--print-only]
+
+Under pytest (the benchmark suite) this module also asserts the modelled
+version of the same claim via ``repro.perf.figures.resize_sweep``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import time
+from typing import Optional
+
+from repro.core.resize import LoadFactorPolicy
+from repro.core.slab_hash import SlabHash
+from repro.workloads.churn import build_churn_workload, run_churn
+
+#: Churn shape shared by every measurement (and by the schema smoke test):
+#: population swings between peak/BASE_DIVISOR and peak, CYCLES times.  The
+#: deep trough and repeated cycles are what make tombstone accumulation (not
+#: just chain length) the fixed table's dominant cost.
+CYCLES = 6
+BASE_DIVISOR = 16
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_wallclock.json"
+)
+
+
+def churn_policy(initial_buckets: int) -> LoadFactorPolicy:
+    """The adaptive policy the churn measurements use.
+
+    ``grow_factor=4`` keeps the number of migrations per insert ramp small
+    (coarse geometric steps amortize better on the host simulator), and the
+    bucket floor stays at half the initial sizing so the trough's shrink
+    cannot collapse the table.
+    """
+    return LoadFactorPolicy(grow_factor=4.0, min_buckets=max(1, initial_buckets // 2))
+
+
+def run_churn_once(
+    num_keys: int,
+    *,
+    backend: str,
+    adaptive: bool,
+    cycles: int = CYCLES,
+    seed: int = 1,
+) -> dict:
+    """One full churn run on a fresh table; returns wall-clock and resize stats."""
+    base = max(64, num_keys // BASE_DIVISOR)
+    workload = build_churn_workload(num_keys, base_elements=base, cycles=cycles, seed=seed)
+    buckets = SlabHash.buckets_for_beta(base, 0.6)
+    policy = churn_policy(buckets) if adaptive else None
+    gc.collect()
+    table = SlabHash(buckets, backend=backend, seed=seed, policy=policy)
+    start = time.perf_counter()
+    total_ops = run_churn(table, workload)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": seconds,
+        "total_ops": total_ops,
+        "ops_per_sec": total_ops / seconds if seconds > 0 else float("inf"),
+        "grows": table.resize_stats.grows,
+        "shrinks": table.resize_stats.shrinks,
+        "migrated_items": table.resize_stats.migrated_items,
+        "final_buckets": table.num_buckets,
+        "final_beta": table.beta(),
+    }
+
+
+def measure_churn(num_keys: int, *, backend: str, cycles: int = CYCLES) -> dict:
+    """Adaptive churn timing for one backend (the per-backend results entry).
+
+    A churn run is long (hundreds of thousands of operations), so a single
+    run is stable enough — no best-of-N like the short bulk measurements.
+    """
+    return run_churn_once(num_keys, backend=backend, adaptive=True, cycles=cycles)
+
+
+def churn_comparison(num_keys: int, *, cycles: int = CYCLES, auto: Optional[dict] = None) -> dict:
+    """Auto-resize versus fixed-undersized churn on the vectorized backend.
+
+    ``auto`` accepts an already-measured adaptive run (the shape
+    :func:`run_churn_once` returns) so a caller that just timed it — like
+    ``bench_wallclock.run_benchmark`` — does not repeat a long churn run.
+    """
+    if auto is None:
+        auto = run_churn_once(num_keys, backend="vectorized", adaptive=True, cycles=cycles)
+    fixed = run_churn_once(num_keys, backend="vectorized", adaptive=False, cycles=cycles)
+    return {
+        "num_keys": int(num_keys),
+        "cycles": int(cycles),
+        "base_divisor": BASE_DIVISOR,
+        "total_ops": auto["total_ops"],
+        "auto": auto,
+        "fixed": fixed,
+        "auto_over_fixed": fixed["seconds"] / auto["seconds"],
+    }
+
+
+def validate_section(section: dict) -> None:
+    """Raise ``ValueError`` if a ``resize_churn`` section does not match the schema."""
+    if not isinstance(section, dict):
+        raise ValueError("resize_churn must be an object")
+    for field in ("num_keys", "cycles", "base_divisor", "total_ops"):
+        if not isinstance(section.get(field), int):
+            raise ValueError(f"resize_churn field {field!r} must be an integer")
+    for variant in ("auto", "fixed"):
+        entry = section.get(variant)
+        if not isinstance(entry, dict):
+            raise ValueError(f"resize_churn must contain a {variant!r} object")
+        for field in ("seconds", "total_ops", "ops_per_sec", "grows", "shrinks",
+                      "migrated_items", "final_buckets", "final_beta"):
+            if not isinstance(entry.get(field), (int, float)):
+                raise ValueError(f"resize_churn {variant} field {field!r} must be numeric")
+    if section["auto"]["grows"] < 1 or section["auto"]["shrinks"] < 1:
+        raise ValueError("the auto churn run must perform at least one grow and one shrink")
+    if section["fixed"]["grows"] != 0 or section["fixed"]["shrinks"] != 0:
+        raise ValueError("the fixed churn run must not resize")
+    ratio = section.get("auto_over_fixed")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        raise ValueError("resize_churn auto_over_fixed must be a positive number")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-keys", type=int, default=100_000,
+                        help="peak churn population (default %(default)s)")
+    parser.add_argument("--cycles", type=int, default=CYCLES,
+                        help="insert/delete cycles (default %(default)s)")
+    parser.add_argument("--out", type=str, default=DEFAULT_OUT,
+                        help="BENCH_wallclock.json to update in place (default: repo root)")
+    parser.add_argument("--print-only", action="store_true",
+                        help="measure and print, but do not touch the JSON document")
+    args = parser.parse_args(argv)
+
+    comparison = churn_comparison(args.num_keys, cycles=args.cycles)
+    validate_section(comparison)
+    for variant in ("auto", "fixed"):
+        entry = comparison[variant]
+        print(f"  {variant:5s} n={args.num_keys:>7d} {entry['seconds']:8.3f}s "
+              f"{entry['ops_per_sec'] / 1e3:9.1f} kops/s  grows={entry['grows']} "
+              f"shrinks={entry['shrinks']} final_beta={entry['final_beta']:.3f}")
+    print(f"  auto_over_fixed: {comparison['auto_over_fixed']:.2f}x")
+
+    if args.print_only:
+        return 0
+    if not os.path.exists(args.out):
+        print(f"{args.out} does not exist; run benchmarks/bench_wallclock.py first "
+              "(it records the full schema-v3 document, including this section)")
+        return 1
+    with open(args.out, encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["resize_churn"] = comparison
+    import bench_wallclock  # deferred: bench_wallclock imports this module
+
+    bench_wallclock.validate_document(document)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(f"updated resize_churn section of {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark-suite tests (pytest; see scripts/smoke.sh)
+# --------------------------------------------------------------------------- #
+
+
+def test_resize_sweep_adaptive_beats_undersized(benchmark):
+    """Modelled churn throughput: the adaptive table must beat fixed-undersized."""
+    from _bench_utils import emit
+    from repro.perf import figures
+
+    result = benchmark.pedantic(
+        lambda: figures.resize_sweep(sim_elements=2**12, cycles=3), rounds=1, iterations=1
+    )
+    emit(result, benchmark)
+    assert result.extra["adaptive_over_undersized"] > 1.2
+    assert result.extra["adaptive_grows"] >= 1
+    assert result.extra["adaptive_shrinks"] >= 1
+    assert result.extra["adaptive_beta_in_band"] == 1.0
+
+
+def test_churn_comparison_structure_and_coverage():
+    """A tiny wall-clock comparison satisfies the schema and exercises resizing."""
+    comparison = churn_comparison(2048, cycles=3)
+    validate_section(comparison)
+    assert comparison["auto"]["grows"] >= 1
+    assert comparison["auto"]["shrinks"] >= 1
+    # The fixed table served the same stream without ever resizing.
+    assert comparison["fixed"]["total_ops"] == comparison["auto"]["total_ops"]

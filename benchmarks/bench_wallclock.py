@@ -13,20 +13,32 @@ Run directly (or via ``scripts/bench_wallclock.sh``)::
     PYTHONPATH=src python benchmarks/bench_wallclock.py [--sizes 20000,100000]
         [--beta 0.6] [--repeats 3] [--out BENCH_wallclock.json]
 
-Schema (``SCHEMA_VERSION``; version 2 added ``concurrent_mixed``)::
+Schema (``SCHEMA_VERSION``; version 2 added ``concurrent_mixed``, version 3
+added the ``resize_churn`` op and top-level section)::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "benchmark": "bulk_wallclock",
       "device_model": "...", "python": "...", "numpy": "...",
       "config": {"beta": ..., "repeats": ..., "sizes": [...]},
       "results": [
-        {"op": "bulk_build" | "bulk_search" | "concurrent_mixed",
+        {"op": "bulk_build" | "bulk_search" | "concurrent_mixed" | "resize_churn",
          "backend": "vectorized" | "reference",
          "num_keys": N, "seconds": s, "ops_per_sec": r}, ...
       ],
-      "speedups": {"bulk_build_100000": x, "concurrent_mixed_100000": y, ...}
+      "speedups": {"bulk_build_100000": x, "resize_churn_100000": y, ...},
+      "resize_churn": {"num_keys": N, "cycles": c, "base_divisor": d,
+                       "total_ops": t, "auto": {...}, "fixed": {...},
+                       "auto_over_fixed": r}
     }
+
+``resize_churn`` entries time the churn scenario of
+:mod:`repro.workloads.churn` on an auto-resizing table (``num_keys`` is the
+peak population; ``ops_per_sec`` counts the churn stream's operations, which
+exceed ``num_keys``); the top-level section compares auto-resize against the
+fixed-undersized baseline at the largest size — see
+``benchmarks/bench_resize.py``, which owns those measurements.  Churn runs
+are long, so they are timed once per backend (not best-of-``repeats``).
 
 ``validate_document`` is the schema's single source of truth; the smoke test
 ``tests/perf/test_wallclock_schema.py`` regenerates a tiny document and fails
@@ -45,18 +57,22 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+import bench_resize
 from repro.core.bulk_exec import BACKENDS
 from repro.core.slab_hash import SlabHash
 from repro.gpusim.device import TESLA_K40C
 from repro.workloads.distributions import GAMMA_40_UPDATES, build_concurrent_workload
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 DEFAULT_SIZES = (20_000, 100_000)
 DEFAULT_BETA = 0.6
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                            "BENCH_wallclock.json")
 
-OPS = ("bulk_build", "bulk_search", "concurrent_mixed")
+#: Short operations timed best-of-``repeats`` on a fresh table per repetition.
+BULK_OPS = ("bulk_build", "bulk_search", "concurrent_mixed")
+#: Every op kind a results entry may carry (churn runs are timed once).
+OPS = BULK_OPS + ("resize_churn",)
 
 
 def _make_batch(num_keys: int, seed: int = 1):
@@ -78,7 +94,7 @@ def _time_backend(backend: str, num_keys: int, beta: float, repeats: int) -> Dic
     keys, values = _make_batch(num_keys)
     buckets = SlabHash.buckets_for_beta(num_keys, beta)
     workload = build_concurrent_workload(GAMMA_40_UPDATES, num_keys, keys, seed=7)
-    best = {op: float("inf") for op in OPS}
+    best = {op: float("inf") for op in BULK_OPS}
     for _ in range(repeats):
         # A fresh table per repetition; drop the previous one first so block
         # stores do not pile up and skew timings with allocator memory churn.
@@ -110,13 +126,14 @@ def run_benchmark(
 
     results: List[dict] = []
     speedups: Dict[str, float] = {}
+    churn_by_size: Dict[int, dict] = {}
     for num_keys in sizes:
         timings = {
             backend: _time_backend(backend, num_keys, beta, repeats)
             for backend in BACKENDS
         }
         for backend in BACKENDS:
-            for op in OPS:
+            for op in BULK_OPS:
                 seconds = timings[backend][op]
                 results.append(
                     {
@@ -127,10 +144,29 @@ def run_benchmark(
                         "ops_per_sec": num_keys / seconds if seconds > 0 else float("inf"),
                     }
                 )
-        for op in OPS:
+        for op in BULK_OPS:
             speedups[f"{op}_{num_keys}"] = (
                 timings["reference"][op] / timings["vectorized"][op]
             )
+        # Churn with auto-resize: one long run per backend (see bench_resize).
+        churn = {
+            backend: bench_resize.measure_churn(num_keys, backend=backend)
+            for backend in BACKENDS
+        }
+        churn_by_size[int(num_keys)] = churn
+        for backend in BACKENDS:
+            results.append(
+                {
+                    "op": "resize_churn",
+                    "backend": backend,
+                    "num_keys": int(num_keys),
+                    "seconds": churn[backend]["seconds"],
+                    "ops_per_sec": churn[backend]["ops_per_sec"],
+                }
+            )
+        speedups[f"resize_churn_{num_keys}"] = (
+            churn["reference"]["seconds"] / churn["vectorized"]["seconds"]
+        )
     return {
         "schema_version": SCHEMA_VERSION,
         "benchmark": "bulk_wallclock",
@@ -140,6 +176,11 @@ def run_benchmark(
         "config": {"beta": beta, "repeats": repeats, "sizes": [int(s) for s in sizes]},
         "results": results,
         "speedups": speedups,
+        # Auto-resize versus the fixed-undersized baseline, at the largest
+        # size — reusing that size's already-measured adaptive churn run.
+        "resize_churn": bench_resize.churn_comparison(
+            int(max(sizes)), auto=churn_by_size[int(max(sizes))]["vectorized"]
+        ),
     }
 
 
@@ -158,6 +199,7 @@ def validate_document(document: dict) -> None:
         "config": dict,
         "results": list,
         "speedups": dict,
+        "resize_churn": dict,
     }
     for field, kind in required_top.items():
         if field not in document:
@@ -193,6 +235,7 @@ def validate_document(document: dict) -> None:
     for key, value in document["speedups"].items():
         if not isinstance(value, (int, float)) or value <= 0:
             raise ValueError(f"speedup {key!r} must be a positive number")
+    bench_resize.validate_section(document["resize_churn"])
 
 
 def main(argv: Optional[list] = None) -> int:

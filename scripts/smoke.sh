@@ -14,6 +14,9 @@ python -m repro info
 echo "== Tier-1 test suite =="
 python -m pytest -x -q
 
+echo "== Property-based differential harness (pinned seeds) =="
+python -m pytest -q tests/proptest
+
 echo "== Smoke-marked subset =="
 python -m pytest -q -m smoke
 

@@ -6,7 +6,8 @@ Packages
   global memory with atomics and accounting, warp intrinsics, interleaving
   scheduler, analytical cost model).
 * :mod:`repro.core` — the paper's contribution: slab list, slab hash,
-  SlabAlloc / SlabAlloc-light.
+  SlabAlloc / SlabAlloc-light — plus online resizing with adaptive
+  load-factor management (:mod:`repro.core.resize`).
 * :mod:`repro.baselines` — hash-table baselines used by the evaluation
   (CUDPP-style cuckoo hashing, Misra & Chaudhuri's lock-free chaining table,
   the GFSL analytic model).
@@ -30,6 +31,7 @@ Quick start
 True
 """
 
+from repro.core.resize import LoadFactorPolicy, ResizeResult, ResizeStats
 from repro.core.slab_hash import SlabHash
 from repro.core.slab_alloc import SlabAlloc
 from repro.core.slab_alloc_light import SlabAllocLight
@@ -45,6 +47,9 @@ __version__ = "1.2.0"
 
 __all__ = [
     "SlabHash",
+    "LoadFactorPolicy",
+    "ResizeResult",
+    "ResizeStats",
     "ShardedSlabHash",
     "ShardRouter",
     "EngineStats",

@@ -24,6 +24,7 @@ registry below; ``python -m repro list`` prints the same table)::
     wcws         WCWS vs per-thread processing ablation
     slabsize     slab-size design-choice ablation
     shard-sweep  sharded multi-table engine scaling (1..16 shards)
+    resize-sweep online resizing under churn vs fixed-bucket tables
 
 ``--scale`` multiplies the default (scaled-down) simulation sizes: 1.0 is the
 benchmark default, smaller values are faster smoke runs, larger values tighten
@@ -126,6 +127,10 @@ EXPERIMENTS: Dict[str, tuple] = {
     "shard-sweep": (
         "Sharded multi-table engine: throughput scaling over 1..16 shards",
         lambda scale: figures.shard_sweep(sim_elements=_scaled(2**13, scale)),
+    ),
+    "resize-sweep": (
+        "Online resizing under a churn workload vs fixed-bucket tables",
+        lambda scale: figures.resize_sweep(sim_elements=_scaled(2**12, scale, minimum=512)),
     ),
 }
 

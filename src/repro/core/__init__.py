@@ -10,6 +10,8 @@ Public entry points:
   slab allocators.
 * :class:`repro.core.config.SlabConfig` / :class:`repro.core.config.SlabAllocConfig`
   — layout and sizing configuration.
+* :class:`repro.core.resize.LoadFactorPolicy` / :func:`repro.core.resize.resize_table`
+  — online resizing and adaptive load-factor management.
 """
 
 from repro.core import constants
@@ -18,6 +20,7 @@ from repro.core.bulk_exec import BACKENDS, BulkExecutor, get_default_backend, se
 from repro.core.config import SlabAllocConfig, SlabConfig
 from repro.core.flush import FlushResult, flush_all, flush_bucket
 from repro.core.hashing import PRIME, UniversalHash, hash_pair, is_user_key
+from repro.core.resize import LoadFactorPolicy, ResizeResult, ResizeStats, resize_table
 from repro.core.slab_alloc import SlabAlloc
 from repro.core.slab_alloc_light import SlabAllocLight
 from repro.core.slab_hash import SlabHash
@@ -45,6 +48,10 @@ __all__ = [
     "UniversalHash",
     "hash_pair",
     "is_user_key",
+    "LoadFactorPolicy",
+    "ResizeResult",
+    "ResizeStats",
+    "resize_table",
     "SlabAlloc",
     "SlabAllocLight",
     "SlabHash",

@@ -39,6 +39,7 @@ from repro.core.bulk_exec import BACKENDS, BulkExecutor, get_default_backend
 from repro.core.config import SlabAllocConfig, SlabConfig
 from repro.core.flush import FlushResult, flush_all, flush_bucket
 from repro.core.hashing import UniversalHash, is_user_key
+from repro.core.resize import LoadFactorPolicy, ResizeResult, ResizeStats, resize_table
 from repro.core.slab_alloc import SlabAlloc
 from repro.core.slab_alloc_light import SlabAllocLight
 from repro.core.slab_list import SlabListCollection
@@ -83,6 +84,14 @@ class SlabHash:
         reference generators, since seeded interleavings are the whole point
         there.  ``None`` picks the process-wide default
         (:func:`repro.core.bulk_exec.set_default_backend`).
+    policy:
+        Optional :class:`~repro.core.resize.LoadFactorPolicy`.  With a policy
+        whose ``auto`` flag is set (the default), the table consults it after
+        every mutating batch and resizes itself back into the target beta
+        band; with ``auto=False`` the policy is deferred and only applied
+        when :meth:`maybe_resize` is called (e.g. by the service layer
+        between micro-batches).  :attr:`resize_stats` accumulates the
+        grow/shrink accounting either way.
     """
 
     def __init__(
@@ -97,6 +106,7 @@ class SlabHash:
         alloc_config: Optional[SlabAllocConfig] = None,
         seed: int = 0,
         backend: Optional[str] = None,
+        policy: Optional[LoadFactorPolicy] = None,
     ) -> None:
         if num_buckets <= 0:
             raise ValueError(f"num_buckets must be positive, got {num_buckets}")
@@ -118,6 +128,9 @@ class SlabHash:
         self._warp_counter = 0
         self.backend = backend
         self._bulk_exec = BulkExecutor(self)
+        self.policy = policy
+        self.resize_stats = ResizeStats()
+        self._in_resize = False
 
     # ------------------------------------------------------------------ #
     # Bucket sizing helpers (Fig. 4c)
@@ -275,6 +288,7 @@ class SlabHash:
         run_sequential(
             [self.lists.warp_delete_all(warp, is_active, lane_buckets, lane_keys, out)]
         )
+        self._auto_resize()
         return int(out[0])
 
     # ------------------------------------------------------------------ #
@@ -302,6 +316,7 @@ class SlabHash:
             self._bulk_exec.bulk_insert(keys, values)
         else:
             self._reference_bulk_insert(keys, values)
+        self._auto_resize()
 
     def _reference_bulk_insert(self, keys: np.ndarray, values: Optional[np.ndarray]) -> None:
         """The per-warp generator schedule (one legal concurrent schedule)."""
@@ -360,8 +375,11 @@ class SlabHash:
         """Delete a batch of keys; returns per-key removed counts (0 or 1)."""
         keys = self._validate_keys(np.asarray(keys))
         if self.backend == "vectorized":
-            return self._bulk_exec.bulk_delete(keys)
-        return self._reference_bulk_delete(keys)
+            removed = self._bulk_exec.bulk_delete(keys)
+        else:
+            removed = self._reference_bulk_delete(keys)
+        self._auto_resize()
+        return removed
 
     def _reference_bulk_delete(self, keys: np.ndarray) -> np.ndarray:
         buckets = self.hash_fn.hash_array(keys)
@@ -435,8 +453,13 @@ class SlabHash:
                 raise ValueError("keys and values must have the same length")
 
         if scheduler is None and self.backend == "vectorized":
-            return self._bulk_exec.concurrent_batch(op_codes, keys, values)
-        return self._reference_concurrent_batch(op_codes, keys, values, scheduler, wave_size)
+            results = self._bulk_exec.concurrent_batch(op_codes, keys, values)
+        else:
+            results = self._reference_concurrent_batch(
+                op_codes, keys, values, scheduler, wave_size
+            )
+        self._auto_resize()
+        return results
 
     def _reference_concurrent_batch(
         self,
@@ -502,6 +525,48 @@ class SlabHash:
             )
             results[start:end][mask] = out[:span][mask].astype(np.uint32)
         return results
+
+    # ------------------------------------------------------------------ #
+    # Online resizing (see repro.core.resize)
+    # ------------------------------------------------------------------ #
+
+    def resize(self, num_buckets: int, *, trigger: str = "manual") -> ResizeResult:
+        """Rebuild the table into ``num_buckets`` buckets, migrating live items.
+
+        Migration runs through the bulk-insertion path of this table's
+        backend (so it is charged to the device counters like any other
+        kernel), old chained slabs are returned to the allocator, and the
+        hash function keeps its ``(a, b)`` draw re-ranged to the new bucket
+        count.  Resizing to the current size is a no-op.
+        """
+        return resize_table(self, num_buckets, trigger=trigger)
+
+    def maybe_resize(self, *, max_steps: int = 8) -> List[ResizeResult]:
+        """Apply the load-factor policy until it is quiescent.
+
+        Each step asks :meth:`LoadFactorPolicy.decide
+        <repro.core.resize.LoadFactorPolicy.decide>` for a bucket count and
+        performs that resize; geometric stepping means a handful of steps
+        reach the band from any state (``max_steps`` is a safety bound).
+        Returns the performed resizes; ``[]`` when there is no policy or the
+        table is already in the band.
+        """
+        if self.policy is None or self._in_resize:
+            return []
+        results: List[ResizeResult] = []
+        for _ in range(max_steps):
+            decision = self.policy.decide(
+                len(self), self.num_buckets, self.config.elements_per_slab
+            )
+            if decision is None:
+                break
+            results.append(self.resize(decision, trigger="policy"))
+        return results
+
+    def _auto_resize(self) -> None:
+        """Post-batch hook: apply an automatic policy, if one is attached."""
+        if self.policy is not None and self.policy.auto and not self._in_resize:
+            self.maybe_resize()
 
     # ------------------------------------------------------------------ #
     # Maintenance and introspection

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core import constants as C
 from repro.core.config import SlabAllocConfig
+from repro.core.resize import LoadFactorPolicy, ResizeResult
 from repro.core.slab_hash import SlabHash
 from repro.engine.router import ShardRouter
 from repro.engine.stats import EngineStats
@@ -78,6 +79,14 @@ class ShardedSlabHash:
         bulk batches — and unscheduled concurrent sub-batches — through
         their own backend paths, so the engine inherits the backend's speed
         and its counter-exactness guarantee unchanged.
+    load_factor_policy:
+        Optional :class:`~repro.core.resize.LoadFactorPolicy`, forwarded to
+        every shard: each shard tracks its own beta and resizes itself
+        independently (automatically after mutating batches when the
+        policy's ``auto`` flag is set, or on :meth:`maybe_resize` when
+        deferred).  :meth:`rebalance` additionally right-sizes unevenly
+        loaded shards directly to the policy's target beta.  (Named to
+        avoid clashing with ``policy``, the routing policy.)
     """
 
     def __init__(
@@ -93,6 +102,7 @@ class ShardedSlabHash:
         alloc_config: Optional[SlabAllocConfig] = None,
         seed: int = 0,
         backend: Optional[str] = None,
+        load_factor_policy: Optional[LoadFactorPolicy] = None,
     ) -> None:
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -107,6 +117,7 @@ class ShardedSlabHash:
                 alloc_config=alloc_config,
                 seed=seed + _SHARD_SEED_STRIDE * (shard + 1),
                 backend=backend,
+                policy=load_factor_policy,
             )
             for shard in range(num_shards)
         ]
@@ -287,6 +298,73 @@ class ShardedSlabHash:
         self._ops_routed[shard] += 1
         return self.shards[shard].delete(key)
 
+    def search_all(self, key: int) -> List[int]:
+        """Every value stored under ``key`` (duplicates mode; cf. SlabHash)."""
+        self._require_key_partitioning("search_all")
+        shard = self.router.shard_of(key)
+        self._ops_routed[shard] += 1
+        return self.shards[shard].search_all(key)
+
+    def delete_all(self, key: int) -> int:
+        """Delete every occurrence of ``key``; returns the number removed."""
+        self._require_key_partitioning("delete_all")
+        shard = self.router.shard_of(key)
+        self._ops_routed[shard] += 1
+        return self.shards[shard].delete_all(key)
+
+    # ------------------------------------------------------------------ #
+    # Online resizing and rebalancing
+    # ------------------------------------------------------------------ #
+
+    def resize_shard(
+        self, shard: int, num_buckets: int, *, trigger: str = "manual"
+    ) -> ResizeResult:
+        """Rebuild one shard into ``num_buckets`` buckets (items stay put).
+
+        Routing is untouched — a shard resize only changes that shard's
+        bucket array — so every key remains reachable and the engine's
+        totals (:meth:`__len__`, :meth:`shard_sizes`, :meth:`items`) are
+        unchanged by construction.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range for {self.num_shards} shards")
+        return self.shards[shard].resize(num_buckets, trigger=trigger)
+
+    def maybe_resize(self) -> List[ResizeResult]:
+        """Apply each shard's load-factor policy until quiescent (see SlabHash)."""
+        results: List[ResizeResult] = []
+        for shard in self.shards:
+            results.extend(shard.maybe_resize())
+        return results
+
+    def rebalance(
+        self, load_factor_policy: Optional[LoadFactorPolicy] = None
+    ) -> List[ResizeResult]:
+        """Right-size unevenly loaded shards to the policy's target beta.
+
+        Hash routing keeps shard sizes *nearly* equal, but skew (or a range
+        policy over a skewed key space) can leave shards with very different
+        betas even when each is individually inside the band.  Rebalancing
+        resizes every shard whose bucket count is more than the policy's
+        hysteresis away from the target for its current contents.
+
+        Uses ``load_factor_policy`` if given, else each shard's own policy;
+        raises when neither exists.  Returns the performed per-shard resizes.
+        """
+        results: List[ResizeResult] = []
+        for index, shard in enumerate(self.shards):
+            pol = load_factor_policy or shard.policy
+            if pol is None:
+                raise ValueError(
+                    "rebalance needs a LoadFactorPolicy: pass one, or construct "
+                    "the engine with load_factor_policy="
+                )
+            target = pol.target_buckets(len(shard), shard.config.elements_per_slab)
+            if abs(target - shard.num_buckets) <= pol.hysteresis * shard.num_buckets:
+                continue
+            results.append(self.resize_shard(index, target, trigger="rebalance"))
+        return results
+
     # ------------------------------------------------------------------ #
     # Measurement
     # ------------------------------------------------------------------ #
@@ -304,6 +382,9 @@ class ShardedSlabHash:
         router's accounting, so ``fn`` should drive this engine rather than
         the shards directly.  Counterpart of
         :func:`repro.perf.metrics.measure_phase` for multi-device phases.
+        Maintenance phases that route no operations (``flush``,
+        :meth:`rebalance`, :meth:`maybe_resize`) are measurable too: their
+        migration events are merged and priced with ``num_ops == 0``.
         """
         before_counters = [device.snapshot() for device in self.devices]
         before_ops = self._ops_routed.copy()

@@ -78,15 +78,24 @@ class EngineStats:
             If given, every shard's counts are scaled by the common factor
             ``scale_to_ops / sum(ops_per_shard)`` before pricing (the
             paper-scale extrapolation).
+
+        A phase that routed no operations is allowed (``num_ops=0``): a pure
+        maintenance phase such as :meth:`~repro.engine.sharded.ShardedSlabHash.rebalance`
+        still produces device events (the migrations), which are merged and
+        priced normally; throughput reports 0 and the load imbalance 1.0.
+        Such a phase cannot be scaled to a paper-size operation count.
         """
         if len(events) != len(ops_per_shard):
             raise ValueError("events and ops_per_shard must have one entry per shard")
         total_ops = int(sum(ops_per_shard))
-        if total_ops <= 0:
-            raise ValueError("an engine phase must perform at least one operation")
         factor = 1.0
         reported_ops = total_ops
         if scale_to_ops is not None and scale_to_ops != total_ops:
+            if total_ops <= 0:
+                raise ValueError(
+                    "cannot scale a phase that performed no operations to a "
+                    "target operation count"
+                )
             factor = scale_to_ops / total_ops
             reported_ops = scale_to_ops
         phases = []
@@ -133,7 +142,14 @@ class EngineStats:
 
     @property
     def throughput(self) -> float:
-        """Operations per second of modelled parallel time."""
+        """Operations per second of modelled parallel time.
+
+        A zero-operation maintenance phase reports 0 even when it also
+        produced no device events (e.g. measuring an already-quiescent
+        ``maybe_resize``), never ``inf``.
+        """
+        if self.num_ops == 0:
+            return 0.0
         seconds = self.parallel_seconds
         return self.num_ops / seconds if seconds > 0 else float("inf")
 
@@ -150,6 +166,8 @@ class EngineStats:
 
     def per_op(self, field_name: str) -> float:
         """Average count of one aggregate counter event per operation."""
+        if self.num_ops == 0:
+            raise ValueError("per_op is undefined for a zero-operation (maintenance) phase")
         return getattr(self.aggregate, field_name) / self.num_ops
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -29,6 +29,7 @@ from repro.baselines.gfsl import GFSLModel
 from repro.baselines.misra import MisraHashTable
 from repro.core import constants as C
 from repro.core.config import SlabAllocConfig
+from repro.core.resize import LoadFactorPolicy
 from repro.core.slab_hash import SlabHash
 from repro.engine import ShardedSlabHash
 from repro.gpusim.costmodel import CostModel
@@ -38,6 +39,7 @@ from repro.gpusim.scheduler import WarpScheduler
 from repro.gpusim.warp import Warp
 from repro.perf.harness import FigureResult, Series
 from repro.perf.metrics import Measurement, measure_phase
+from repro.workloads.churn import apply_churn_step, build_churn_workload
 from repro.workloads.distributions import (
     PAPER_DISTRIBUTIONS,
     OperationDistribution,
@@ -67,6 +69,7 @@ __all__ = [
     "wcws_vs_per_thread",
     "slab_size_ablation",
     "shard_sweep",
+    "resize_sweep",
 ]
 
 #: Memory utilizations swept by Figures 4a, 4b and 7a.
@@ -922,6 +925,113 @@ def shard_sweep(
         "build_speedup_max_shards"
     ] / (top / base)
     result.extra["load_imbalance_max_shards"] = stats_by_count[top].load_imbalance
+    return result
+
+
+def resize_sweep(
+    sim_elements: int = 2**12,
+    *,
+    cycles: int = 3,
+    base_divisor: int = 8,
+    paper_operations: int = PAPER_BULK_ELEMENTS,
+    seed: int = 0,
+) -> FigureResult:
+    """Churn scenario: adaptive online resizing versus fixed-bucket tables.
+
+    Runs the same churn workload (population swinging between
+    ``sim_elements / base_divisor`` and ``sim_elements`` for ``cycles``
+    insert/delete cycles, :mod:`repro.workloads.churn`) against three tables:
+
+    * **fixed-undersized** — bucket count frozen at the base population's
+      target-beta sizing; chains stretch far past beta at every peak and
+      tombstones pile up cycle over cycle;
+    * **fixed-rightsized** — sized for the peak (memory held even at the
+      trough, the static-over-provisioning answer);
+    * **adaptive** — starts undersized with a
+      :class:`~repro.core.resize.LoadFactorPolicy` attached, so it grows and
+      shrinks with the population and every migration drops the accumulated
+      tombstones.
+
+    Reports modelled throughput per cycle for each table (migration cost is
+    charged to the adaptive series' own cycles) plus the adaptive table's
+    measured beta trajectory.  The ``adaptive_over_undersized`` extra is the
+    end-to-end modelled-time ratio the README quotes.
+    """
+    base_elements = max(64, sim_elements // base_divisor)
+    workload = build_churn_workload(
+        sim_elements, base_elements=base_elements, cycles=cycles, seed=seed
+    )
+    undersized_buckets = SlabHash.buckets_for_beta(base_elements, 0.6)
+    policy = LoadFactorPolicy(min_buckets=max(1, undersized_buckets // 2))
+
+    result = FigureResult(
+        figure_id="Resize sweep",
+        title=(
+            f"Churn workload ({base_elements}..{sim_elements} elements, "
+            f"{cycles} cycles): adaptive resizing vs fixed buckets"
+        ),
+        x_label="churn cycle",
+        y_label="operation rate (M ops/s)",
+        notes="Adaptive cycles include their own migration cost; 'adaptive beta' "
+        "is the measured average slab count after each cycle (policy band "
+        f"[{policy.beta_low}, {policy.beta_high}]).",
+    )
+    beta_series = result.add_series("adaptive beta")
+
+    configs = {
+        "fixed-undersized": SlabHash(
+            undersized_buckets, device=Device(), alloc_config=SIM_ALLOC_CONFIG, seed=seed
+        ),
+        "fixed-rightsized": SlabHash(
+            SlabHash.buckets_for_beta(sim_elements, 0.6),
+            device=Device(),
+            alloc_config=SIM_ALLOC_CONFIG,
+            seed=seed,
+        ),
+        "adaptive": SlabHash(
+            undersized_buckets,
+            device=Device(),
+            alloc_config=SIM_ALLOC_CONFIG,
+            seed=seed,
+            policy=policy,
+        ),
+    }
+
+    total_seconds = {}
+    for name, table in configs.items():
+        series = result.add_series(name)
+        total = 0.0
+        for cycle in range(cycles):
+            steps = workload.cycle_steps(cycle)
+            ops = sum(len(step) for step in steps)
+            m = measure_phase(
+                table.device,
+                lambda t=table, s=steps: [apply_churn_step(t, step) for step in s],
+                num_ops=ops,
+                scale_to_ops=paper_operations,
+                label=f"{name} cycle {cycle}",
+            )
+            series.add(cycle, m.mops)
+            total += m.seconds
+            if name == "adaptive":
+                beta_series.add(cycle, table.beta())
+        total_seconds[name] = total
+
+    adaptive = configs["adaptive"]
+    result.extra["adaptive_over_undersized"] = (
+        total_seconds["fixed-undersized"] / total_seconds["adaptive"]
+    )
+    result.extra["adaptive_over_rightsized"] = (
+        total_seconds["fixed-rightsized"] / total_seconds["adaptive"]
+    )
+    result.extra["adaptive_grows"] = adaptive.resize_stats.grows
+    result.extra["adaptive_shrinks"] = adaptive.resize_stats.shrinks
+    result.extra["adaptive_final_beta"] = adaptive.beta()
+    result.extra["adaptive_final_buckets"] = adaptive.num_buckets
+    result.extra["adaptive_beta_in_band"] = float(
+        policy.decide(len(adaptive), adaptive.num_buckets, adaptive.config.elements_per_slab)
+        is None
+    )
     return result
 
 

@@ -18,6 +18,15 @@ Measurement is built in: per-operation wall-clock latency percentiles
 throughput are available from :meth:`SlabHashService.stats` at any time —
 the numbers ``benchmarks/bench_service_latency.py`` records.
 
+Online resizing is coordinated *between* micro-batches: after a batch's
+futures have been resolved, the service calls the engine's
+``maybe_resize()`` so a :class:`~repro.core.resize.LoadFactorPolicy` in
+deferred mode (``policy.deferred()``) migrates the table while no request
+is in flight — a resize never sits inside any individual operation's
+latency, which keeps the tail percentiles honest under churny traffic.
+(An ``auto`` policy also works, but its migrations then run inside the
+batch that tripped the band and are attributed to that batch's requests.)
+
 The batch execution itself is synchronous CPU work (the simulator), so the
 event loop pauses while a batch runs; coalescing still works because the
 log fills *between* executions, exactly like a GPU serving pipeline that
@@ -152,6 +161,9 @@ class SlabHashService:
         self._ops_completed = 0
         self._ops_failed = 0
         self._modelled_seconds = 0.0
+        self._resizes_performed = 0
+        self._resize_failures = 0
+        self._resize_modelled_seconds = 0.0
         self._first_enqueue: Optional[float] = None
         self._last_completion: Optional[float] = None
 
@@ -337,6 +349,25 @@ class SlabHashService:
             self._latency.record(completed_at - op.enqueued_at)
             if not op.future.done():
                 op.future.set_result(int(result))
+        self._resize_between_batches()
+
+    def _resize_between_batches(self) -> None:
+        """Apply a deferred load-factor policy now, while no request is in flight.
+
+        No-op without a policy (``maybe_resize`` returns ``[]`` immediately);
+        migration device time is accounted separately from the batches'.  A
+        failed migration (e.g. allocator exhaustion) leaves the table
+        restored — ``resize_table``'s strong guarantee — so it is recorded
+        and the service keeps serving rather than killing the drain loop.
+        """
+        try:
+            results = self.engine.maybe_resize()
+        except Exception:  # noqa: BLE001 - the table is intact; keep serving
+            self._resize_failures += 1
+            return
+        if results:
+            self._resizes_performed += len(results)
+            self._resize_modelled_seconds += sum(r.seconds for r in results)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -346,6 +377,21 @@ class SlabHashService:
     def pending(self) -> int:
         """Operations currently waiting in the log."""
         return len(self._batcher)
+
+    @property
+    def resizes_performed(self) -> int:
+        """Policy-triggered resizes executed between micro-batches."""
+        return self._resizes_performed
+
+    @property
+    def resize_failures(self) -> int:
+        """Between-batch migrations that failed (table restored, service alive)."""
+        return self._resize_failures
+
+    @property
+    def resize_modelled_seconds(self) -> float:
+        """Modelled device time spent in between-batch migrations."""
+        return self._resize_modelled_seconds
 
     def stats(self) -> ServiceStats:
         """Snapshot the service's accounting (latency, throughput, batching)."""

@@ -5,6 +5,9 @@
 * :mod:`repro.workloads.distributions` — the operation distributions
   Gamma = (a, b, c, d) of the concurrent benchmark (Section VI-C) and the
   construction of mixed operation batches from them.
+* :mod:`repro.workloads.churn` — sustained insert/delete cycles that swing
+  the population between a base and a peak, the driver for online resizing
+  (the ``resize-sweep`` experiment and ``benchmarks/bench_resize.py``).
 """
 
 from repro.workloads.generators import (
@@ -23,6 +26,13 @@ from repro.workloads.distributions import (
     ConcurrentWorkload,
     build_concurrent_workload,
 )
+from repro.workloads.churn import (
+    ChurnStep,
+    ChurnWorkload,
+    apply_churn_step,
+    build_churn_workload,
+    run_churn,
+)
 
 __all__ = [
     "unique_random_keys",
@@ -37,4 +47,9 @@ __all__ = [
     "PAPER_DISTRIBUTIONS",
     "ConcurrentWorkload",
     "build_concurrent_workload",
+    "ChurnStep",
+    "ChurnWorkload",
+    "apply_churn_step",
+    "build_churn_workload",
+    "run_churn",
 ]

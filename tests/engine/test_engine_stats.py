@@ -74,8 +74,31 @@ class TestEngineStats:
     def test_mismatched_inputs_are_rejected(self):
         with pytest.raises(ValueError):
             EngineStats.from_shard_events([Counters()], [1, 2], cost_model=CostModel())
+
+    def test_zero_op_maintenance_phase_is_allowed(self):
+        """A rebalance/flush phase routes no operations but still has events."""
+        events = [counters(coalesced_read_transactions=40, kernel_launches=1)]
+        stats = EngineStats.from_shard_events(events, [0], cost_model=CostModel())
+        assert stats.num_ops == 0
+        assert stats.aggregate.coalesced_read_transactions == 40
+        assert stats.parallel_seconds > 0
+        assert stats.throughput == 0.0
+        assert stats.load_imbalance == 1.0
         with pytest.raises(ValueError):
-            EngineStats.from_shard_events([Counters()], [0], cost_model=CostModel())
+            stats.per_op("coalesced_read_transactions")
+
+    def test_zero_op_zero_event_phase_reports_zero_throughput(self):
+        """Even with no device events (quiescent maintenance), never inf."""
+        stats = EngineStats.from_shard_events([Counters()], [0], cost_model=CostModel())
+        assert stats.parallel_seconds == 0.0
+        assert stats.throughput == 0.0
+        assert stats.mops == 0.0
+
+    def test_zero_op_phase_cannot_be_scaled(self):
+        with pytest.raises(ValueError):
+            EngineStats.from_shard_events(
+                [Counters()], [0], cost_model=CostModel(), scale_to_ops=1000
+            )
 
     def test_per_op_reads_the_aggregate(self):
         stats = self.make_stats()

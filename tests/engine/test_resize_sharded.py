@@ -1,0 +1,142 @@
+"""Per-shard resize / rebalance on the sharded engine.
+
+Regression focus: ``ShardedSlabHash.__len__``, ``measure`` and
+:class:`~repro.engine.stats.EngineStats` must report consistent totals
+immediately after a per-shard resize or a ``rebalance()`` — resizing changes
+bucket arrays, never contents or routing, and a maintenance phase that
+routes zero operations must still be measurable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import SlabAllocConfig
+from repro.core.resize import LoadFactorPolicy
+from repro.engine import ShardedSlabHash
+
+from tests.conftest import make_keys
+
+ALLOC = SlabAllocConfig(num_super_blocks=4, num_memory_blocks=32, units_per_block=128)
+
+
+def build_engine(**kwargs):
+    engine = ShardedSlabHash(4, 8, alloc_config=ALLOC, seed=17, **kwargs)
+    keys = make_keys(800, seed=17)
+    values = (keys * np.uint32(7)) & np.uint32(0xFFFF)
+    engine.bulk_build(keys, values)
+    return engine, keys, values
+
+
+class TestPerShardResize:
+    def test_totals_consistent_immediately_after_shard_resize(self):
+        engine, keys, values = build_engine()
+        total_before = len(engine)
+        sizes_before = engine.shard_sizes().copy()
+        items_before = sorted(engine.items())
+
+        result = engine.resize_shard(1, 64)
+        assert result.direction == "grow"
+        # __len__, shard_sizes and items must all agree right away.
+        assert len(engine) == total_before
+        assert np.array_equal(engine.shard_sizes(), sizes_before)
+        assert sorted(engine.items()) == items_before
+        assert engine.num_buckets == 3 * 8 + 64
+        assert np.array_equal(engine.bulk_search(keys), values.astype(np.uint32))
+
+    def test_shard_index_is_validated(self):
+        engine, _, _ = build_engine()
+        with pytest.raises(ValueError):
+            engine.resize_shard(4, 16)
+        with pytest.raises(ValueError):
+            engine.resize_shard(-1, 16)
+
+    def test_measure_covers_resize_maintenance_phase(self):
+        """A zero-routed-ops phase (pure resize) is measurable, not an error."""
+        engine, _, _ = build_engine()
+        stats = engine.measure(lambda: engine.resize_shard(0, 128), label="resize shard 0")
+        assert stats.num_ops == 0
+        assert stats.throughput == 0.0
+        assert stats.load_imbalance == 1.0
+        # The migration's device work is merged from the resized shard.
+        assert stats.aggregate.coalesced_read_transactions > 0
+        assert stats.parallel_seconds > 0
+
+
+class TestRebalance:
+    def test_rebalance_right_sizes_skewed_shards(self):
+        engine, keys, values = build_engine()
+        policy = LoadFactorPolicy(min_buckets=2)
+        # Skew the shards by hand: one far too small, one far too large.
+        engine.resize_shard(0, 1)
+        engine.resize_shard(2, 256)
+        total_before = len(engine)
+        items_before = sorted(engine.items())
+
+        results = engine.rebalance(policy)
+        assert results  # at least the two skewed shards moved
+        assert all(r.trigger == "rebalance" for r in results)
+        for shard in engine.shards:
+            target = policy.target_buckets(len(shard), shard.config.elements_per_slab)
+            assert abs(target - shard.num_buckets) <= policy.hysteresis * shard.num_buckets
+
+        assert len(engine) == total_before
+        assert sorted(engine.items()) == items_before
+        assert np.array_equal(engine.bulk_search(keys), values.astype(np.uint32))
+
+    def test_rebalance_is_idempotent(self):
+        engine, _, _ = build_engine()
+        policy = LoadFactorPolicy(min_buckets=2)
+        engine.rebalance(policy)
+        assert engine.rebalance(policy) == []
+
+    def test_rebalance_without_any_policy_is_rejected(self):
+        engine, _, _ = build_engine()
+        with pytest.raises(ValueError):
+            engine.rebalance()
+
+    def test_measure_of_rebalance_reports_consistent_totals(self):
+        engine, keys, values = build_engine()
+        policy = LoadFactorPolicy(min_buckets=2)
+        engine.resize_shard(3, 1)
+        before = len(engine)
+        stats = engine.measure(lambda: engine.rebalance(policy), label="rebalance")
+        assert stats.num_ops == 0
+        assert stats.aggregate.coalesced_read_transactions > 0
+        assert len(engine) == before
+        # EngineStats totals and engine totals agree: nothing was routed.
+        assert sum(p.num_ops for p in stats.shards) == 0
+
+
+class TestEnginePolicy:
+    def test_engine_policy_reaches_every_shard(self):
+        policy = LoadFactorPolicy(min_buckets=2)
+        engine = ShardedSlabHash(
+            2, 2, alloc_config=ALLOC, seed=23, load_factor_policy=policy
+        )
+        keys = make_keys(900, seed=23)
+        for chunk in np.array_split(keys, 5):
+            engine.bulk_insert(chunk, chunk)
+        assert all(shard.resize_stats.grows >= 1 for shard in engine.shards)
+        for chunk in np.array_split(keys[:840], 5):
+            engine.bulk_delete(chunk)
+        assert all(shard.resize_stats.shrinks >= 1 for shard in engine.shards)
+        for shard in engine.shards:
+            eps = shard.config.elements_per_slab
+            assert policy.decide(len(shard), shard.num_buckets, eps) is None
+        assert np.array_equal(engine.bulk_search(keys[840:]), keys[840:].astype(np.uint32))
+
+    def test_deferred_engine_policy_via_maybe_resize(self):
+        policy = LoadFactorPolicy(min_buckets=2).deferred()
+        engine = ShardedSlabHash(
+            2, 2, alloc_config=ALLOC, seed=29, load_factor_policy=policy
+        )
+        keys = make_keys(600, seed=29)
+        engine.bulk_insert(keys, keys)
+        assert engine.num_buckets == 4  # deferred: nothing moved yet
+        results = engine.maybe_resize()
+        assert results
+        for shard in engine.shards:
+            eps = shard.config.elements_per_slab
+            assert policy.decide(len(shard), shard.num_buckets, eps) is None

@@ -28,15 +28,21 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     with open(out, encoding="utf-8") as handle:
         document = json.load(handle)
     bench_wallclock.validate_document(document)  # raises on drift
-    assert document["schema_version"] == 2
+    assert document["schema_version"] == 3
     assert document["speedups"]["bulk_build_1024"] > 0
     assert document["speedups"]["concurrent_mixed_1024"] > 0
+    assert document["speedups"]["resize_churn_1024"] > 0
     ops = {(entry["op"], entry["backend"]) for entry in document["results"]}
     assert ops == {
         (op, backend)
-        for op in ("bulk_build", "bulk_search", "concurrent_mixed")
+        for op in ("bulk_build", "bulk_search", "concurrent_mixed", "resize_churn")
         for backend in ("vectorized", "reference")
     }
+    churn = document["resize_churn"]
+    assert churn["num_keys"] == 1024
+    # Schema v3 guarantees the comparison exercised real grow/shrink cycles.
+    assert churn["auto"]["grows"] >= 1 and churn["auto"]["shrinks"] >= 1
+    assert churn["auto_over_fixed"] > 0
 
 
 @pytest.mark.smoke
@@ -59,3 +65,11 @@ def test_validate_document_rejects_drift():
     renamed["results"] = [dict(entry, op="build") for entry in document["results"]]
     with pytest.raises(ValueError, match="result op"):
         bench_wallclock.validate_document(renamed)
+    churnless = dict(document)
+    churnless.pop("resize_churn")
+    with pytest.raises(ValueError, match="resize_churn"):
+        bench_wallclock.validate_document(churnless)
+    no_shrink = json.loads(json.dumps(document))
+    no_shrink["resize_churn"]["auto"]["shrinks"] = 0
+    with pytest.raises(ValueError, match="grow and one shrink"):
+        bench_wallclock.validate_document(no_shrink)

@@ -1,0 +1,8 @@
+"""Make the harness driver (prop_driver.py) importable from the test module."""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)

@@ -1,0 +1,67 @@
+"""Property-based differential tests: random programs, three implementations.
+
+Each pinned seed generates a random interleaved program (single ops, bulk
+batches, concurrent mixed batches, explicit resizes, flushes) and runs it
+against the reference backend, the vectorized backend and the two-shard
+engine — all with an auto load-factor policy — plus a plain-dict model,
+checking the seven invariant families of :mod:`prop_driver` after every
+step.  On failure the program is delta-debugged and the **minimal
+reproducing program** is printed as a copy-pasteable literal.
+
+CI runs the three pinned seeds plus one derived from ``PROPTEST_SEED``
+(set from ``GITHUB_RUN_ID`` in the workflow), so every run also explores a
+fresh corner of the space while staying reproducible from the log output.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from prop_driver import format_program, generate_program, run_program, shrink_program
+
+PINNED_SEEDS = [101, 202, 303]
+
+
+def _seeds() -> list:
+    seeds = list(PINNED_SEEDS)
+    raw = os.environ.get("PROPTEST_SEED")
+    if raw:
+        try:
+            seeds.append(int(raw.strip()) % 2**31)
+        except ValueError:
+            pass  # a malformed override never breaks the pinned runs
+    return seeds
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_random_program_is_equivalent_across_implementations(seed):
+    program = generate_program(seed)
+    error = run_program(program, check_coverage=True)
+    if error is not None:
+        minimal = shrink_program(program)
+        pytest.fail(
+            f"differential harness failed for seed {seed}:\n"
+            f"  {error}\n\n"
+            f"minimal reproducing program ({len(minimal)} of "
+            f"{len(program)} steps):\n{format_program(minimal)}\n\n"
+            "re-run with: PROPTEST_SEED={seed} PYTHONPATH=src python -m pytest "
+            "tests/proptest -q".replace("{seed}", str(seed))
+        )
+
+
+def test_shrinker_minimizes_an_injected_failure():
+    """The shrinking loop itself works: an impossible step is isolated."""
+    program = generate_program(404)
+    # A key outside the storable domain raises in every implementation.
+    program.insert(len(program) // 2, ("insert", 0xFFFFFFFF, 1))
+    assert run_program(program) is not None
+    minimal = shrink_program(program)
+    assert ("insert", 0xFFFFFFFF, 1) in minimal
+    assert len(minimal) < len(program)
+
+
+def test_generator_is_deterministic():
+    assert generate_program(7) == generate_program(7)
+    assert generate_program(7) != generate_program(8)
