@@ -1,0 +1,176 @@
+"""Wall-clock throughput of the persistence layer: snapshot, restore, replay.
+
+Measures real host seconds for the three durability primitives of
+:mod:`repro.persist` on a table of ``num_keys`` elements:
+
+* **snapshot** — serialize the live table to a compressed ``.npz`` file;
+* **restore** — load it back (bit-identical, verified in-run);
+* **wal_append** — frame ``num_keys`` operations into a write-ahead log in
+  warp-aligned micro-batches (the service's write path);
+* **replay** — recover the snapshot and re-execute the whole log (the crash
+  recovery path, dominated by batch re-execution).
+
+The resulting section is embedded into ``BENCH_wallclock.json`` (schema v4)
+by ``benchmarks/bench_wallclock.py``; :func:`validate_section` is the
+section's single source of truth.  Run directly for a one-off table::
+
+    PYTHONPATH=src python benchmarks/bench_persist.py [--num-keys 100000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import tempfile
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core import constants as C
+from repro.core.slab_hash import SlabHash
+from repro.persist import WriteAheadLog, recover, save
+from repro.persist.snapshot import load
+from repro.workloads.generators import unique_random_keys, values_for_keys
+
+DEFAULT_NUM_KEYS = 100_000
+DEFAULT_BETA = 0.6
+REPLAY_BATCH = 1024  #: operations per WAL record (the service's default cut)
+
+
+def _build_table(num_keys: int, *, backend: str, seed: int = 1) -> tuple:
+    keys = unique_random_keys(num_keys, seed=seed)
+    values = values_for_keys(keys)
+    table = SlabHash(
+        SlabHash.buckets_for_beta(num_keys, DEFAULT_BETA), backend=backend, seed=seed
+    )
+    table.bulk_build(keys, values)
+    return table, keys, values
+
+
+def measure_persist(num_keys: int, *, backend: str = "vectorized") -> dict:
+    """Time the durability primitives once (they are long enough to be stable).
+
+    The restore is verified against the source table (items and counters)
+    before its timing is reported — a fast restore of the wrong state is not
+    a result.
+    """
+    table, keys, values = _build_table(num_keys, backend=backend)
+    with tempfile.TemporaryDirectory() as workdir:
+        snap = os.path.join(workdir, "table.npz")
+        start = time.perf_counter()
+        save(table, snap)
+        snapshot_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        restored = load(snap)
+        restore_seconds = time.perf_counter() - start
+        if restored.items() != table.items():
+            raise AssertionError("restored snapshot diverged from the source table")
+        if restored.device.counters.as_dict() != table.device.counters.as_dict():
+            raise AssertionError("restored snapshot's counters diverged")
+
+        wal_path = os.path.join(workdir, "ops.wal")
+        op_codes = np.full(REPLAY_BATCH, C.OP_SEARCH, dtype=np.int64)
+        op_codes[: REPLAY_BATCH // 2] = C.OP_INSERT
+        start = time.perf_counter()
+        with WriteAheadLog(wal_path) as wal:
+            for index, begin in enumerate(range(0, num_keys, REPLAY_BATCH)):
+                chunk = keys[begin : begin + REPLAY_BATCH]
+                wal.append(op_codes[: len(chunk)], chunk, chunk, batch_index=index)
+        wal_append_seconds = time.perf_counter() - start
+        wal_bytes = os.path.getsize(wal_path)
+
+        start = time.perf_counter()
+        _recovered, report = recover(snap, wal_path)
+        replay_seconds = time.perf_counter() - start
+        if report.ops_replayed != num_keys:
+            raise AssertionError(
+                f"replayed {report.ops_replayed} ops, expected {num_keys}"
+            )
+        snapshot_bytes = os.path.getsize(snap)
+
+    return {
+        "num_keys": int(num_keys),
+        "backend": backend,
+        "snapshot_seconds": snapshot_seconds,
+        "snapshot_bytes": int(snapshot_bytes),
+        "snapshot_keys_per_sec": num_keys / snapshot_seconds,
+        "restore_seconds": restore_seconds,
+        "restore_keys_per_sec": num_keys / restore_seconds,
+        "wal_append_seconds": wal_append_seconds,
+        "wal_bytes": int(wal_bytes),
+        "wal_append_ops_per_sec": num_keys / wal_append_seconds,
+        "replay_records": int(report.records_replayed),
+        "replay_seconds": replay_seconds,
+        "replay_ops_per_sec": num_keys / replay_seconds,
+    }
+
+
+def validate_section(section: dict) -> None:
+    """Raise ``ValueError`` if a ``persist`` section does not match the schema."""
+    if not isinstance(section, dict):
+        raise ValueError("persist must be an object")
+    for field in ("num_keys", "snapshot_bytes", "wal_bytes", "replay_records"):
+        if not isinstance(section.get(field), int):
+            raise ValueError(f"persist field {field!r} must be an integer")
+    if not isinstance(section.get("backend"), str):
+        raise ValueError("persist field 'backend' must be a string")
+    for field in (
+        "snapshot_seconds",
+        "snapshot_keys_per_sec",
+        "restore_seconds",
+        "restore_keys_per_sec",
+        "wal_append_seconds",
+        "wal_append_ops_per_sec",
+        "replay_seconds",
+        "replay_ops_per_sec",
+    ):
+        value = section.get(field)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"persist field {field!r} must be a positive number")
+    if section["replay_records"] < 1:
+        raise ValueError("the persist replay must cover at least one WAL record")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-keys", type=int, default=DEFAULT_NUM_KEYS,
+                        help="table size to snapshot/restore/replay (default %(default)s)")
+    parser.add_argument("--backend", default="vectorized",
+                        choices=["vectorized", "reference"],
+                        help="execution backend for build and replay")
+    args = parser.parse_args(argv)
+    section = measure_persist(args.num_keys, backend=args.backend)
+    validate_section(section)
+    for key, value in section.items():
+        print(f"  {key:24s} {value}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Benchmark-suite tests (run by `pytest benchmarks/bench_persist.py`)
+# --------------------------------------------------------------------------- #
+
+
+def test_persist_section_matches_schema():
+    section = measure_persist(4096)
+    validate_section(section)
+    assert section["replay_records"] == 4
+
+
+def test_validate_section_rejects_drift():
+    import pytest
+
+    section = measure_persist(2048)
+    broken = dict(section)
+    broken.pop("replay_ops_per_sec")
+    with pytest.raises(ValueError, match="replay_ops_per_sec"):
+        validate_section(broken)
+    zeroed = dict(section, replay_records=0)
+    with pytest.raises(ValueError, match="at least one WAL record"):
+        validate_section(zeroed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,10 +15,13 @@ Run directly (or via ``scripts/smoke.sh`` at a tiny scale)::
         [--max-batch 1024] [--max-delay 0.002] [--burst 256]
         [--out BENCH_service.json]
 
-Schema (``SCHEMA_VERSION``)::
+Schema (``SCHEMA_VERSION``; version 2 split batch accounting into size view
+and trigger view — ``warp_aligned_fraction`` counts warp-multiple batch
+*sizes* while ``deadline_forced_fraction`` counts deadline/drain-forced
+*cuts*, so a forced flush of a warp-sized tail is no longer invisible)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "benchmark": "service_latency",
       "device_model": "...", "python": "...", "numpy": "...",
       "config": {"num_ops": ..., "num_shards": ..., "initial_elements": ...,
@@ -28,7 +31,8 @@ Schema (``SCHEMA_VERSION``)::
                   "p99_s": ..., "max_s": ...},
       "throughput": {"wall_seconds": ..., "ops_per_sec": ...,
                      "modelled_seconds": ..., "modelled_ops_per_sec": ...},
-      "batches": {"executed": ..., "mean_size": ..., "warp_aligned_fraction": ...}
+      "batches": {"executed": ..., "mean_size": ..., "warp_aligned_fraction": ...,
+                  "deadline_forced_fraction": ...}
     }
 
 ``validate_document`` is the schema's single source of truth; the smoke test
@@ -53,7 +57,7 @@ from repro.service import ServiceConfig, SlabHashService
 from repro.workloads.distributions import GAMMA_40_UPDATES, build_concurrent_workload
 from repro.workloads.generators import unique_random_keys, values_for_keys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                            "BENCH_service.json")
 
@@ -130,6 +134,11 @@ def run_benchmark(
                 if stats.batches_executed
                 else 0.0
             ),
+            "deadline_forced_fraction": (
+                stats.deadline_forced_batches / stats.batches_executed
+                if stats.batches_executed
+                else 0.0
+            ),
         },
     }
 
@@ -184,9 +193,10 @@ def validate_document(document: dict) -> None:
         raise ValueError("batches.executed must be a positive integer")
     if not isinstance(batches.get("mean_size"), (int, float)) or batches["mean_size"] <= 0:
         raise ValueError("batches.mean_size must be positive")
-    fraction = batches.get("warp_aligned_fraction")
-    if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
-        raise ValueError("batches.warp_aligned_fraction must be in [0, 1]")
+    for field in ("warp_aligned_fraction", "deadline_forced_fraction"):
+        fraction = batches.get(field)
+        if not isinstance(fraction, (int, float)) or not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"batches.{field} must be in [0, 1]")
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -232,7 +242,8 @@ def main(argv: Optional[list] = None) -> int:
     print(f"  modelled {throughput['modelled_ops_per_sec'] / 1e6:9.1f} Mops/s "
           f"({throughput['modelled_seconds'] * 1e3:.3f} ms device time)")
     print(f"  batches  {batches['executed']} executed, mean size {batches['mean_size']:.0f}, "
-          f"{batches['warp_aligned_fraction']:.0%} warp-aligned")
+          f"{batches['warp_aligned_fraction']:.0%} warp-aligned, "
+          f"{batches['deadline_forced_fraction']:.0%} deadline-forced")
     return 0
 
 

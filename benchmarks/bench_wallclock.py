@@ -14,10 +14,11 @@ Run directly (or via ``scripts/bench_wallclock.sh``)::
         [--beta 0.6] [--repeats 3] [--out BENCH_wallclock.json]
 
 Schema (``SCHEMA_VERSION``; version 2 added ``concurrent_mixed``, version 3
-added the ``resize_churn`` op and top-level section)::
+added the ``resize_churn`` op and top-level section, version 4 the
+``persist`` section)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "benchmark": "bulk_wallclock",
       "device_model": "...", "python": "...", "numpy": "...",
       "config": {"beta": ..., "repeats": ..., "sizes": [...]},
@@ -29,8 +30,16 @@ added the ``resize_churn`` op and top-level section)::
       "speedups": {"bulk_build_100000": x, "resize_churn_100000": y, ...},
       "resize_churn": {"num_keys": N, "cycles": c, "base_divisor": d,
                        "total_ops": t, "auto": {...}, "fixed": {...},
-                       "auto_over_fixed": r}
+                       "auto_over_fixed": r},
+      "persist": {"num_keys": N, "snapshot_seconds": ..., "restore_seconds": ...,
+                  "wal_append_seconds": ..., "replay_seconds": ...,
+                  "snapshot_bytes": ..., "wal_bytes": ..., ...}
     }
+
+The ``persist`` section (snapshot/restore/WAL-append/replay throughput of
+:mod:`repro.persist` at the largest size) is owned by
+``benchmarks/bench_persist.py``; its restore is verified bit-identical
+before the timing is reported.
 
 ``resize_churn`` entries time the churn scenario of
 :mod:`repro.workloads.churn` on an auto-resizing table (``num_keys`` is the
@@ -57,13 +66,14 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+import bench_persist
 import bench_resize
 from repro.core.bulk_exec import BACKENDS
 from repro.core.slab_hash import SlabHash
 from repro.gpusim.device import TESLA_K40C
 from repro.workloads.distributions import GAMMA_40_UPDATES, build_concurrent_workload
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_SIZES = (20_000, 100_000)
 DEFAULT_BETA = 0.6
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
@@ -181,6 +191,8 @@ def run_benchmark(
         "resize_churn": bench_resize.churn_comparison(
             int(max(sizes)), auto=churn_by_size[int(max(sizes))]["vectorized"]
         ),
+        # Durability primitives (snapshot/restore/WAL/replay), largest size.
+        "persist": bench_persist.measure_persist(int(max(sizes))),
     }
 
 
@@ -200,6 +212,7 @@ def validate_document(document: dict) -> None:
         "results": list,
         "speedups": dict,
         "resize_churn": dict,
+        "persist": dict,
     }
     for field, kind in required_top.items():
         if field not in document:
@@ -236,6 +249,7 @@ def validate_document(document: dict) -> None:
         if not isinstance(value, (int, float)) or value <= 0:
             raise ValueError(f"speedup {key!r} must be a positive number")
     bench_resize.validate_section(document["resize_churn"])
+    bench_persist.validate_section(document["persist"])
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -264,6 +278,11 @@ def main(argv: Optional[list] = None) -> int:
               f"{entry['seconds']:8.4f}s  {entry['ops_per_sec'] / 1e3:9.1f} kops/s")
     for key, value in document["speedups"].items():
         print(f"  speedup {key}: {value:.1f}x")
+    persist = document["persist"]
+    print(f"  persist n={persist['num_keys']}: snapshot {persist['snapshot_seconds']:.3f}s "
+          f"({persist['snapshot_bytes'] / 1024:.0f} KiB), "
+          f"restore {persist['restore_seconds']:.3f}s, "
+          f"replay {persist['replay_ops_per_sec'] / 1e3:.1f} kops/s")
     return 0
 
 

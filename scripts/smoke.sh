@@ -33,6 +33,11 @@ echo "== Examples =="
 python examples/quickstart.py
 python examples/sharded_engine.py
 
+echo "== Durable snapshot / recover (persistence layer) =="
+python -m repro snapshot results/smoke/snapshot-demo.npz --elements 2048
+python -m repro recover results/smoke/snapshot-demo.npz
+rm -f results/smoke/snapshot-demo.npz
+
 echo "== Tutorial snippets (docs/TUTORIAL.md, executed top to bottom) =="
 python scripts/run_doc_snippets.py docs/TUTORIAL.md
 

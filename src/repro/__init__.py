@@ -19,6 +19,9 @@ Packages
 * :mod:`repro.service` — async request-service layer: an operation-log
   micro-batcher that coalesces awaited single operations into warp-aligned
   concurrent batches and reports latency/throughput percentiles.
+* :mod:`repro.persist` — durability: versioned snapshots that restore a
+  live table bit-identically, the write-ahead log behind the service
+  layer, and ``recover(snapshot, wal)`` crash recovery.
 
 Quick start
 -----------
@@ -41,9 +44,10 @@ from repro.core.slab_set import SlabSet
 from repro.core.config import SlabAllocConfig, SlabConfig
 from repro.engine import EngineStats, ShardedSlabHash, ShardRouter
 from repro.gpusim.device import Device, DeviceSpec, TESLA_K40C
+from repro.persist import WriteAheadLog
 from repro.service import ServiceConfig, ServiceStats, SlabHashService
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SlabHash",
@@ -56,6 +60,7 @@ __all__ = [
     "SlabHashService",
     "ServiceConfig",
     "ServiceStats",
+    "WriteAheadLog",
     "SlabList",
     "SlabSet",
     "SlabAlloc",

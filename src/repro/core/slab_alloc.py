@@ -41,7 +41,7 @@ all super blocks in one contiguous array and skips that read at the price of a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -242,6 +242,114 @@ class SlabAlloc:
         self._check_bounds(super_block, block, unit)
         lane, bit = divmod(unit, 32)
         return bool(int(self._bitmaps[super_block][block, lane]) & (1 << bit))
+
+    # ------------------------------------------------------------------ #
+    # State export / restore (snapshot hooks, see repro.persist.snapshot)
+    # ------------------------------------------------------------------ #
+
+    def export_units(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Every allocated unit's ``(addresses, words)``, in address order.
+
+        Host-side and uncounted (like the other introspection helpers).  The
+        pair fully determines the allocator's observable state: bitmaps are
+        exactly the set bits of ``addresses`` (deallocation re-initializes
+        units, so unallocated units always read as empty slabs), and
+        ``words[i]`` is the 32-word content of the slab at ``addresses[i]``.
+        """
+        per_super: List[np.ndarray] = []
+        for super_block, bitmap in enumerate(self._bitmaps):
+            blocks, lanes, bits = np.nonzero(
+                (bitmap[:, :, None] >> np.arange(32, dtype=np.uint32)) & np.uint32(1)
+            )
+            units = lanes * 32 + bits
+            # _new_bitmap marks non-existent tail units as permanently
+            # allocated; they are padding, not real units.
+            real = units < self.config.units_per_block
+            addresses = (
+                (super_block << (addr.UNIT_BITS + addr.BLOCK_BITS))
+                | (blocks[real] << addr.UNIT_BITS)
+                | units[real]
+            )
+            per_super.append(addresses.astype(np.int64))
+        addresses = (
+            np.sort(np.concatenate(per_super)) if per_super else np.empty(0, np.int64)
+        )
+        words = np.empty((len(addresses), self.slab_words), dtype=np.uint32)
+        if len(addresses):
+            stores, store_idx, rows = self.gather_views(addresses)
+            for index, store in enumerate(stores):
+                mask = store_idx == index
+                words[mask] = store[rows[mask]]
+        return addresses.astype(np.uint32), words
+
+    def restore_units(
+        self,
+        addresses: np.ndarray,
+        words: np.ndarray,
+        *,
+        num_super_blocks: Optional[int] = None,
+    ) -> None:
+        """Rebuild a pristine allocator's state from :meth:`export_units` output.
+
+        Sets the bitmap bit and writes the slab words of every address, and
+        grows to ``num_super_blocks`` first so a snapshot taken after
+        allocator growth restores to the same hash range.  Host-side and
+        uncounted; must run on a freshly constructed allocator.
+        """
+        if self._allocated_units:
+            raise AllocationError(
+                "restore_units needs a pristine allocator "
+                f"({self._allocated_units} units already allocated)"
+            )
+        if num_super_blocks is not None:
+            if num_super_blocks < self.num_super_blocks:
+                raise AllocationError(
+                    f"cannot shrink the allocator to {num_super_blocks} super blocks "
+                    f"(configured with {self.num_super_blocks})"
+                )
+            while self.num_super_blocks < num_super_blocks:
+                self._bitmaps.append(self._new_bitmap())
+                self.num_super_blocks += 1
+        addresses = np.asarray(addresses, dtype=np.int64)
+        words = np.asarray(words, dtype=np.uint32)
+        if words.shape != (len(addresses), self.slab_words):
+            raise AllocationError(
+                f"restore_units: words shape {words.shape} does not match "
+                f"{(len(addresses), self.slab_words)}"
+            )
+        if not len(addresses):
+            self._allocated_units = 0
+            return
+        if np.unique(addresses).size != addresses.size:
+            raise AllocationError("restore_units: duplicate addresses in input")
+        units = addresses & ((1 << addr.UNIT_BITS) - 1)
+        blocks = (addresses >> addr.UNIT_BITS) & ((1 << addr.BLOCK_BITS) - 1)
+        supers = addresses >> (addr.UNIT_BITS + addr.BLOCK_BITS)
+        if (
+            int(supers.max()) >= self.num_super_blocks
+            or int(blocks.max()) >= self.config.num_memory_blocks
+            or int(units.max()) >= self.config.units_per_block
+        ):
+            raise AllocationError("restore_units: address out of range")
+        # Vectorized mirror of export_units: set the bitmap bits per super
+        # block, then scatter the slab words per (super block, memory block).
+        lanes, bits = np.divmod(units, 32)
+        for super_block in np.unique(supers):
+            mask = supers == super_block
+            np.bitwise_or.at(
+                self._bitmaps[int(super_block)],
+                (blocks[mask], lanes[mask]),
+                (np.uint32(1) << bits[mask].astype(np.uint32)),
+            )
+        groups = supers * self.config.num_memory_blocks + blocks
+        for group in np.unique(groups):
+            mask = groups == group
+            store = self._block_store(
+                int(group) // self.config.num_memory_blocks,
+                int(group) % self.config.num_memory_blocks,
+            )
+            store[units[mask]] = words[mask]
+        self._allocated_units = len(addresses)
 
     # ------------------------------------------------------------------ #
     # Introspection

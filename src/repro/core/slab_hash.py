@@ -569,6 +569,31 @@ class SlabHash:
             self.maybe_resize()
 
     # ------------------------------------------------------------------ #
+    # Durable snapshots (see repro.persist)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> str:
+        """Write a versioned snapshot of this table to ``path``.
+
+        Convenience hook for :func:`repro.persist.save`; the snapshot is
+        host-side work (no device events) and restores bit-identically —
+        items, chain structure, allocator occupancy and device counters.
+        """
+        from repro.persist.snapshot import save as _save
+
+        return _save(self, path)
+
+    @classmethod
+    def load(cls, path: str) -> "SlabHash":
+        """Restore a table from a snapshot written by :meth:`save`."""
+        from repro.persist.snapshot import load as _load
+
+        table = _load(path)
+        if not isinstance(table, cls):
+            raise TypeError(f"{path} holds a {type(table).__name__}, not a {cls.__name__}")
+        return table
+
+    # ------------------------------------------------------------------ #
     # Maintenance and introspection
     # ------------------------------------------------------------------ #
 

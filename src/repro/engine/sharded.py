@@ -350,8 +350,17 @@ class ShardedSlabHash:
 
         Uses ``load_factor_policy`` if given, else each shard's own policy;
         raises when neither exists.  Returns the performed per-shard resizes.
+
+        Failure semantics: shards are independent devices with independent
+        allocators, so one shard's failed migration (e.g. allocator
+        exhaustion) must not starve the others of maintenance.  A failing
+        shard is restored unchanged — ``resize_table``'s strong guarantee
+        covers its bucket array, chains and allocator occupancy — the
+        remaining shards still get their rebalance attempt, and the first
+        error is re-raised afterwards.
         """
         results: List[ResizeResult] = []
+        first_error: Optional[Exception] = None
         for index, shard in enumerate(self.shards):
             pol = load_factor_policy or shard.policy
             if pol is None:
@@ -362,8 +371,39 @@ class ShardedSlabHash:
             target = pol.target_buckets(len(shard), shard.config.elements_per_slab)
             if abs(target - shard.num_buckets) <= pol.hysteresis * shard.num_buckets:
                 continue
-            results.append(self.resize_shard(index, target, trigger="rebalance"))
+            try:
+                results.append(self.resize_shard(index, target, trigger="rebalance"))
+            except Exception as error:  # noqa: BLE001 - shard restored; try the rest
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
         return results
+
+    # ------------------------------------------------------------------ #
+    # Durable snapshots (see repro.persist)
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> str:
+        """Write a snapshot directory (manifest + one file per shard) to ``path``.
+
+        Convenience hook for :func:`repro.persist.save`; restoring yields a
+        bit-identical engine (per-shard items, chains, allocator occupancy,
+        device counters, router draw and routing accounting).
+        """
+        from repro.persist.snapshot import save as _save
+
+        return _save(self, path)
+
+    @classmethod
+    def load(cls, path: str) -> "ShardedSlabHash":
+        """Restore an engine from a snapshot directory written by :meth:`save`."""
+        from repro.persist.snapshot import load as _load
+
+        engine = _load(path)
+        if not isinstance(engine, cls):
+            raise TypeError(f"{path} holds a {type(engine).__name__}, not a {cls.__name__}")
+        return engine
 
     # ------------------------------------------------------------------ #
     # Measurement

@@ -1,0 +1,167 @@
+"""Crash recovery: restore a snapshot and deterministically replay the WAL tail.
+
+The service's durability contract is *checkpoint + log*: a snapshot captures
+the engine bit-identically at some batch boundary, the WAL holds every batch
+executed since, and :func:`recover` reproduces the pre-crash state by
+restoring the snapshot and re-executing the logged batches exactly as the
+drain loop did — same batch boundaries, same (recorded) batch indices for
+scheduler seeding, same between-batch ``maybe_resize()`` call.  Because
+every execution path in the simulator is deterministic given state and
+inputs, the recovered table matches a never-crashed run to the last device
+counter; the crash-point harness in ``tests/proptest`` asserts exactly that.
+
+A torn final record (crash mid-append) is discarded by the WAL reader; its
+batch never resolved any futures, so dropping it is the correct
+at-most-once outcome for operations whose completion was never observed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.slab_hash import SlabHash
+from repro.engine.sharded import ShardedSlabHash
+from repro.gpusim.scheduler import WarpScheduler
+from repro.persist.snapshot import load, wal_floor
+from repro.persist.wal import WalRecord, read_records
+
+__all__ = ["RecoveryReport", "recover", "replay_record"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :func:`recover` found and did."""
+
+    snapshot_path: str
+    wal_path: Optional[str]
+    records_replayed: int
+    ops_replayed: int
+    records_failed: int  #: replayed batches that raised (mirroring the live run)
+    records_skipped: int  #: records already covered by the snapshot (checkpoint race)
+    torn_tail: bool  #: the WAL ended in a partial record (discarded)
+    next_batch_index: int  #: where a resuming service should continue numbering
+
+    def as_dict(self) -> dict:
+        return {
+            "snapshot_path": self.snapshot_path,
+            "wal_path": self.wal_path,
+            "records_replayed": self.records_replayed,
+            "ops_replayed": self.ops_replayed,
+            "records_failed": self.records_failed,
+            "records_skipped": self.records_skipped,
+            "torn_tail": self.torn_tail,
+            "next_batch_index": self.next_batch_index,
+        }
+
+
+def replay_record(
+    engine: Union[SlabHash, ShardedSlabHash],
+    record: WalRecord,
+    *,
+    scheduler_seed: Optional[int] = None,
+    wave_size: Optional[int] = None,
+) -> bool:
+    """Re-execute one logged batch exactly as the service drain loop did.
+
+    Mirrors ``SlabHashService._execute`` *including its failure tolerance*:
+    the batch runs through ``concurrent_batch`` (seeded per recorded batch
+    index when the service was configured with a scheduler seed); a batch
+    that raises — e.g. deterministic allocator exhaustion that failed the
+    same batch's futures in the live run, leaving its partial state — is
+    tolerated and, like the live loop, skips the between-batch resize.
+    Successful batches are followed by ``maybe_resize()``, whose failures
+    the live loop also swallows (``_resize_between_batches``).
+
+    Returns ``True`` when the batch executed cleanly, ``False`` when it
+    raised (matching the live run's ``ops_failed`` outcome).
+    """
+    key_value = (
+        engine.shards[0].config.key_value
+        if isinstance(engine, ShardedSlabHash)
+        else engine.config.key_value
+    )
+    values = record.values if key_value else None
+    try:
+        if isinstance(engine, ShardedSlabHash):
+            engine.concurrent_batch(
+                record.op_codes,
+                record.keys,
+                values,
+                scheduler_seed=(
+                    None if scheduler_seed is None else scheduler_seed + record.batch_index
+                ),
+                wave_size=wave_size,
+            )
+        else:
+            scheduler = (
+                None
+                if scheduler_seed is None
+                else WarpScheduler(seed=scheduler_seed + record.batch_index)
+            )
+            engine.concurrent_batch(
+                record.op_codes, record.keys, values,
+                scheduler=scheduler, wave_size=wave_size,
+            )
+    except Exception:  # noqa: BLE001 - the live loop failed this batch and served on
+        return False
+    try:
+        engine.maybe_resize()
+    except Exception:  # noqa: BLE001 - the live loop swallowed this too
+        pass
+    return True
+
+
+def recover(
+    snapshot_path: str,
+    wal_path: Optional[str] = None,
+    *,
+    scheduler_seed: Optional[int] = None,
+    wave_size: Optional[int] = None,
+) -> Tuple[Union[SlabHash, ShardedSlabHash], RecoveryReport]:
+    """Restore ``snapshot_path`` and replay the complete records of ``wal_path``.
+
+    ``scheduler_seed`` / ``wave_size`` must match the crashed service's
+    :class:`~repro.service.service.ServiceConfig` (both default to ``None``,
+    the deterministic phased schedule).  Returns the recovered table/engine
+    and a :class:`RecoveryReport`; a missing or empty WAL means the snapshot
+    alone is the recovered state.
+
+    Records whose ``batch_index`` lies below the snapshot's WAL floor
+    (:func:`~repro.persist.snapshot.wal_floor`) are skipped: a crash in the
+    checkpoint window — snapshot written, WAL not yet truncated — leaves
+    such already-covered records behind, and replaying them would apply
+    their batches twice.
+    """
+    engine = load(snapshot_path)
+    floor = wal_floor(snapshot_path)
+    records: List[WalRecord] = []
+    torn = False
+    if wal_path is not None and os.path.exists(wal_path):
+        records, torn = read_records(wal_path)
+    replayed = failed = skipped = ops = 0
+    next_batch_index = floor
+    for record in records:
+        if record.batch_index < floor:
+            skipped += 1
+            continue
+        clean = replay_record(
+            engine, record, scheduler_seed=scheduler_seed, wave_size=wave_size
+        )
+        replayed += 1
+        ops += len(record)
+        if not clean:
+            failed += 1
+        next_batch_index = max(next_batch_index, record.batch_index + 1)
+    report = RecoveryReport(
+        snapshot_path=snapshot_path,
+        wal_path=wal_path,
+        records_replayed=replayed,
+        ops_replayed=ops,
+        records_failed=failed,
+        records_skipped=skipped,
+        torn_tail=torn,
+        next_batch_index=next_batch_index,
+    )
+    return engine, report

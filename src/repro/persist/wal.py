@@ -1,0 +1,233 @@
+"""The write-ahead operation log behind the service layer's durability.
+
+A WAL file is a fixed 12-byte header (magic + format version) followed by a
+sequence of framed records, one per executed micro-batch::
+
+    header:  b"SLABWAL\\0" | u32 version
+    record:  b"WREC" | u32 payload_len | u32 crc32(payload) | payload
+    payload: u32 batch_index | u32 count | u8 has_values |
+             u8 op_codes[count] | u32 keys[count] | (u32 values[count])
+
+All integers are little-endian.  The framing makes torn writes — a crash
+mid-append — detectable: :func:`read_records` stops at the first record
+whose frame is incomplete or whose CRC fails, reports it as a *torn tail*,
+and never surfaces partial operations.  This is exactly the property the
+crash-point harness exploits: a WAL chopped at an arbitrary byte offset
+always recovers to a prefix of whole batches.
+
+:class:`WriteAheadLog` is the append side: the service calls
+:meth:`WriteAheadLog.append` *before* executing each batch (write-ahead),
+and :meth:`WriteAheadLog.truncate` when a snapshot checkpoint makes the
+logged history redundant.  Appends are flushed to the OS on every call;
+pass ``sync=True`` to also ``fsync`` (real crash durability, slower —
+simulated-crash tests don't need it).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["WAL_VERSION", "WalRecord", "WriteAheadLog", "read_records"]
+
+#: Format version written into the WAL header.
+WAL_VERSION = 1
+
+_HEADER_MAGIC = b"SLABWAL\0"
+_HEADER = struct.Struct("<8sI")
+_FRAME_MAGIC = b"WREC"
+_FRAME = struct.Struct("<4sII")
+_PAYLOAD_HEAD = struct.Struct("<IIB")
+
+#: Size in bytes of the file header (everything before the first record).
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged micro-batch, exactly as the service executed it."""
+
+    batch_index: int
+    op_codes: np.ndarray  #: int64, one op code per operation
+    keys: np.ndarray  #: uint32
+    values: Optional[np.ndarray]  #: uint32, or None for key-only tables
+
+    def __len__(self) -> int:
+        return len(self.op_codes)
+
+
+def _encode(batch_index: int, op_codes: np.ndarray, keys: np.ndarray,
+            values: Optional[np.ndarray]) -> bytes:
+    count = len(op_codes)
+    payload = _PAYLOAD_HEAD.pack(batch_index, count, 0 if values is None else 1)
+    payload += np.asarray(op_codes, dtype=np.uint8).tobytes()
+    payload += np.asarray(keys, dtype="<u4").tobytes()
+    if values is not None:
+        payload += np.asarray(values, dtype="<u4").tobytes()
+    return _FRAME.pack(_FRAME_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode(payload: bytes) -> WalRecord:
+    batch_index, count, has_values = _PAYLOAD_HEAD.unpack_from(payload)
+    offset = _PAYLOAD_HEAD.size
+    expected = offset + count + 4 * count * (1 + has_values)
+    if len(payload) != expected:
+        raise ValueError(f"payload is {len(payload)} bytes, expected {expected}")
+    op_codes = np.frombuffer(payload, dtype=np.uint8, count=count, offset=offset)
+    offset += count
+    keys = np.frombuffer(payload, dtype="<u4", count=count, offset=offset)
+    values = None
+    if has_values:
+        offset += 4 * count
+        values = np.frombuffer(payload, dtype="<u4", count=count, offset=offset)
+    return WalRecord(
+        batch_index=batch_index,
+        op_codes=op_codes.astype(np.int64),
+        keys=keys.astype(np.uint32),
+        values=None if values is None else values.astype(np.uint32),
+    )
+
+
+#: The exact 12 bytes a well-formed WAL starts with.
+_HEADER_BYTES = _HEADER.pack(_HEADER_MAGIC, WAL_VERSION)
+
+
+def _scan(data: bytes, where: str) -> Tuple[List[WalRecord], bool, Optional[int]]:
+    """Parse WAL bytes into ``(records, torn_tail, clean_end)``.
+
+    ``clean_end`` is the byte offset just past the last complete record —
+    where an append-side reopen should truncate to — or ``None`` when even
+    the file header is torn (a crash during the very first write), in which
+    case there are no records and the header itself must be rewritten.
+    A file that is not a *prefix* of a well-formed WAL raises instead: torn
+    writes shorten files, they do not produce wrong bytes.
+    """
+    if len(data) < HEADER_SIZE:
+        if _HEADER_BYTES.startswith(data):
+            return [], True, None
+        raise ValueError(f"{where}: not a WAL file (bad magic)")
+    magic, version = _HEADER.unpack_from(data)
+    if magic != _HEADER_MAGIC:
+        raise ValueError(f"{where}: not a WAL file (bad magic)")
+    if version != WAL_VERSION:
+        raise ValueError(f"{where}: WAL version {version}, this build reads {WAL_VERSION}")
+
+    records: List[WalRecord] = []
+    offset = HEADER_SIZE
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            return records, True, offset
+        frame_magic, length, crc = _FRAME.unpack_from(data, offset)
+        payload = data[offset + _FRAME.size : offset + _FRAME.size + length]
+        if frame_magic != _FRAME_MAGIC or len(payload) < length:
+            return records, True, offset
+        if zlib.crc32(payload) != crc:
+            return records, True, offset
+        try:
+            records.append(_decode(payload))
+        except ValueError:
+            return records, True, offset
+        offset += _FRAME.size + length
+    return records, False, offset
+
+
+def read_records(path: str) -> Tuple[List[WalRecord], bool]:
+    """Parse a WAL file into ``(records, torn_tail)``.
+
+    ``records`` are the whole, CRC-valid batches in append order; ``torn_tail``
+    is True when trailing bytes after them do not form a complete valid record
+    (a crash interrupted an append) — those bytes are ignored.  A file cut
+    short even inside the 12-byte header (a crash during WAL creation) reads
+    as ``([], True)``: every crash point yields a clean — possibly empty —
+    prefix of whole batches.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records, torn, _clean_end = _scan(data, path)
+    return records, torn
+
+
+class WriteAheadLog:
+    """Append-side handle on a WAL file (creates or re-opens ``path``).
+
+    Re-opening an existing file validates the header and appends after the
+    last complete record, discarding any torn tail left by a crash.
+    """
+
+    def __init__(self, path: str, *, sync: bool = False) -> None:
+        self.path = path
+        self.sync = bool(sync)
+        clean_end: Optional[int] = None
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            with open(path, "rb") as handle:
+                data = handle.read()
+            _records, _torn, clean_end = _scan(data, path)  # validates the header too
+        if clean_end is None:
+            # New file — or one whose 12-byte header itself was torn by a
+            # crash during creation: rewrite the header from scratch.
+            self._file = open(path, "w+b")
+            self._file.write(_HEADER_BYTES)
+            self._flush()
+        else:
+            self._file = open(path, "r+b")
+            self._file.truncate(clean_end)
+            self._file.seek(clean_end)
+
+    def _flush(self) -> None:
+        self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())
+
+    def append(
+        self,
+        op_codes: Sequence[int],
+        keys: Sequence[int],
+        values: Optional[Sequence[int]] = None,
+        *,
+        batch_index: int = 0,
+    ) -> int:
+        """Frame one batch and append it; returns the record's byte offset."""
+        op_codes = np.asarray(op_codes)
+        keys = np.asarray(keys)
+        if op_codes.shape != keys.shape:
+            raise ValueError("op_codes and keys must have the same length")
+        if values is not None and np.asarray(values).shape != keys.shape:
+            raise ValueError("keys and values must have the same length")
+        offset = self._file.tell()
+        self._file.write(_encode(int(batch_index), op_codes, keys, values))
+        self._flush()
+        return offset
+
+    def truncate(self) -> None:
+        """Drop every logged record (a snapshot checkpoint supersedes them)."""
+        self._file.truncate(HEADER_SIZE)
+        self._file.seek(HEADER_SIZE)
+        self._flush()
+
+    def size(self) -> int:
+        """Current file size in bytes (header included)."""
+        return self._file.tell()
+
+    def records(self) -> List[WalRecord]:
+        """The complete records currently in the file (reads from disk)."""
+        self._file.flush()
+        return read_records(self.path)[0]
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._flush()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WriteAheadLog({self.path!r}, bytes={self.size()})"

@@ -61,7 +61,17 @@ class MicroBatcher:
         #: Totals for :class:`repro.service.ServiceStats`.
         self.ops_enqueued = 0
         self.batches_cut = 0
+        #: Batches cut *without* ``force`` — size-triggered cuts, warp-aligned
+        #: by construction ("naturally aligned").
         self.aligned_batches = 0
+        #: Batches cut *with* ``force`` (a deadline expired or the service is
+        #: draining), whatever their size.
+        self.forced_batches = 0
+        #: The subset of :attr:`forced_batches` whose tail happened to be an
+        #: exact warp multiple.  Before this counter existed, such a cut was
+        #: indistinguishable from a naturally aligned one, silently inflating
+        #: ``aligned_batches`` on deadline-heavy traffic.
+        self.forced_aligned_batches = 0
 
     # ------------------------------------------------------------------ #
     # Logging
@@ -97,6 +107,12 @@ class MicroBatcher:
         traffic keeps arriving.  With ``force`` (deadline expired, or the
         service is draining) the ragged tail is cut too, up to
         ``max_batch_size`` operations.
+
+        Accounting: an unforced cut counts as *naturally aligned*
+        (:attr:`aligned_batches`); a forced cut counts as deadline-forced
+        (:attr:`forced_batches`), with :attr:`forced_aligned_batches`
+        recording the ones whose tail was coincidentally warp-sized — the
+        two triggers are kept distinguishable in the stats.
         """
         available = len(self._log)
         count = min(available, self.max_batch_size)
@@ -106,7 +122,11 @@ class MicroBatcher:
             return []
         batch = [self._log.popleft() for _ in range(count)]
         self.batches_cut += 1
-        if count % self.warp_size == 0:
+        if force:
+            self.forced_batches += 1
+            if count % self.warp_size == 0:
+                self.forced_aligned_batches += 1
+        else:
             self.aligned_batches += 1
         return batch
 

@@ -31,14 +31,21 @@ The batch execution itself is synchronous CPU work (the simulator), so the
 event loop pauses while a batch runs; coalescing still works because the
 log fills *between* executions, exactly like a GPU serving pipeline that
 admits requests while the previous kernel is in flight.
+
+Durability (docs/PERSISTENCE.md): constructed with a
+:class:`~repro.persist.wal.WriteAheadLog`, the service appends every
+micro-batch to the log *before* executing it, :meth:`SlabHashService.checkpoint`
+snapshots the engine and truncates the log, and
+:meth:`SlabHashService.recovered` rebuilds a service after a crash by
+restoring the snapshot and replaying the log tail deterministically.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -49,6 +56,7 @@ from repro.engine.sharded import ShardedSlabHash
 from repro.gpusim.scheduler import WarpScheduler
 from repro.perf.latency import LatencyRecorder, LatencyReport
 from repro.perf.metrics import measure_phase
+from repro.persist.wal import WriteAheadLog
 from repro.service.batcher import MicroBatcher, PendingOp
 
 __all__ = ["ServiceConfig", "ServiceStats", "SlabHashService"]
@@ -89,19 +97,31 @@ class ServiceConfig:
 
 @dataclass(frozen=True)
 class ServiceStats:
-    """A point-in-time snapshot of the service's accounting."""
+    """A point-in-time snapshot of the service's accounting.
+
+    ``warp_aligned_batches`` counts batches whose *size* was a warp multiple
+    (back-compatible with earlier releases); ``deadline_forced_batches``
+    counts batches whose *cut* was forced by a deadline or drain, so a forced
+    flush of an exactly-warp-sized tail is no longer indistinguishable from
+    a naturally aligned cut.  ``resize_failures`` is the append-only log of
+    failed between-batch migrations — later successes never erase it.
+    """
 
     ops_enqueued: int
     ops_completed: int
     ops_failed: int
     batches_executed: int
     warp_aligned_batches: int
+    deadline_forced_batches: int
     mean_batch_size: float
     latency: LatencyReport
     wall_seconds: float
     ops_per_second: float
     modelled_seconds: float
     modelled_ops_per_second: float
+    resizes_performed: int = 0
+    resize_failures: Tuple[str, ...] = field(default_factory=tuple)
+    resize_modelled_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         """Plain-dict view (used by the service-latency benchmark JSON)."""
@@ -111,12 +131,16 @@ class ServiceStats:
             "ops_failed": self.ops_failed,
             "batches_executed": self.batches_executed,
             "warp_aligned_batches": self.warp_aligned_batches,
+            "deadline_forced_batches": self.deadline_forced_batches,
             "mean_batch_size": self.mean_batch_size,
             "latency": self.latency.as_dict(),
             "wall_seconds": self.wall_seconds,
             "ops_per_second": self.ops_per_second,
             "modelled_seconds": self.modelled_seconds,
             "modelled_ops_per_second": self.modelled_ops_per_second,
+            "resizes_performed": self.resizes_performed,
+            "resize_failures": list(self.resize_failures),
+            "resize_modelled_seconds": self.resize_modelled_seconds,
         }
 
 
@@ -132,6 +156,11 @@ class SlabHashService:
     config:
         Coalescing and execution knobs; defaults favour throughput with a
         2 ms co-batching budget.
+    wal:
+        Optional :class:`~repro.persist.wal.WriteAheadLog`.  When given,
+        every micro-batch is appended to the log *before* it executes, so a
+        crash can be recovered by replaying the tail onto the last snapshot
+        (:meth:`checkpoint` / :meth:`recovered`); see docs/PERSISTENCE.md.
 
     Use as an async context manager, or call :meth:`start` / :meth:`stop`::
 
@@ -146,9 +175,11 @@ class SlabHashService:
         engine: Union[ShardedSlabHash, SlabHash],
         *,
         config: Optional[ServiceConfig] = None,
+        wal: Optional[WriteAheadLog] = None,
     ) -> None:
         self.engine = engine
         self.config = config or ServiceConfig()
+        self.wal = wal
         self._sharded = isinstance(engine, ShardedSlabHash)
         table_config = engine.shards[0].config if self._sharded else engine.config
         self._key_value = table_config.key_value
@@ -162,7 +193,7 @@ class SlabHashService:
         self._ops_failed = 0
         self._modelled_seconds = 0.0
         self._resizes_performed = 0
-        self._resize_failures = 0
+        self._resize_failure_log: List[str] = []
         self._resize_modelled_seconds = 0.0
         self._first_enqueue: Optional[float] = None
         self._last_completion: Optional[float] = None
@@ -271,9 +302,16 @@ class SlabHashService:
                     continue
                 await self._wake.wait()
                 continue
-            if self._batcher.full or self._closing:
-                self._execute(self._batcher.take(force=self._closing))
+            if self._batcher.full:
+                # A size-triggered cut, even while draining: the same batch
+                # would have been cut without the deadline, so it is counted
+                # as naturally aligned rather than deadline-forced.
+                self._execute(self._batcher.take())
                 await asyncio.sleep(0)  # let queued submitters run
+                continue
+            if self._closing:
+                self._execute(self._batcher.take(force=True))
+                await asyncio.sleep(0)
                 continue
             deadline = self._batcher.oldest_enqueued_at() + self.config.max_delay
             remaining = deadline - time.perf_counter()
@@ -312,6 +350,12 @@ class SlabHashService:
         values = None
         if self._key_value:
             values = np.fromiter((op.value for op in batch), dtype=np.uint32, count=len(batch))
+        if self.wal is not None:
+            # Write-ahead: the batch is durable before any of it executes, so
+            # a crash mid-execution replays it in full on recovery.
+            self.wal.append(
+                op_codes, keys.astype(np.uint32), values, batch_index=self._batch_index
+            )
         holder = {}
 
         def run() -> None:
@@ -359,15 +403,77 @@ class SlabHashService:
         failed migration (e.g. allocator exhaustion) leaves the table
         restored — ``resize_table``'s strong guarantee — so it is recorded
         and the service keeps serving rather than killing the drain loop.
+        Failures append to an append-only log surfaced via
+        :attr:`resize_failures` / :meth:`stats`; a later successful
+        migration never overwrites or clears an earlier recorded failure.
         """
         try:
             results = self.engine.maybe_resize()
-        except Exception:  # noqa: BLE001 - the table is intact; keep serving
-            self._resize_failures += 1
+        except Exception as exc:  # noqa: BLE001 - the table is intact; keep serving
+            self._resize_failure_log.append(
+                f"after batch {self._batch_index - 1}: {type(exc).__name__}: {exc}"
+            )
             return
         if results:
             self._resizes_performed += len(results)
             self._resize_modelled_seconds += sum(r.seconds for r in results)
+
+    # ------------------------------------------------------------------ #
+    # Durability: checkpointing and recovery (see repro.persist)
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(self, snapshot_path: str) -> str:
+        """Snapshot the engine and truncate the WAL; returns the snapshot path.
+
+        The snapshot captures the engine bit-identically, which makes every
+        logged batch redundant — truncating the WAL is what bounds recovery
+        time.  Call between batches (e.g. from the event-loop thread while no
+        ``submit`` is being awaited); with operations still pending in the
+        batcher, those operations are simply not yet part of the checkpoint
+        and will be logged when their batch executes.
+
+        The snapshot records the next batch index as its WAL floor, so even
+        if the process dies *between* the snapshot write and the WAL
+        truncation, recovery skips the already-covered records instead of
+        double-replaying them — and a service recovered from a
+        freshly-truncated WAL keeps its batch numbering contiguous.
+        """
+        from repro.persist.snapshot import save as _save
+
+        _save(self.engine, snapshot_path, wal_min_batch_index=self._batch_index)
+        if self.wal is not None:
+            self.wal.truncate()
+        return snapshot_path
+
+    @classmethod
+    def recovered(
+        cls,
+        snapshot_path: str,
+        wal: Optional[WriteAheadLog] = None,
+        *,
+        config: Optional[ServiceConfig] = None,
+    ) -> "SlabHashService":
+        """Rebuild a service from a snapshot plus the WAL it was paired with.
+
+        Restores the snapshot, replays the WAL's complete records (a torn
+        final record is discarded — its futures never resolved), and returns
+        a *not yet started* service over the recovered engine that continues
+        appending to the same log with contiguous batch numbering.  The
+        ``config`` must match the crashed service's (the scheduler seed
+        participates in replay determinism).
+        """
+        from repro.persist.recovery import recover as _recover
+
+        config = config or ServiceConfig()
+        engine, report = _recover(
+            snapshot_path,
+            None if wal is None else wal.path,
+            scheduler_seed=config.scheduler_seed,
+            wave_size=config.wave_size,
+        )
+        service = cls(engine, config=config, wal=wal)
+        service._batch_index = report.next_batch_index
+        return service
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -384,9 +490,14 @@ class SlabHashService:
         return self._resizes_performed
 
     @property
-    def resize_failures(self) -> int:
-        """Between-batch migrations that failed (table restored, service alive)."""
-        return self._resize_failures
+    def resize_failures(self) -> Tuple[str, ...]:
+        """Append-only descriptions of failed between-batch migrations.
+
+        Each entry records the batch it followed and the error; the table
+        was restored (strong guarantee) and the service kept serving.  A
+        subsequent successful migration never clears this log.
+        """
+        return tuple(self._resize_failure_log)
 
     @property
     def resize_modelled_seconds(self) -> float:
@@ -404,7 +515,13 @@ class SlabHashService:
             ops_completed=self._ops_completed,
             ops_failed=self._ops_failed,
             batches_executed=batches,
-            warp_aligned_batches=self._batcher.aligned_batches,
+            # Size view (any batch whose op count is a warp multiple) ...
+            warp_aligned_batches=(
+                self._batcher.aligned_batches + self._batcher.forced_aligned_batches
+            ),
+            # ... and trigger view (cuts forced by a deadline or drain), so a
+            # forced warp-sized tail is distinguishable from a natural cut.
+            deadline_forced_batches=self._batcher.forced_batches,
             mean_batch_size=(self._ops_completed + self._ops_failed) / batches if batches else 0.0,
             latency=self._latency.report(),
             wall_seconds=wall,
@@ -413,6 +530,9 @@ class SlabHashService:
             modelled_ops_per_second=(
                 self._ops_completed / self._modelled_seconds if self._modelled_seconds > 0 else 0.0
             ),
+            resizes_performed=self._resizes_performed,
+            resize_failures=tuple(self._resize_failure_log),
+            resize_modelled_seconds=self._resize_modelled_seconds,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -109,6 +109,90 @@ class TestRebalance:
         assert sum(p.num_ops for p in stats.shards) == 0
 
 
+class TestRebalanceExhaustion:
+    """Regression: a mid-migration SlabAlloc exhaustion inside ``rebalance()``
+    must restore the failing shard completely — bucket array, chains, items
+    AND the partially migrated new slabs returned to the allocator — exactly
+    like the single-table path, on both backends, and must not starve the
+    other (independent) shards of their rebalance attempt."""
+
+    TIGHT = SlabAllocConfig(
+        num_super_blocks=1, num_memory_blocks=1, units_per_block=32,
+        growth_threshold=10_000, max_super_blocks=1,
+    )
+    #: Shrinking every shard to ~1 bucket needs ~n/15 fresh slabs while the
+    #: old chains are still held -> the 32-unit pool must run out mid-way.
+    SQUEEZE = LoadFactorPolicy(
+        beta_low=2.0, beta_high=100.0, target_beta=40.0, min_buckets=1
+    )
+
+    def _build(self, backend):
+        engine = ShardedSlabHash(2, 32, alloc_config=self.TIGHT, seed=7, backend=backend)
+        keys = make_keys(1000, seed=7)
+        engine.bulk_build(keys, keys)
+        return engine, keys
+
+    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    def test_failed_shard_is_fully_restored(self, backend):
+        from repro.gpusim.errors import AllocationError
+
+        engine, keys = self._build(backend)
+        items_before = sorted(engine.items())
+        buckets_before = [shard.num_buckets for shard in engine.shards]
+        units_before = [shard.alloc.allocated_units for shard in engine.shards]
+        chains_before = [shard.bucket_slab_counts().tolist() for shard in engine.shards]
+
+        with pytest.raises(AllocationError):
+            engine.rebalance(self.SQUEEZE)
+
+        assert [shard.num_buckets for shard in engine.shards] == buckets_before
+        # No partially migrated slab may leak: occupancy exactly as before.
+        assert [shard.alloc.allocated_units for shard in engine.shards] == units_before
+        assert [
+            shard.bucket_slab_counts().tolist() for shard in engine.shards
+        ] == chains_before
+        assert sorted(engine.items()) == items_before
+        assert np.array_equal(engine.bulk_search(keys), keys.astype(np.uint32))
+
+    def test_backends_fail_and_restore_with_identical_counters(self):
+        from repro.gpusim.errors import AllocationError
+
+        counters = {}
+        for backend in ("reference", "vectorized"):
+            engine, _ = self._build(backend)
+            with pytest.raises(AllocationError):
+                engine.rebalance(self.SQUEEZE)
+            counters[backend] = [
+                shard.device.counters.as_dict() for shard in engine.shards
+            ]
+        assert counters["reference"] == counters["vectorized"]
+
+    def test_other_shards_still_get_their_rebalance_attempt(self):
+        """One shard's exhaustion must not abort the other shards' maintenance
+        (each shard has its own allocator).  Here shard 0 is small enough to
+        rebalance within the pool while shard 1 exhausts; both outcomes must
+        coexist: shard 0 committed, shard 1 restored, error re-raised."""
+        from repro.gpusim.errors import AllocationError
+
+        engine = ShardedSlabHash(2, 32, alloc_config=self.TIGHT, seed=7)
+        keys = make_keys(1000, seed=7)
+        parts = engine.router.partition(keys)
+        heavy = keys[parts[1]]
+        engine.bulk_insert(heavy, heavy)           # shard 1: exhausts on shrink
+        light = keys[parts[0]][:40]
+        engine.bulk_insert(light, light)           # shard 0: 40 items, fits in 3 slabs
+        items_before = sorted(engine.items())
+
+        with pytest.raises(AllocationError):
+            engine.rebalance(self.SQUEEZE)
+
+        assert engine.shards[0].num_buckets == 1   # committed despite the error
+        assert engine.shards[1].num_buckets == 32  # restored
+        assert sorted(engine.items()) == items_before
+        assert np.array_equal(engine.bulk_search(heavy), heavy.astype(np.uint32))
+        assert np.array_equal(engine.bulk_search(light), light.astype(np.uint32))
+
+
 class TestEnginePolicy:
     def test_engine_policy_reaches_every_shard(self):
         policy = LoadFactorPolicy(min_buckets=2)

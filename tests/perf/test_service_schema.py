@@ -31,8 +31,11 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     with open(out, encoding="utf-8") as handle:
         document = json.load(handle)
     bench_service_latency.validate_document(document)  # raises on drift
+    assert document["schema_version"] == 2
     assert document["latency"]["count"] == 512
     assert document["batches"]["executed"] >= 512 // 128
+    # Schema v2: the trigger view exists alongside the size view.
+    assert 0.0 <= document["batches"]["deadline_forced_fraction"] <= 1.0
 
 
 @pytest.mark.smoke
@@ -57,3 +60,7 @@ def test_validate_document_rejects_drift():
     wrong_count["latency"]["count"] = 1
     with pytest.raises(ValueError, match="num_ops"):
         bench_service_latency.validate_document(wrong_count)
+    missing_fraction = json.loads(json.dumps(document))
+    missing_fraction["batches"].pop("deadline_forced_fraction")
+    with pytest.raises(ValueError, match="deadline_forced_fraction"):
+        bench_service_latency.validate_document(missing_fraction)

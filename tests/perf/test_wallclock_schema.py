@@ -28,7 +28,7 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     with open(out, encoding="utf-8") as handle:
         document = json.load(handle)
     bench_wallclock.validate_document(document)  # raises on drift
-    assert document["schema_version"] == 3
+    assert document["schema_version"] == 4
     assert document["speedups"]["bulk_build_1024"] > 0
     assert document["speedups"]["concurrent_mixed_1024"] > 0
     assert document["speedups"]["resize_churn_1024"] > 0
@@ -43,6 +43,11 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     # Schema v3 guarantees the comparison exercised real grow/shrink cycles.
     assert churn["auto"]["grows"] >= 1 and churn["auto"]["shrinks"] >= 1
     assert churn["auto_over_fixed"] > 0
+    # Schema v4: durability primitives, measured on a verified round-trip.
+    persist = document["persist"]
+    assert persist["num_keys"] == 1024
+    assert persist["replay_records"] >= 1
+    assert persist["snapshot_bytes"] > 0 and persist["wal_bytes"] > 0
 
 
 @pytest.mark.smoke
@@ -69,6 +74,10 @@ def test_validate_document_rejects_drift():
     churnless.pop("resize_churn")
     with pytest.raises(ValueError, match="resize_churn"):
         bench_wallclock.validate_document(churnless)
+    persistless = dict(document)
+    persistless.pop("persist")
+    with pytest.raises(ValueError, match="persist"):
+        bench_wallclock.validate_document(persistless)
     no_shrink = json.loads(json.dumps(document))
     no_shrink["resize_churn"]["auto"]["shrinks"] = 0
     with pytest.raises(ValueError, match="grow and one shrink"):

@@ -1,0 +1,264 @@
+"""End-to-end crash recovery: snapshot + WAL replay reproduce the lost state.
+
+The contract under test: a service wired with a WAL can die at any moment,
+and ``recover(snapshot, wal)`` — or ``SlabHashService.recovered`` — rebuilds
+an engine whose items, structure and device counters match the crashed one
+exactly, because the WAL records the executed batches verbatim and every
+execution path is deterministic given state.  (The byte-level crash-point
+sweep lives in ``tests/proptest/test_crash_recovery.py``; these tests cover
+the service wiring: write-ahead ordering, checkpointing, restart.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.core import constants as C
+from repro.core.config import SlabAllocConfig
+from repro.core.resize import LoadFactorPolicy
+from repro.core.slab_hash import SlabHash
+from repro.engine import ShardedSlabHash
+from repro.persist import WriteAheadLog, read_records, recover, save
+from repro.service import ServiceConfig, SlabHashService
+
+from tests.conftest import make_keys
+
+SMALL_ALLOC = SlabAllocConfig(num_super_blocks=2, num_memory_blocks=8, units_per_block=64)
+FAST = ServiceConfig(max_batch_size=128, max_delay=0.0005)
+
+
+def stream(n: int, seed: int):
+    keys = make_keys(n, seed=seed)
+    doomed = keys[: n // 3]
+    op_codes = np.concatenate(
+        [np.full(len(keys), C.OP_INSERT), np.full(len(doomed), C.OP_DELETE)]
+    )
+    stream_keys = np.concatenate([keys, doomed])
+    values = (stream_keys * np.uint32(3)) & np.uint32(0xFFFF)
+    return op_codes, stream_keys, values
+
+
+def engine_state(engine):
+    tables = engine.shards if isinstance(engine, ShardedSlabHash) else [engine]
+    return (
+        sorted(engine.items()),
+        [table.num_buckets for table in tables],
+        [table.device.counters.as_dict() for table in tables],
+        [table.alloc.allocated_units for table in tables],
+    )
+
+
+def run_service(engine, wal, ops, *, config=FAST):
+    async def main():
+        async with SlabHashService(engine, config=config, wal=wal) as service:
+            await service.submit_many(*ops)
+    asyncio.run(main())
+
+
+class TestServiceRecovery:
+    @pytest.mark.parametrize("kind", ["table", "engine"])
+    def test_snapshot_plus_wal_reproduces_the_crashed_state(self, kind, tmp_path):
+        if kind == "table":
+            engine = SlabHash(16, alloc_config=SMALL_ALLOC, seed=3)
+        else:
+            engine = ShardedSlabHash(2, 8, alloc_config=SMALL_ALLOC, seed=3)
+        snap = str(tmp_path / "snap")
+        save(engine, snap)  # checkpoint at service birth
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        run_service(engine, wal, stream(500, seed=3))
+        wal.close()  # the "crash": the process is gone, only the files remain
+
+        recovered, report = recover(snap, str(tmp_path / "ops.wal"))
+        assert report.records_replayed >= 1
+        assert not report.torn_tail
+        assert engine_state(recovered) == engine_state(engine)
+
+    def test_mid_stream_checkpoint_truncates_and_recovers(self, tmp_path):
+        engine = SlabHash(16, alloc_config=SMALL_ALLOC, seed=7)
+        snap = str(tmp_path / "snap.npz")
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        op_codes, keys, values = stream(400, seed=7)
+        half = len(keys) // 2
+
+        async def main():
+            async with SlabHashService(engine, config=FAST, wal=wal) as service:
+                await service.submit_many(op_codes[:half], keys[:half], values[:half])
+                service.checkpoint(snap)  # between batches: nothing in flight
+                await service.submit_many(op_codes[half:], keys[half:], values[half:])
+        asyncio.run(main())
+        wal.close()
+
+        # Only the post-checkpoint batches remain in the log ...
+        records, torn = read_records(str(tmp_path / "ops.wal"))
+        assert not torn
+        assert sum(len(record) for record in records) == len(keys) - half
+        # ... and they are exactly what recovery needs on top of the snapshot.
+        recovered, report = recover(snap, str(tmp_path / "ops.wal"))
+        assert report.records_replayed == len(records)
+        assert engine_state(recovered) == engine_state(engine)
+
+    def test_recovery_without_wal_is_the_snapshot(self, tmp_path):
+        engine = SlabHash(8, alloc_config=SMALL_ALLOC, seed=9)
+        keys = make_keys(200, seed=9)
+        engine.bulk_build(keys, keys)
+        snap = str(tmp_path / "snap.npz")
+        save(engine, snap)
+        recovered, report = recover(snap)
+        assert report.records_replayed == 0
+        assert report.next_batch_index == 0
+        assert engine_state(recovered) == engine_state(engine)
+
+    def test_torn_final_record_is_dropped_not_half_applied(self, tmp_path):
+        engine = SlabHash(16, alloc_config=SMALL_ALLOC, seed=11)
+        snap = str(tmp_path / "snap")
+        save(engine, snap)
+        wal_path = str(tmp_path / "ops.wal")
+        wal = WriteAheadLog(wal_path)
+        run_service(engine, wal, stream(400, seed=11))
+        wal.close()
+
+        records, _ = read_records(wal_path)
+        assert len(records) >= 2
+        with open(wal_path, "r+b") as handle:
+            handle.seek(0, 2)
+            handle.truncate(handle.tell() - 5)  # crash mid-append of the tail
+
+        recovered, report = recover(snap, wal_path)
+        assert report.torn_tail
+        assert report.records_replayed == len(records) - 1
+        # The recovered state is exactly the snapshot plus the whole prefix.
+        oracle, _ = recover(snap)
+        for record in records[:-1]:
+            from repro.persist.recovery import replay_record
+            replay_record(oracle, record)
+        assert engine_state(recovered) == engine_state(oracle)
+
+    def test_recovered_service_resumes_on_the_same_wal(self, tmp_path):
+        engine = ShardedSlabHash(2, 8, alloc_config=SMALL_ALLOC, seed=13)
+        snap = str(tmp_path / "snap")
+        save(engine, snap)
+        wal_path = str(tmp_path / "ops.wal")
+        wal = WriteAheadLog(wal_path)
+        op_codes, keys, values = stream(300, seed=13)
+        run_service(engine, wal, (op_codes, keys, values))
+        wal.close()
+        before_crash = engine_state(engine)
+
+        async def resume():
+            service = SlabHashService.recovered(
+                snap, WriteAheadLog(wal_path), config=FAST
+            )
+            assert engine_state(service.engine) == before_crash
+            assert service._batch_index >= 1  # numbering continues, not restarts
+            async with service:
+                # The recovered service keeps serving — and keeps logging.
+                await service.insert(77, 770)
+                assert await service.search(77) == 770
+            service.wal.close()
+        asyncio.run(resume())
+
+        # The resumed batches landed in the same WAL after the replayed ones.
+        records, torn = read_records(wal_path)
+        assert not torn
+        total_ops = sum(len(record) for record in records)
+        assert total_ops >= len(keys) + 2  # original stream + the two new ops
+
+    def test_recovery_tolerates_failed_batches_like_the_live_loop(self, tmp_path):
+        """The drain loop fails a batch's futures but keeps serving (and keeps
+        the batch's deterministic partial state); recovery must reproduce
+        that — not die on the same deterministic error."""
+        from repro.core.slab_hash import SlabHash as _SlabHash
+
+        tight = SlabAllocConfig(
+            num_super_blocks=1, num_memory_blocks=1, units_per_block=32,
+            growth_threshold=10_000, max_super_blocks=1,
+        )
+        table = _SlabHash(2, alloc_config=tight, seed=5)
+        snap = str(tmp_path / "snap.npz")
+        save(table, snap)
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        # ~1000 inserts into 2 buckets exhaust the 32-unit pool mid-stream:
+        # later batches raise, their futures fail, the service keeps going.
+        keys = make_keys(1000, seed=5)
+        op_codes = np.full(len(keys), C.OP_INSERT)
+        values = keys
+
+        async def main():
+            async with SlabHashService(table, config=FAST, wal=wal) as service:
+                results = await asyncio.gather(
+                    *[service.submit(int(op), int(key), int(value))
+                      for op, key, value in zip(op_codes, keys, values)],
+                    return_exceptions=True,
+                )
+                return sum(1 for r in results if isinstance(r, Exception))
+        failed_ops = asyncio.run(main())
+        wal.close()
+        assert failed_ops > 0  # the scenario really exercised failing batches
+
+        recovered, report = recover(snap, str(tmp_path / "ops.wal"))
+        assert report.records_failed >= 1
+        assert engine_state(recovered) == engine_state(table)
+
+    def test_crash_inside_the_checkpoint_window_does_not_double_replay(self, tmp_path):
+        """Snapshot written, process dies before the WAL truncate: the WAL
+        still holds records the snapshot already covers.  Recovery must skip
+        them via the snapshot's WAL floor instead of applying them twice."""
+        engine = SlabHash(16, alloc_config=SMALL_ALLOC, seed=19)
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        op_codes, keys, values = stream(300, seed=19)
+
+        async def main():
+            async with SlabHashService(engine, config=FAST, wal=wal) as service:
+                await service.submit_many(op_codes, keys, values)
+                # The crash: snapshot lands, the truncate never happens.
+                save(engine, str(tmp_path / "snap.npz"),
+                     wal_min_batch_index=service._batch_index)
+        asyncio.run(main())
+        wal.close()
+
+        records, _ = read_records(str(tmp_path / "ops.wal"))
+        assert records  # the supposedly-truncated history is still there
+        recovered, report = recover(str(tmp_path / "snap.npz"), str(tmp_path / "ops.wal"))
+        assert report.records_skipped == len(records)
+        assert report.records_replayed == 0
+        assert report.next_batch_index == len(records)
+        assert engine_state(recovered) == engine_state(engine)
+
+    def test_recovered_service_numbering_survives_an_empty_wal(self, tmp_path):
+        """After a clean checkpoint the WAL is empty, but batch numbering
+        must continue from the checkpoint, not restart at zero (scheduler
+        seeds are derived from it)."""
+        engine = SlabHash(16, alloc_config=SMALL_ALLOC, seed=23)
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        snap = str(tmp_path / "snap.npz")
+
+        async def main():
+            async with SlabHashService(engine, config=FAST, wal=wal) as service:
+                await service.submit_many(*stream(200, seed=23))
+                service.checkpoint(snap)
+                return service._batch_index
+        batches_before = asyncio.run(main())
+        wal.close()
+        assert batches_before >= 1
+
+        service = SlabHashService.recovered(snap, WriteAheadLog(str(tmp_path / "ops.wal")))
+        assert service._batch_index == batches_before
+
+    def test_deferred_policy_resizes_replay_identically(self, tmp_path):
+        """Between-batch migrations are part of the drain loop; recovery must
+        reproduce them (replay calls maybe_resize after every record)."""
+        policy = LoadFactorPolicy(min_buckets=2).deferred()
+        engine = SlabHash(2, alloc_config=SMALL_ALLOC, seed=17, policy=policy)
+        snap = str(tmp_path / "snap.npz")
+        save(engine, snap)
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        run_service(engine, wal, stream(600, seed=17))
+        wal.close()
+        assert engine.resize_stats.resizes >= 1  # the drain loop really resized
+
+        recovered, _ = recover(snap, str(tmp_path / "ops.wal"))
+        assert engine_state(recovered) == engine_state(engine)
+        assert recovered.resize_stats.resizes == engine.resize_stats.resizes

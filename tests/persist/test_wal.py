@@ -1,0 +1,146 @@
+"""Write-ahead log framing: append, read back, truncate, torn tails.
+
+The WAL's single job is that *any* byte-level crash point yields a clean
+prefix of whole batches on read-back — no partial operations, ever.  These
+tests cut files at every interesting boundary (mid-header, mid-frame,
+mid-payload, corrupted CRC) and assert that property directly.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.persist import WriteAheadLog, read_records
+from repro.persist.wal import HEADER_SIZE
+
+
+def sample_batch(seed: int, count: int = 40):
+    rng = np.random.default_rng(seed)
+    op_codes = rng.integers(1, 4, size=count, dtype=np.int64)
+    keys = rng.integers(1, 2**30, size=count, dtype=np.uint32)
+    values = rng.integers(0, 2**16, size=count, dtype=np.uint32)
+    return op_codes, keys, values
+
+
+class TestAppendReadBack:
+    def test_records_round_trip_in_order(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        batches = [sample_batch(seed) for seed in range(5)]
+        with WriteAheadLog(path) as wal:
+            for index, (op_codes, keys, values) in enumerate(batches):
+                wal.append(op_codes, keys, values, batch_index=index)
+        records, torn = read_records(path)
+        assert not torn
+        assert len(records) == 5
+        for index, (record, (op_codes, keys, values)) in enumerate(zip(records, batches)):
+            assert record.batch_index == index
+            assert np.array_equal(record.op_codes, op_codes)
+            assert np.array_equal(record.keys, keys)
+            assert np.array_equal(record.values, values)
+
+    def test_key_only_batches_have_no_values(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        op_codes, keys, _ = sample_batch(1)
+        with WriteAheadLog(path) as wal:
+            wal.append(op_codes, keys, None, batch_index=0)
+        (record,), torn = read_records(path)
+        assert not torn
+        assert record.values is None
+        assert np.array_equal(record.keys, keys)
+
+    def test_truncate_drops_all_records(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append(*sample_batch(1), batch_index=0)
+            wal.truncate()
+            assert wal.size() == HEADER_SIZE
+            wal.append(*sample_batch(2), batch_index=7)
+        records, torn = read_records(path)
+        assert not torn
+        assert [record.batch_index for record in records] == [7]
+
+    def test_mismatched_lengths_are_rejected(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "ops.wal")) as wal:
+            with pytest.raises(ValueError):
+                wal.append([1, 2], [3], None)
+            with pytest.raises(ValueError):
+                wal.append([1], [3], [4, 5])
+
+
+class TestTornTails:
+    def _write(self, path, num_batches=3):
+        with WriteAheadLog(path) as wal:
+            offsets = [
+                wal.append(*sample_batch(seed), batch_index=seed)
+                for seed in range(num_batches)
+            ]
+            end = wal.size()
+        return offsets, end
+
+    def test_every_crash_point_yields_a_whole_batch_prefix(self, tmp_path):
+        """Chop the file at every byte — even inside the 12-byte header
+        (a crash during WAL creation): records are always a clean prefix."""
+        path = str(tmp_path / "ops.wal")
+        offsets, end = self._write(path)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        boundaries = offsets + [end]
+        clean_cuts = {HEADER_SIZE, *boundaries[1:]}
+        for cut in range(0, end):
+            chopped = str(tmp_path / "chopped.wal")
+            with open(chopped, "wb") as handle:
+                handle.write(data[:cut])
+            records, torn = read_records(chopped)
+            survived = max(
+                (i for i, off in enumerate(boundaries) if off <= cut), default=0
+            )
+            assert len(records) == survived
+            assert torn == (cut not in clean_cuts)
+            for index, record in enumerate(records):
+                assert record.batch_index == index
+
+    def test_reopening_a_torn_header_rewrites_it(self, tmp_path):
+        """A crash during WAL creation leaves a sub-header file; the append
+        side must treat it as a fresh log, not refuse to open it."""
+        path = str(tmp_path / "ops.wal")
+        self._write(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(5)  # mid-header crash
+        assert read_records(path) == ([], True)
+        with WriteAheadLog(path) as wal:
+            assert wal.size() == HEADER_SIZE
+            wal.append(*sample_batch(3), batch_index=0)
+        records, torn = read_records(path)
+        assert not torn and len(records) == 1
+
+    def test_corrupted_crc_stops_the_read(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        offsets, end = self._write(path)
+        with open(path, "r+b") as handle:
+            handle.seek(offsets[1] + 16)  # somewhere inside record 1's payload
+            handle.write(b"\xFF\xFF")
+        records, torn = read_records(path)
+        assert torn
+        assert [record.batch_index for record in records] == [0]
+
+    def test_reopening_discards_the_torn_tail(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        offsets, end = self._write(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(end - 3)  # crash mid-append of the last record
+        with WriteAheadLog(path) as wal:
+            assert wal.size() == offsets[-1]  # clean prefix only
+            wal.append(*sample_batch(9), batch_index=9)
+        records, torn = read_records(path)
+        assert not torn
+        assert [record.batch_index for record in records] == [0, 1, 9]
+
+    def test_non_wal_file_is_rejected(self, tmp_path):
+        path = str(tmp_path / "not.wal")
+        with open(path, "wb") as handle:
+            handle.write(b"definitely not a wal file")
+        with pytest.raises(ValueError, match="magic"):
+            read_records(path)

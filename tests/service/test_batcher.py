@@ -84,3 +84,25 @@ class TestAccounting:
         assert batcher.ops_enqueued == 70
         assert batcher.batches_cut == 2
         assert batcher.aligned_batches == 1
+        assert batcher.forced_batches == 1
+        assert batcher.forced_aligned_batches == 0
+
+    def test_forced_warp_sized_tail_is_distinguishable_from_aligned(self):
+        """Regression: a deadline-forced cut of an exactly-warp-sized tail
+        used to count as a naturally aligned batch, so alignment stats were
+        inflated on deadline-heavy traffic."""
+        batcher = MicroBatcher(128)
+        for index in range(WARP_SIZE):
+            batcher.add(pending(index))
+        batch = batcher.take(force=True)  # deadline fires on a full warp
+        assert len(batch) == WARP_SIZE
+        assert batcher.aligned_batches == 0   # not a size-triggered cut
+        assert batcher.forced_batches == 1
+        assert batcher.forced_aligned_batches == 1  # but warp-sized, visibly so
+
+    def test_forced_empty_take_counts_nothing(self):
+        batcher = MicroBatcher(64)
+        assert batcher.take(force=True) == []
+        assert batcher.batches_cut == 0
+        assert batcher.forced_batches == 0
+        assert batcher.aligned_batches == 0

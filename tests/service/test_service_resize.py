@@ -102,7 +102,40 @@ class TestServiceResize:
                 assert await service.search(2) == 20
                 return service.resize_failures
 
-        assert asyncio.run(main()) >= 1
+        failures = asyncio.run(main())
+        assert len(failures) >= 1
+        assert "RuntimeError: migration failed" in failures[0]
+        assert "after batch" in failures[0]
+
+    def test_resize_failure_survives_a_subsequent_success(self):
+        """A later successful migration must not erase a recorded failure."""
+        table = SlabHash(4, alloc_config=SMALL_ALLOC, seed=13)
+
+        async def main():
+            async with SlabHashService(table, config=FAST) as service:
+                real_maybe_resize = table.maybe_resize
+                calls = {"n": 0}
+
+                def flaky():
+                    calls["n"] += 1
+                    if calls["n"] == 1:
+                        raise RuntimeError("transient exhaustion")
+                    return real_maybe_resize()
+
+                table.maybe_resize = flaky
+                await service.insert(1, 10)  # batch 0: failing resize
+                await service.search(1)      # batch 1+: succeeding resizes
+                await service.insert(2, 20)
+                assert calls["n"] >= 2  # a success really did follow
+                stats = service.stats()
+                return service.resize_failures, stats
+
+        failures, stats = asyncio.run(main())
+        assert len(failures) == 1  # recorded once, never overwritten
+        assert "transient exhaustion" in failures[0]
+        assert stats.resize_failures == failures  # surfaced in ServiceStats
+        assert stats.as_dict()["resize_failures"] == list(failures)
+        assert stats.resizes_performed == stats.as_dict()["resizes_performed"]
 
     def test_service_without_policy_never_resizes(self):
         table = SlabHash(4, alloc_config=SMALL_ALLOC, seed=11)

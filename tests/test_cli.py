@@ -81,3 +81,41 @@ class TestCommands:
         # Even an absurdly small scale must still produce a valid run.
         assert main(["reproduce", "allocators", "--scale", "0.001"], stream=stream) == 0
         assert "Section V" in stream.getvalue()
+
+
+class TestPersistCommands:
+    @pytest.mark.smoke
+    def test_snapshot_verifies_its_own_round_trip(self, tmp_path):
+        stream = io.StringIO()
+        out = str(tmp_path / "demo.npz")
+        assert main(["snapshot", out, "--elements", "1024"], stream=stream) == 0
+        output = stream.getvalue()
+        assert os.path.exists(out)
+        assert "round-trip verified" in output and "yes" in output
+
+    def test_snapshot_builds_a_sharded_engine(self, tmp_path):
+        stream = io.StringIO()
+        out = str(tmp_path / "demo-engine")
+        assert main(["snapshot", out, "--elements", "1024", "--shards", "2"],
+                    stream=stream) == 0
+        assert os.path.isdir(out)
+        assert "sharded engine" in stream.getvalue()
+
+    @pytest.mark.smoke
+    def test_recover_replays_a_wal_tail(self, tmp_path):
+        import numpy as np
+
+        from repro.persist import WriteAheadLog
+
+        out = str(tmp_path / "demo.npz")
+        assert main(["snapshot", out, "--elements", "1024"], stream=io.StringIO()) == 0
+        wal_path = str(tmp_path / "ops.wal")
+        with WriteAheadLog(wal_path) as wal:
+            for index in range(2):
+                keys = np.arange(1 + 40 * index, 41 + 40 * index, dtype=np.uint32)
+                wal.append(np.full(40, 1), keys, keys, batch_index=index)
+        stream = io.StringIO()
+        assert main(["recover", out, "--wal", wal_path], stream=stream) == 0
+        output = stream.getvalue()
+        assert "records replayed" in output and "2" in output
+        assert "1104" in output  # 1024 built + 80 replayed insertions
