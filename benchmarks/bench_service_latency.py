@@ -6,14 +6,17 @@ sharded engine, with clients submitting in small concurrent bursts so the
 operation-log micro-batcher genuinely coalesces.  Records per-operation
 wall-clock latency percentiles (:mod:`repro.perf.latency`), wall-clock and
 modelled-device throughput, and batching efficiency into a machine-readable
-``BENCH_service.json`` at the repository root.
+``BENCH_service_latency.json`` at the repository root.  (The repo-root
+``BENCH_service.json`` document is owned by the schema-v3 saturation sweep,
+``benchmarks/bench_service_saturation.py``; this fixed-load run is kept for
+comparing the single operating point across revisions.)
 
 Run directly (or via ``scripts/smoke.sh`` at a tiny scale)::
 
     PYTHONPATH=src python benchmarks/bench_service_latency.py
         [--num-ops 20000] [--num-shards 4] [--initial 20000]
         [--max-batch 1024] [--max-delay 0.002] [--burst 256]
-        [--out BENCH_service.json]
+        [--out BENCH_service_latency.json]
 
 Schema (``SCHEMA_VERSION``; version 2 split batch accounting into size view
 and trigger view — ``warp_aligned_fraction`` counts warp-multiple batch
@@ -59,7 +62,7 @@ from repro.workloads.generators import unique_random_keys, values_for_keys
 
 SCHEMA_VERSION = 2
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-                           "BENCH_service.json")
+                           "BENCH_service_latency.json")
 
 
 async def _drive(service: SlabHashService, workload, burst: int) -> None:
@@ -214,7 +217,8 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--burst", type=int, default=256,
                         help="client submission burst size (default %(default)s)")
     parser.add_argument("--out", type=str, default=DEFAULT_OUT,
-                        help="output JSON path (default: BENCH_service.json at the repo root)")
+                        help="output JSON path (default: BENCH_service_latency.json "
+                             "at the repo root)")
     args = parser.parse_args(argv)
 
     document = run_benchmark(

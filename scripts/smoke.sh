@@ -47,8 +47,12 @@ python scripts/check_markdown_links.py README.md docs
 echo "== Wall-clock backend benchmark (tiny sizes) =="
 bash scripts/bench_wallclock.sh --sizes 4096 --repeats 1 --out results/smoke/BENCH_wallclock.json
 
+echo "== Service-saturation benchmark (tiny sweep) =="
+python benchmarks/bench_service_saturation.py --smoke \
+  --out results/smoke/BENCH_service.json
+
 echo "== Service-latency benchmark (tiny stream) =="
 python benchmarks/bench_service_latency.py --num-ops 2048 --initial 2048 \
-  --num-shards 2 --max-batch 256 --burst 128 --out results/smoke/BENCH_service.json
+  --num-shards 2 --max-batch 256 --burst 128 --out results/smoke/BENCH_service_latency.json
 
 echo "== smoke OK =="

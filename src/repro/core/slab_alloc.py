@@ -112,8 +112,13 @@ class SlabAlloc:
         self._bitmaps: List[np.ndarray] = [
             self._new_bitmap() for _ in range(self.num_super_blocks)
         ]
-        #: Lazily materialized unit storage per (super block, memory block).
-        self._blocks: Dict[Tuple[int, int], np.ndarray] = {}
+        #: Lazily materialized unit storage, one contiguous zero-backed array
+        #: per super block (matching the CUDA code's one cudaMalloc per super
+        #: block).  Rows are ``block * units_per_block + unit``; keeping every
+        #: slab of a super block in ONE ndarray keeps the store lists that
+        #: gather_views hands to the vectorized backend short, where
+        #: per-memory-block arrays fragmented them into hundreds of stores.
+        self._super_stores: Dict[int, np.ndarray] = {}
         #: Per-warp resident blocks.
         self._resident: Dict[int, ResidentBlock] = {}
         #: Number of currently allocated units (host-side bookkeeping).
@@ -154,6 +159,13 @@ class SlabAlloc:
 
             self.device.counters.allocations += 1
             self._allocated_units += 1
+            # Hand the slab out reading all-EMPTY.  Unit storage is backed by
+            # lazily materialized zero pages (see _super_store), so the empty
+            # pattern is written per 128-byte slab at allocation time instead
+            # of per block at first touch — a warp's resident block hashes
+            # anywhere in the pool, so eager whole-block fills made nearly
+            # every allocation fault in fresh pages.
+            self._super_store(state.super_block)[self._row(state.block, unit)] = C.EMPTY_KEY
             return addr.make_address(state.super_block, state.block, unit)
 
     def deallocate(self, warp: Warp, address: int) -> None:
@@ -172,9 +184,10 @@ class SlabAlloc:
         self._allocated_units -= 1
 
         # Recycle the unit as an empty slab (the CUDA code memsets pools).
-        store = self._blocks.get((super_block, block))
-        if store is not None and np.any(store[unit] != C.EMPTY_KEY):
-            self.mem.write_slab(store, unit, np.full(self.slab_words, C.EMPTY_KEY, np.uint32))
+        store = self._super_stores.get(super_block)
+        row = self._row(block, unit)
+        if store is not None and np.any(store[row] != C.EMPTY_KEY):
+            self.mem.write_slab(store, row, np.full(self.slab_words, C.EMPTY_KEY, np.uint32))
 
         # Invalidate any stale register caches of this word held by warps
         # resident in the same block (they would refresh on their next failed
@@ -187,7 +200,7 @@ class SlabAlloc:
         """Return ``(unit_store, row)`` such that ``unit_store[row]`` is the slab's words."""
         super_block, block, unit = addr.decode_address(address)
         self._check_bounds(super_block, block, unit)
-        return self._block_store(super_block, block), unit
+        return self._super_store(super_block), self._row(block, unit)
 
     def gather_views(self, addresses: np.ndarray) -> Tuple[List[np.ndarray], np.ndarray, np.ndarray]:
         """Vectorized :meth:`slab_view`: resolve many 32-bit addresses at once.
@@ -211,14 +224,12 @@ class SlabAlloc:
                 raise AllocationError("gather_views: memory unit out of range")
         stores: List[np.ndarray] = []
         store_idx = np.empty(len(addresses), dtype=np.int64)
-        groups = supers * self.config.num_memory_blocks + blocks
-        for group in np.unique(groups):
-            mask = groups == group
-            super_block = int(group) // self.config.num_memory_blocks
-            block = int(group) % self.config.num_memory_blocks
+        rows = blocks * self.config.units_per_block + units
+        for super_block in np.unique(supers):
+            mask = supers == super_block
             store_idx[mask] = len(stores)
-            stores.append(self._block_store(super_block, block))
-        return stores, store_idx, units
+            stores.append(self._super_store(int(super_block)))
+        return stores, store_idx, rows
 
     def charge_address_decode(self) -> None:
         """Charge the cost of turning a 32-bit layout into a 64-bit pointer.
@@ -341,14 +352,10 @@ class SlabAlloc:
                 (blocks[mask], lanes[mask]),
                 (np.uint32(1) << bits[mask].astype(np.uint32)),
             )
-        groups = supers * self.config.num_memory_blocks + blocks
-        for group in np.unique(groups):
-            mask = groups == group
-            store = self._block_store(
-                int(group) // self.config.num_memory_blocks,
-                int(group) % self.config.num_memory_blocks,
-            )
-            store[units[mask]] = words[mask]
+        for super_block in np.unique(supers):
+            mask = supers == super_block
+            store = self._super_store(int(super_block))
+            store[blocks[mask] * self.config.units_per_block + units[mask]] = words[mask]
         self._allocated_units = len(addresses)
 
     # ------------------------------------------------------------------ #
@@ -389,13 +396,25 @@ class SlabAlloc:
             bitmap[:, usable_words:] = _FULL_WORD
         return bitmap
 
-    def _block_store(self, super_block: int, block: int) -> np.ndarray:
-        store = self._blocks.get((super_block, block))
+    def _row(self, block: int, unit: int) -> int:
+        """Flat row of ``(block, unit)`` within its super block's store."""
+        return block * self.config.units_per_block + unit
+
+    def _super_store(self, super_block: int) -> np.ndarray:
+        store = self._super_stores.get(super_block)
         if store is None:
-            store = np.full(
-                (self.config.units_per_block, self.slab_words), C.EMPTY_KEY, dtype=np.uint32
+            # Zero-backed (calloc) so materializing a super block costs no
+            # page touches; physical pages fault in only for units actually
+            # used.  The EMPTY_KEY pattern every reader expects is written
+            # per slab by warp_allocate when the unit is handed out.
+            store = np.zeros(
+                (
+                    self.config.num_memory_blocks * self.config.units_per_block,
+                    self.slab_words,
+                ),
+                dtype=np.uint32,
             )
-            self._blocks[(super_block, block)] = store
+            self._super_stores[super_block] = store
         return store
 
     def _check_bounds(self, super_block: int, block: int, unit: int) -> None:

@@ -179,6 +179,26 @@ class ShardedSlabHash:
             self._ops_routed[shard] += idx.size
         return parts
 
+    def admit_partition(self, keys: Sequence[int]) -> List[np.ndarray]:
+        """Per-shard stream positions for ``keys``, with routing accounting.
+
+        The service layer routes operations to per-shard logs at admission
+        time and later executes each shard's batches through the shard's own
+        bulk path; this hook gives it the router's partition *and* keeps the
+        engine's per-shard operation accounting (used by :meth:`measure`)
+        consistent with streams that went through :meth:`concurrent_batch` —
+        including the deterministic WAL replay of such batches on recovery.
+        """
+        self._require_key_partitioning("admit_partition")
+        return self._partition(np.asarray(keys, dtype=np.uint64))
+
+    def admit_one(self, key: int) -> int:
+        """Shard index for one admitted key (single-op :meth:`admit_partition`)."""
+        self._require_key_partitioning("admit_one")
+        shard = self.router.shard_of(key)
+        self._ops_routed[shard] += 1
+        return shard
+
     # ------------------------------------------------------------------ #
     # Bulk operations (mirror SlabHash's bulk API, shard by shard)
     # ------------------------------------------------------------------ #

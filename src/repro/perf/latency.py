@@ -75,31 +75,59 @@ class LatencyReport:
 class LatencyRecorder:
     """Accumulates latency samples and produces :class:`LatencyReport` views.
 
-    Deliberately minimal: a list of floats plus a report constructor, so the
-    service can record one sample per completed operation without measurable
-    overhead, then summarize on demand.
+    Deliberately minimal, and deliberately cheap on the bulk path: the
+    vectorized service records one *run* of identical samples per executed
+    chunk (every operation of an admission shares an enqueue time, every
+    operation of a batch shares a completion time), so :meth:`record_many`
+    stores ``(value, count)`` pairs instead of materializing per-operation
+    floats.  :meth:`report` expands runs lazily, only when percentiles are
+    actually requested.
     """
 
-    __slots__ = ("_samples",)
+    __slots__ = ("_samples", "_runs", "_run_count")
 
     def __init__(self) -> None:
         self._samples: List[float] = []
+        self._runs: List[Tuple[float, int]] = []
+        self._run_count = 0
 
     def record(self, seconds: float) -> None:
         """Record one completed operation's latency."""
         self._samples.append(float(seconds))
+
+    def record_many(self, seconds: float, count: int) -> None:
+        """Record ``count`` operations that all observed the same latency.
+
+        O(1) per call: this is the service's bulk path — one call per
+        executed chunk, however many operations the chunk carried.
+        """
+        if count <= 0:
+            return
+        self._runs.append((float(seconds), int(count)))
+        self._run_count += int(count)
 
     def extend(self, seconds: Iterable[float]) -> None:
         """Record a batch worth of latencies at once."""
         self._samples.extend(float(s) for s in seconds)
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(self._samples) + self._run_count
 
     def report(self) -> LatencyReport:
         """Summarize everything recorded so far."""
-        return LatencyReport.from_samples(self._samples)
+        if not self._runs:
+            return LatencyReport.from_samples(self._samples)
+        values = np.array([value for value, _ in self._runs], dtype=np.float64)
+        counts = np.array([count for _, count in self._runs], dtype=np.int64)
+        expanded = np.repeat(values, counts)
+        if self._samples:
+            expanded = np.concatenate(
+                [np.asarray(self._samples, dtype=np.float64), expanded]
+            )
+        return LatencyReport.from_samples(expanded)
 
     def reset(self) -> None:
         """Drop all recorded samples."""
         self._samples.clear()
+        self._runs.clear()
+        self._run_count = 0

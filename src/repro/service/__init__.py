@@ -2,32 +2,49 @@
 
 Where :mod:`repro.core` scales the table *up* and :mod:`repro.engine`
 scales it *out*, this package makes it *servable*: callers await single
-operations, an operation-log micro-batcher coalesces everything arriving
-within a latency budget into warp-aligned mixed batches, and each batch
-runs through the sharded engine's ``concurrent_batch`` — on the vectorized
-concurrent fast path by default.
+operations or whole arrays, admissions are routed to per-shard operation
+logs as NumPy chunks (one future per admission, not per operation), and one
+drain task per shard cuts warp-aligned mixed batches and runs them through
+the shard's ``concurrent_batch`` — on the vectorized concurrent fast path
+by default, with WAL appends group-committed across a drain round.
 
 * :class:`~repro.service.batcher.MicroBatcher` — the event-loop-agnostic
-  coalescing core (warp-aligned cuts, forced ragged flushes);
+  coalescing core (array-backed chunk log, warp-aligned cuts, forced ragged
+  flushes), with :class:`~repro.service.batcher.OpSlice` /
+  :class:`~repro.service.batcher.OpChunk` /
+  :class:`~repro.service.batcher.CutBatch` as the admission→batch→results
+  data path;
 * :class:`~repro.service.service.SlabHashService` — the asyncio front door
-  (``insert`` / ``search`` / ``delete`` / ``submit_many``), drain loop,
-  and per-operation latency/throughput accounting;
+  (``insert`` / ``search`` / ``delete`` / ``submit_many``), per-shard drain
+  loops, group commit, and per-operation latency/throughput accounting;
 * :class:`~repro.service.service.ServiceConfig` /
-  :class:`~repro.service.service.ServiceStats` — tuning knobs and the
-  measurement snapshot (percentiles via :mod:`repro.perf.latency`).
+  :class:`~repro.service.service.ServiceStats` /
+  :class:`~repro.service.service.ShardLaneStats` — tuning knobs and the
+  measurement snapshot (percentiles via :mod:`repro.perf.latency`), with a
+  per-shard lane breakdown.
 
-``benchmarks/bench_service_latency.py`` drives a Figure-7-style operation
-stream through this layer and records the latency/throughput document at
-the repo root; ``docs/TUTORIAL.md`` walks through using it.
+``benchmarks/bench_service_saturation.py`` sweeps offered concurrency
+through this layer to the throughput knee and records the service document
+at the repo root (``benchmarks/bench_service_latency.py`` keeps the
+Figure-7-style fixed-load latency run); ``docs/TUTORIAL.md`` walks through
+using it.
 """
 
-from repro.service.batcher import MicroBatcher, PendingOp
-from repro.service.service import ServiceConfig, ServiceStats, SlabHashService
+from repro.service.batcher import CutBatch, MicroBatcher, OpChunk, OpSlice
+from repro.service.service import (
+    ServiceConfig,
+    ServiceStats,
+    ShardLaneStats,
+    SlabHashService,
+)
 
 __all__ = [
+    "CutBatch",
     "MicroBatcher",
-    "PendingOp",
+    "OpChunk",
+    "OpSlice",
     "ServiceConfig",
     "ServiceStats",
+    "ShardLaneStats",
     "SlabHashService",
 ]

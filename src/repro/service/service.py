@@ -2,42 +2,62 @@
 
 :class:`SlabHashService` is the front door a traffic-serving deployment
 would put in front of the engine: callers ``await`` single operations
-(``insert`` / ``search`` / ``delete``) while an operation-log micro-batcher
-(:class:`repro.service.batcher.MicroBatcher`) coalesces everything that
-arrives within a latency budget into warp-aligned mixed batches, runs each
-batch through :meth:`~repro.engine.sharded.ShardedSlabHash.concurrent_batch`
-(the router scatters it across the shards), and resolves the callers'
-futures with the per-operation results.
+(``insert`` / ``search`` / ``delete``) or whole arrays (:meth:`submit_many`),
+and the service keeps the engine saturated with warp-aligned mixed batches.
+
+Three mechanisms close the gap between per-operation asyncio overhead and
+the engine's bulk throughput (this is the point of the paper's batched
+concurrent design):
+
+* **Vectorized admission** — an admission (single op or a ``submit_many``
+  array) becomes one :class:`~repro.service.batcher.OpSlice` with *one*
+  future, routed to per-shard operation logs as NumPy array chunks.  No
+  per-operation Python objects, futures, or clock reads exist anywhere on
+  the bulk path.
+* **Per-shard drain loops** — operations are routed to their shard at
+  admission time (:meth:`~repro.engine.sharded.ShardedSlabHash.admit_partition`),
+  and one independent drain task per shard cuts warp-aligned batches from
+  its own log and executes them directly on the shard's bulk path.  Hash
+  routing sends every occurrence of a key to the same shard and each
+  shard's log is FIFO with serial batch execution, so the per-key ordering
+  guarantee of the old single global loop is preserved.
+* **WAL group-commit** — batches cut concurrently by different shard drains
+  in one drain round are framed and appended to the write-ahead log with a
+  single ``write`` + flush (:meth:`~repro.persist.wal.WriteAheadLog.append_group`)
+  *before* any of them executes, so durability cost amortizes while the
+  write-ahead contract and recovery replay semantics stay unchanged.
 
 Batches run on whatever bulk-execution backend the engine was built with;
 with the default ``"vectorized"`` backend and no scheduler seed, every
 batch takes the concurrent fast path of :mod:`repro.core.bulk_exec`.
 
 Measurement is built in: per-operation wall-clock latency percentiles
-(:mod:`repro.perf.latency`) and both wall-clock and modelled-device
-throughput are available from :meth:`SlabHashService.stats` at any time —
-the numbers ``benchmarks/bench_service_latency.py`` records.
+(:mod:`repro.perf.latency`, recorded as per-chunk runs, not per-op floats)
+and both wall-clock and modelled-device throughput are available from
+:meth:`SlabHashService.stats` at any time — including a per-shard breakdown
+of the batching counters, so aggregation arithmetic is auditable.  The
+numbers ``benchmarks/bench_service_saturation.py`` records.
 
-Online resizing is coordinated *between* micro-batches: after a batch's
-futures have been resolved, the service calls the engine's
-``maybe_resize()`` so a :class:`~repro.core.resize.LoadFactorPolicy` in
-deferred mode (``policy.deferred()``) migrates the table while no request
-is in flight — a resize never sits inside any individual operation's
-latency, which keeps the tail percentiles honest under churny traffic.
-(An ``auto`` policy also works, but its migrations then run inside the
-batch that tripped the band and are attributed to that batch's requests.)
+Online resizing is coordinated *between* micro-batches: after a shard's
+batch resolves its futures, the drain calls that shard's ``maybe_resize()``
+so a :class:`~repro.core.resize.LoadFactorPolicy` in deferred mode migrates
+the shard while none of its requests are in flight.  Because every shard is
+made quiescent right after its own batch, this is state-identical to the
+engine-wide ``maybe_resize()`` that recovery replay performs per record.
 
 The batch execution itself is synchronous CPU work (the simulator), so the
 event loop pauses while a batch runs; coalescing still works because the
-log fills *between* executions, exactly like a GPU serving pipeline that
+logs fill *between* executions, exactly like a GPU serving pipeline that
 admits requests while the previous kernel is in flight.
 
 Durability (docs/PERSISTENCE.md): constructed with a
-:class:`~repro.persist.wal.WriteAheadLog`, the service appends every
-micro-batch to the log *before* executing it, :meth:`SlabHashService.checkpoint`
-snapshots the engine and truncates the log, and
-:meth:`SlabHashService.recovered` rebuilds a service after a crash by
-restoring the snapshot and replaying the log tail deterministically.
+:class:`~repro.persist.wal.WriteAheadLog`, the service group-appends every
+drain round's batches to the log *before* executing them,
+:meth:`SlabHashService.checkpoint` snapshots the engine and truncates the
+log, and :meth:`SlabHashService.recovered` rebuilds a service after a crash
+by restoring the snapshot and replaying the log tail deterministically.
+WAL batch indices are assigned at group-commit time, so a checkpoint can
+never cover a batch that was cut but not yet logged.
 """
 
 from __future__ import annotations
@@ -57,9 +77,11 @@ from repro.gpusim.scheduler import WarpScheduler
 from repro.perf.latency import LatencyRecorder, LatencyReport
 from repro.perf.metrics import measure_phase
 from repro.persist.wal import WriteAheadLog
-from repro.service.batcher import MicroBatcher, PendingOp
+from repro.service.batcher import CutBatch, MicroBatcher, OpChunk, OpSlice
 
-__all__ = ["ServiceConfig", "ServiceStats", "SlabHashService"]
+__all__ = ["ServiceConfig", "ServiceStats", "ShardLaneStats", "SlabHashService"]
+
+_VALID_OPS = np.array([C.OP_INSERT, C.OP_DELETE, C.OP_SEARCH], dtype=np.int64)
 
 
 @dataclass(frozen=True)
@@ -69,17 +91,18 @@ class ServiceConfig:
     Parameters
     ----------
     max_batch_size:
-        Most operations one concurrent batch may carry (rounded down to a
-        warp multiple by the batcher).
+        Most operations one shard batch may carry (rounded down to a warp
+        multiple by the batcher).
     max_delay:
-        Longest time (seconds) an operation may wait in the log for
+        Longest time (seconds) an operation may wait in its shard's log for
         co-batching before a ragged (non-warp-aligned) flush is forced.
     scheduler_seed:
         When given, every batch runs under a seeded
-        :class:`~repro.gpusim.scheduler.WarpScheduler` (seed advanced per
-        batch) — true interleaved execution through the reference
-        generators.  ``None`` (default) uses the deterministic phased
-        schedule, which the vectorized backend executes on its fast path.
+        :class:`~repro.gpusim.scheduler.WarpScheduler` — seed advanced per
+        WAL batch index plus shard, exactly as recovery replay re-derives
+        it — true interleaved execution through the reference generators.
+        ``None`` (default) uses the deterministic phased schedule, which the
+        vectorized backend executes on its fast path.
     wave_size:
         Bound on concurrently live warps under a scheduler (ignored
         without ``scheduler_seed``).
@@ -96,6 +119,43 @@ class ServiceConfig:
 
 
 @dataclass(frozen=True)
+class ShardLaneStats:
+    """One shard lane's batching and device-time accounting.
+
+    The aggregate views in :class:`ServiceStats` are pure sums over these
+    lanes (``warp_aligned_batches`` sums ``aligned_batches +
+    forced_aligned_batches``), which keeps the per-shard arithmetic pinned
+    by regression tests — a forced warp-sized tail on one shard can never
+    masquerade as a naturally aligned batch in the totals.
+    """
+
+    shard: int
+    ops_enqueued: int
+    batches_cut: int
+    aligned_batches: int
+    forced_batches: int
+    forced_aligned_batches: int
+    modelled_seconds: float
+
+    @property
+    def warp_aligned_batches(self) -> int:
+        """Batches whose *size* was a warp multiple (size view)."""
+        return self.aligned_batches + self.forced_aligned_batches
+
+    def as_dict(self) -> dict:
+        return {
+            "shard": self.shard,
+            "ops_enqueued": self.ops_enqueued,
+            "batches_cut": self.batches_cut,
+            "aligned_batches": self.aligned_batches,
+            "forced_batches": self.forced_batches,
+            "forced_aligned_batches": self.forced_aligned_batches,
+            "warp_aligned_batches": self.warp_aligned_batches,
+            "modelled_seconds": self.modelled_seconds,
+        }
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """A point-in-time snapshot of the service's accounting.
 
@@ -103,8 +163,11 @@ class ServiceStats:
     (back-compatible with earlier releases); ``deadline_forced_batches``
     counts batches whose *cut* was forced by a deadline or drain, so a forced
     flush of an exactly-warp-sized tail is no longer indistinguishable from
-    a naturally aligned cut.  ``resize_failures`` is the append-only log of
-    failed between-batch migrations — later successes never erase it.
+    a naturally aligned cut.  Both are sums of the ``per_shard`` lanes.
+    ``modelled_seconds`` is the *parallel* device-time view — the busiest
+    shard's total, since shards are independent modelled devices draining
+    concurrently.  ``resize_failures`` is the append-only log of failed
+    between-batch migrations — later successes never erase it.
     """
 
     ops_enqueued: int
@@ -119,12 +182,13 @@ class ServiceStats:
     ops_per_second: float
     modelled_seconds: float
     modelled_ops_per_second: float
+    per_shard: Tuple[ShardLaneStats, ...] = field(default_factory=tuple)
     resizes_performed: int = 0
     resize_failures: Tuple[str, ...] = field(default_factory=tuple)
     resize_modelled_seconds: float = 0.0
 
     def as_dict(self) -> dict:
-        """Plain-dict view (used by the service-latency benchmark JSON)."""
+        """Plain-dict view (used by the service benchmark JSON documents)."""
         return {
             "ops_enqueued": self.ops_enqueued,
             "ops_completed": self.ops_completed,
@@ -138,10 +202,22 @@ class ServiceStats:
             "ops_per_second": self.ops_per_second,
             "modelled_seconds": self.modelled_seconds,
             "modelled_ops_per_second": self.modelled_ops_per_second,
+            "per_shard": [lane.as_dict() for lane in self.per_shard],
             "resizes_performed": self.resizes_performed,
             "resize_failures": list(self.resize_failures),
             "resize_modelled_seconds": self.resize_modelled_seconds,
         }
+
+
+class _StagedBatch:
+    """A cut shard batch waiting for the next group commit."""
+
+    __slots__ = ("shard", "batch", "forced", "batch_index")
+
+    def __init__(self, shard: int, batch: CutBatch) -> None:
+        self.shard = shard
+        self.batch = batch
+        self.batch_index = -1  # assigned at group-commit time
 
 
 class SlabHashService:
@@ -151,16 +227,18 @@ class SlabHashService:
     ----------
     engine:
         A :class:`~repro.engine.sharded.ShardedSlabHash` (operations are
-        routed to shards through its :class:`~repro.engine.router.ShardRouter`)
-        or a single :class:`~repro.core.slab_hash.SlabHash`.
+        routed to per-shard logs at admission through its
+        :class:`~repro.engine.router.ShardRouter`) or a single
+        :class:`~repro.core.slab_hash.SlabHash` (one lane).
     config:
         Coalescing and execution knobs; defaults favour throughput with a
         2 ms co-batching budget.
     wal:
         Optional :class:`~repro.persist.wal.WriteAheadLog`.  When given,
-        every micro-batch is appended to the log *before* it executes, so a
-        crash can be recovered by replaying the tail onto the last snapshot
-        (:meth:`checkpoint` / :meth:`recovered`); see docs/PERSISTENCE.md.
+        every drain round's batches are group-appended to the log *before*
+        any of them executes, so a crash can be recovered by replaying the
+        tail onto the last snapshot (:meth:`checkpoint` / :meth:`recovered`);
+        see docs/PERSISTENCE.md.
 
     Use as an async context manager, or call :meth:`start` / :meth:`stop`::
 
@@ -181,17 +259,21 @@ class SlabHashService:
         self.config = config or ServiceConfig()
         self.wal = wal
         self._sharded = isinstance(engine, ShardedSlabHash)
-        table_config = engine.shards[0].config if self._sharded else engine.config
+        self._shards: List[SlabHash] = list(engine.shards) if self._sharded else [engine]
+        table_config = self._shards[0].config
         self._key_value = table_config.key_value
-        self._batcher = MicroBatcher(self.config.max_batch_size)
+        self._batchers = [
+            MicroBatcher(self.config.max_batch_size) for _ in self._shards
+        ]
         self._latency = LatencyRecorder()
-        self._wake: Optional[asyncio.Event] = None
-        self._drain_task: Optional[asyncio.Task] = None
+        self._wakes: List[asyncio.Event] = []
+        self._drain_tasks: List[asyncio.Task] = []
+        self._staged: List[_StagedBatch] = []
         self._closing = False
-        self._batch_index = 0
+        self._batch_index = 0  # next WAL batch index (global across shards)
         self._ops_completed = 0
         self._ops_failed = 0
-        self._modelled_seconds = 0.0
+        self._modelled_per_shard = [0.0 for _ in self._shards]
         self._resizes_performed = 0
         self._resize_failure_log: List[str] = []
         self._resize_modelled_seconds = 0.0
@@ -202,22 +284,31 @@ class SlabHashService:
     # Lifecycle
     # ------------------------------------------------------------------ #
 
+    @property
+    def _running(self) -> bool:
+        return bool(self._drain_tasks) and not all(t.done() for t in self._drain_tasks)
+
     async def start(self) -> "SlabHashService":
-        """Spawn the drain loop; idempotent."""
-        if self._drain_task is None or self._drain_task.done():
+        """Spawn one drain loop per shard; idempotent."""
+        if not self._running:
+            loop = asyncio.get_running_loop()
             self._closing = False
-            self._wake = asyncio.Event()
-            self._drain_task = asyncio.get_running_loop().create_task(self._drain())
+            self._wakes = [asyncio.Event() for _ in self._shards]
+            self._drain_tasks = [
+                loop.create_task(self._drain_shard(shard))
+                for shard in range(len(self._shards))
+            ]
         return self
 
     async def stop(self) -> None:
-        """Flush every logged operation, then stop the drain loop."""
-        if self._drain_task is None:
+        """Flush every logged operation, then stop the drain loops."""
+        if not self._drain_tasks:
             return
         self._closing = True
-        self._wake.set()
-        await self._drain_task
-        self._drain_task = None
+        for wake in self._wakes:
+            wake.set()
+        await asyncio.gather(*self._drain_tasks)
+        self._drain_tasks = []
 
     async def __aenter__(self) -> "SlabHashService":
         return await self.start()
@@ -229,17 +320,34 @@ class SlabHashService:
     # Submission API
     # ------------------------------------------------------------------ #
 
-    def _enqueue(self, op_code: int, key: int, value: int) -> "asyncio.Future[int]":
-        if self._drain_task is None or self._drain_task.done():
+    def _require_running(self) -> None:
+        if not self._running:
             raise RuntimeError("service is not running; use 'async with' or await start()")
-        if not is_user_key(key):
-            raise ValueError(f"key 0x{int(key):08X} is outside the storable key domain")
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+
+    def _stamp_enqueue(self) -> float:
         now = time.perf_counter()
         if self._first_enqueue is None:
             self._first_enqueue = now
-        self._batcher.add(PendingOp(op_code, key, value, future, now))
-        self._wake.set()
+        return now
+
+    def _enqueue(self, op_code: int, key: int, value: int) -> "asyncio.Future[np.ndarray]":
+        self._require_running()
+        if not is_user_key(key):
+            raise ValueError(f"key 0x{int(key):08X} is outside the storable key domain")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        now = self._stamp_enqueue()
+        slice_ = OpSlice(future, 1)
+        shard = self.engine.admit_one(key) if self._sharded else 0
+        chunk = OpChunk(
+            np.array([op_code], dtype=np.int64),
+            np.array([key], dtype=np.uint64),
+            np.array([value], dtype=np.uint32) if self._key_value else None,
+            slice_,
+            np.zeros(1, dtype=np.int64),
+            now,
+        )
+        self._batchers[shard].add(chunk)
+        self._wakes[shard].set()
         return future
 
     async def submit(self, op_code: int, key: int, value: Optional[int] = None) -> int:
@@ -252,7 +360,8 @@ class SlabHashService:
             raise ValueError(f"unknown operation code {op_code!r}")
         if op_code == C.OP_INSERT and self._key_value and value is None:
             raise ValueError("key-value mode requires a value for insertions")
-        return await self._enqueue(op_code, key, 0 if value is None else value)
+        results = await self._enqueue(op_code, key, 0 if value is None else value)
+        return int(results[0])
 
     async def insert(self, key: int, value: Optional[int] = None) -> None:
         """Insert one key (and value in key-value mode)."""
@@ -273,133 +382,195 @@ class SlabHashService:
         keys: Sequence[int],
         values: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
-        """Log a stream of operations and await all their results (in order)."""
+        """Log an array of operations as **one admission** and await all results.
+
+        This is the vectorized admission path: the whole array is validated
+        and routed to the per-shard logs with NumPy partitioning, one future
+        covers the entire slice, and results come back in submission order.
+        Per-operation cost on this path is a few array ops — no per-op
+        futures, objects, or clock reads.
+        """
+        self._require_running()
         op_codes = np.asarray(op_codes, dtype=np.int64)
-        keys = np.asarray(keys, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.uint64)
         if values is None:
-            values = np.zeros(len(keys), dtype=np.int64)
-        values = np.asarray(values, dtype=np.int64)
+            values = np.zeros(len(keys), dtype=np.uint32)
+        values = np.asarray(values, dtype=np.uint32)
         if not (len(op_codes) == len(keys) == len(values)):
             raise ValueError("op_codes, keys and values must have the same length")
-        futures = [
-            self._enqueue(int(op), int(key), int(value))
-            for op, key, value in zip(op_codes, keys, values)
-        ]
-        results = await asyncio.gather(*futures)
-        return np.asarray(results, dtype=np.uint32)
+        if len(keys) == 0:
+            return np.zeros(0, dtype=np.uint32)
+        if not np.isin(op_codes, _VALID_OPS).all():
+            bad = op_codes[~np.isin(op_codes, _VALID_OPS)][0]
+            raise ValueError(f"unknown operation code {int(bad)!r}")
+        if (keys >= np.uint64(C.MAX_USER_KEY)).any():
+            bad = keys[keys >= np.uint64(C.MAX_USER_KEY)][0]
+            raise ValueError(f"key 0x{int(bad):08X} is outside the storable key domain")
+
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        now = self._stamp_enqueue()
+        slice_ = OpSlice(future, len(keys))
+        if self._sharded:
+            parts = self.engine.admit_partition(keys)
+        else:
+            parts = [np.arange(len(keys), dtype=np.int64)]
+        for shard, idx in enumerate(parts):
+            if not idx.size:
+                continue
+            chunk = OpChunk(
+                op_codes[idx],
+                keys[idx],
+                values[idx] if self._key_value else None,
+                slice_,
+                idx,
+                now,
+            )
+            self._batchers[shard].add(chunk)
+            self._wakes[shard].set()
+        return await future
 
     # ------------------------------------------------------------------ #
-    # Drain loop and batch execution
+    # Per-shard drain loops, group commit, and batch execution
     # ------------------------------------------------------------------ #
 
-    async def _drain(self) -> None:
+    async def _drain_shard(self, shard: int) -> None:
+        """One shard's drain loop: greedy warp-aligned cuts, deadlined tails.
+
+        Whenever at least a warp's worth of operations is pending, a
+        warp-aligned batch is cut and executed immediately — coalescing
+        happens *while the previous batch runs* (executions are synchronous,
+        so the log fills during them), not by idling on a timer.  Only a
+        sub-warp ragged tail waits, up to ``max_delay``, for enough traffic
+        to fill a warp before a forced (deadline) cut flushes it.
+        """
+        batcher = self._batchers[shard]
+        wake = self._wakes[shard]
         while True:
-            if len(self._batcher) == 0:
+            if len(batcher) == 0:
                 if self._closing:
                     return
-                self._wake.clear()
-                if len(self._batcher):  # raced with an enqueue
+                wake.clear()
+                if len(batcher):  # raced with an enqueue
                     continue
-                await self._wake.wait()
+                await wake.wait()
                 continue
-            if self._batcher.full:
-                # A size-triggered cut, even while draining: the same batch
-                # would have been cut without the deadline, so it is counted
-                # as naturally aligned rather than deadline-forced.
-                self._execute(self._batcher.take())
-                await asyncio.sleep(0)  # let queued submitters run
+            batch = batcher.take()
+            if batch is not None:
+                await self._commit_round(shard, batch)
                 continue
+            # Fewer than one warp pending: a ragged tail.
             if self._closing:
-                self._execute(self._batcher.take(force=True))
-                await asyncio.sleep(0)
+                await self._commit_round(shard, batcher.take(force=True))
                 continue
-            deadline = self._batcher.oldest_enqueued_at() + self.config.max_delay
+            deadline = batcher.oldest_enqueued_at() + self.config.max_delay
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
-                self._execute(self._batcher.take(force=True))
-                await asyncio.sleep(0)
+                await self._commit_round(shard, batcher.take(force=True))
                 continue
-            self._wake.clear()
+            wake.clear()
             try:
-                await asyncio.wait_for(self._wake.wait(), timeout=remaining)
+                await asyncio.wait_for(wake.wait(), timeout=remaining)
             except asyncio.TimeoutError:
                 pass
 
-    def _run_batch(
-        self, op_codes: np.ndarray, keys: np.ndarray, values: Optional[np.ndarray]
-    ) -> np.ndarray:
-        seed = self.config.scheduler_seed
-        if self._sharded:
-            return self.engine.concurrent_batch(
-                op_codes,
-                keys,
-                values,
-                scheduler_seed=None if seed is None else seed + self._batch_index,
-                wave_size=self.config.wave_size,
-            )
-        scheduler = None if seed is None else WarpScheduler(seed=seed + self._batch_index)
-        return self.engine.concurrent_batch(
-            op_codes, keys, values, scheduler=scheduler, wave_size=self.config.wave_size
-        )
+    async def _commit_round(self, shard: int, batch: Optional[CutBatch]) -> None:
+        """Stage a cut batch, give other ready drains one turn, then flush.
 
-    def _execute(self, batch: List[PendingOp]) -> None:
-        if not batch:
+        The ``sleep(0)`` lets every other drain task whose batcher is also
+        ready cut and stage *its* batch into the same round, so the flush
+        group-appends them to the WAL with one write + flush and executes
+        them back to back.  Whichever staging drain resumes first flushes the
+        whole round; the rest find the staging area empty.  A shard never
+        cuts its next batch before its staged batch has executed, so the
+        per-shard FIFO (and with it per-key ordering) is preserved.
+        """
+        if batch is None:
             return
-        op_codes = np.fromiter((op.op_code for op in batch), dtype=np.int64, count=len(batch))
-        keys = np.fromiter((op.key for op in batch), dtype=np.uint64, count=len(batch))
-        values = None
-        if self._key_value:
-            values = np.fromiter((op.value for op in batch), dtype=np.uint32, count=len(batch))
+        self._staged.append(_StagedBatch(shard, batch))
+        await asyncio.sleep(0)  # let other ready drains join this round
+        if not self._staged:
+            return  # another drain already flushed the round
+        staged, self._staged = self._staged, []
+        for entry in staged:
+            # Indices are assigned at commit time, not cut time, so a
+            # checkpoint taken while a batch sat staged can never record a
+            # WAL floor that covers a batch the snapshot does not contain.
+            entry.batch_index = self._batch_index
+            self._batch_index += 1
         if self.wal is not None:
-            # Write-ahead: the batch is durable before any of it executes, so
-            # a crash mid-execution replays it in full on recovery.
-            self.wal.append(
-                op_codes, keys.astype(np.uint32), values, batch_index=self._batch_index
+            # Write-ahead, amortized: the whole round is durable — one framed
+            # write, one flush — before any of its batches executes, so a
+            # crash mid-round replays every logged batch on recovery.
+            self.wal.append_group(
+                [
+                    (
+                        entry.batch.op_codes,
+                        entry.batch.keys.astype(np.uint32),
+                        entry.batch.values,
+                        entry.batch_index,
+                    )
+                    for entry in staged
+                ]
             )
+        for entry in staged:
+            self._execute(entry)
+
+    def _scheduler_for(self, shard: int, batch_index: int) -> Optional[WarpScheduler]:
+        seed = self.config.scheduler_seed
+        if seed is None:
+            return None
+        # Mirrors recovery replay exactly: ShardedSlabHash.concurrent_batch
+        # seeds shard ``s`` with (seed + batch_index) + s; a single table is
+        # seeded with seed + batch_index.
+        offset = shard if self._sharded else 0
+        return WarpScheduler(seed=seed + batch_index + offset)
+
+    def _execute(self, entry: _StagedBatch) -> None:
+        batch = entry.batch
+        table = self._shards[entry.shard]
         holder = {}
 
         def run() -> None:
-            holder["results"] = self._run_batch(op_codes, keys, values)
+            holder["results"] = table.concurrent_batch(
+                batch.op_codes,
+                batch.keys,
+                batch.values,
+                scheduler=self._scheduler_for(entry.shard, entry.batch_index),
+                wave_size=self.config.wave_size,
+            )
 
         try:
             if self.config.measure_device_time:
-                if self._sharded:
-                    stats = self.engine.measure(run, label=f"service batch {self._batch_index}")
-                    self._modelled_seconds += stats.parallel_seconds
-                else:
-                    measurement = measure_phase(
-                        self.engine.device,
-                        run,
-                        num_ops=len(batch),
-                        label=f"service batch {self._batch_index}",
-                    )
-                    self._modelled_seconds += measurement.seconds
-                results = holder["results"]
+                measurement = measure_phase(
+                    table.device,
+                    run,
+                    num_ops=len(batch),
+                    label=f"service batch {entry.batch_index} (shard {entry.shard})",
+                )
+                self._modelled_per_shard[entry.shard] += measurement.seconds
             else:
                 run()
-                results = holder["results"]
-        except Exception as exc:  # noqa: BLE001 - a failed batch fails its ops
-            self._batch_index += 1
+            results = holder["results"]
+        except Exception as exc:  # noqa: BLE001 - a failed batch fails its slices
             self._ops_failed += len(batch)
-            for op in batch:
-                if not op.future.done():
-                    op.future.set_exception(exc)
+            batch.fail(exc)
             return
-        self._batch_index += 1
         completed_at = time.perf_counter()
         self._last_completion = completed_at
         self._ops_completed += len(batch)
-        for op, result in zip(batch, results):
-            self._latency.record(completed_at - op.enqueued_at)
-            if not op.future.done():
-                op.future.set_result(int(result))
-        self._resize_between_batches()
+        for chunk, _start, _end in batch.spans():
+            self._latency.record_many(completed_at - chunk.enqueued_at, len(chunk))
+        batch.complete(results)
+        self._resize_between_batches(entry.shard, entry.batch_index)
 
-    def _resize_between_batches(self) -> None:
-        """Apply a deferred load-factor policy now, while no request is in flight.
+    def _resize_between_batches(self, shard: int, batch_index: int) -> None:
+        """Apply this shard's deferred load-factor policy while it is idle.
 
         No-op without a policy (``maybe_resize`` returns ``[]`` immediately);
-        migration device time is accounted separately from the batches'.  A
+        migration device time is accounted separately from the batches'.
+        Because every shard is made quiescent immediately after its own
+        batch, this per-shard call is state-identical to the engine-wide
+        ``maybe_resize()`` recovery replay performs after each record.  A
         failed migration (e.g. allocator exhaustion) leaves the table
         restored — ``resize_table``'s strong guarantee — so it is recorded
         and the service keeps serving rather than killing the drain loop.
@@ -408,10 +579,10 @@ class SlabHashService:
         migration never overwrites or clears an earlier recorded failure.
         """
         try:
-            results = self.engine.maybe_resize()
+            results = self._shards[shard].maybe_resize()
         except Exception as exc:  # noqa: BLE001 - the table is intact; keep serving
             self._resize_failure_log.append(
-                f"after batch {self._batch_index - 1}: {type(exc).__name__}: {exc}"
+                f"after batch {batch_index}: {type(exc).__name__}: {exc}"
             )
             return
         if results:
@@ -426,17 +597,19 @@ class SlabHashService:
         """Snapshot the engine and truncate the WAL; returns the snapshot path.
 
         The snapshot captures the engine bit-identically, which makes every
-        logged batch redundant — truncating the WAL is what bounds recovery
-        time.  Call between batches (e.g. from the event-loop thread while no
-        ``submit`` is being awaited); with operations still pending in the
-        batcher, those operations are simply not yet part of the checkpoint
-        and will be logged when their batch executes.
+        *logged* batch redundant — truncating the WAL is what bounds recovery
+        time.  Call from the event-loop thread (e.g. between awaits); with
+        operations still pending in the per-shard logs, those operations are
+        simply not yet part of the checkpoint and will be logged when their
+        round commits.
 
-        The snapshot records the next batch index as its WAL floor, so even
+        The snapshot records the next WAL batch index as its floor, so even
         if the process dies *between* the snapshot write and the WAL
         truncation, recovery skips the already-covered records instead of
         double-replaying them — and a service recovered from a
-        freshly-truncated WAL keeps its batch numbering contiguous.
+        freshly-truncated WAL keeps its batch numbering contiguous.  Batch
+        indices are assigned at group-commit time, so a batch cut but not
+        yet committed is always numbered *above* the floor and replays.
         """
         from repro.persist.snapshot import save as _save
 
@@ -481,8 +654,15 @@ class SlabHashService:
 
     @property
     def pending(self) -> int:
-        """Operations currently waiting in the log."""
-        return len(self._batcher)
+        """Operations waiting in the per-shard logs or staged for commit."""
+        return sum(len(batcher) for batcher in self._batchers) + sum(
+            len(entry.batch) for entry in self._staged
+        )
+
+    @property
+    def num_lanes(self) -> int:
+        """Drain lanes (shards for a sharded engine, 1 for a single table)."""
+        return len(self._shards)
 
     @property
     def resizes_performed(self) -> int:
@@ -505,31 +685,48 @@ class SlabHashService:
         return self._resize_modelled_seconds
 
     def stats(self) -> ServiceStats:
-        """Snapshot the service's accounting (latency, throughput, batching)."""
+        """Snapshot the service's accounting (latency, throughput, batching).
+
+        Every aggregate is a sum over the ``per_shard`` lanes except
+        ``modelled_seconds``, which is the busiest lane's device time (the
+        parallel view — shards are independent modelled devices).
+        """
         wall = 0.0
         if self._first_enqueue is not None and self._last_completion is not None:
             wall = max(0.0, self._last_completion - self._first_enqueue)
-        batches = self._batcher.batches_cut
+        lanes = tuple(
+            ShardLaneStats(
+                shard=shard,
+                ops_enqueued=batcher.ops_enqueued,
+                batches_cut=batcher.batches_cut,
+                aligned_batches=batcher.aligned_batches,
+                forced_batches=batcher.forced_batches,
+                forced_aligned_batches=batcher.forced_aligned_batches,
+                modelled_seconds=self._modelled_per_shard[shard],
+            )
+            for shard, batcher in enumerate(self._batchers)
+        )
+        batches = sum(lane.batches_cut for lane in lanes)
+        modelled = max(self._modelled_per_shard) if self._modelled_per_shard else 0.0
         return ServiceStats(
-            ops_enqueued=self._batcher.ops_enqueued,
+            ops_enqueued=sum(lane.ops_enqueued for lane in lanes),
             ops_completed=self._ops_completed,
             ops_failed=self._ops_failed,
             batches_executed=batches,
             # Size view (any batch whose op count is a warp multiple) ...
-            warp_aligned_batches=(
-                self._batcher.aligned_batches + self._batcher.forced_aligned_batches
-            ),
+            warp_aligned_batches=sum(lane.warp_aligned_batches for lane in lanes),
             # ... and trigger view (cuts forced by a deadline or drain), so a
             # forced warp-sized tail is distinguishable from a natural cut.
-            deadline_forced_batches=self._batcher.forced_batches,
+            deadline_forced_batches=sum(lane.forced_batches for lane in lanes),
             mean_batch_size=(self._ops_completed + self._ops_failed) / batches if batches else 0.0,
             latency=self._latency.report(),
             wall_seconds=wall,
             ops_per_second=self._ops_completed / wall if wall > 0 else 0.0,
-            modelled_seconds=self._modelled_seconds,
+            modelled_seconds=modelled,
             modelled_ops_per_second=(
-                self._ops_completed / self._modelled_seconds if self._modelled_seconds > 0 else 0.0
+                self._ops_completed / modelled if modelled > 0 else 0.0
             ),
+            per_shard=lanes,
             resizes_performed=self._resizes_performed,
             resize_failures=tuple(self._resize_failure_log),
             resize_modelled_seconds=self._resize_modelled_seconds,
@@ -538,6 +735,6 @@ class SlabHashService:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         target = "sharded" if self._sharded else "single-table"
         return (
-            f"SlabHashService({target}, pending={self.pending}, "
-            f"completed={self._ops_completed})"
+            f"SlabHashService({target}, lanes={self.num_lanes}, "
+            f"pending={self.pending}, completed={self._ops_completed})"
         )

@@ -1,10 +1,14 @@
-"""Schema guard for the service-latency benchmark output (BENCH_service.json).
+"""Schema guards for the service benchmark documents.
 
-Runs a tiny instance of ``benchmarks/bench_service_latency.py`` end to end
-and validates the emitted document against ``validate_document`` — the
-single source of truth for the schema — so drift in the JSON layout fails CI
-before a malformed BENCH_service.json lands at the repo root.  Also
-validates the committed repo-root file when present.
+The repo-root ``BENCH_service.json`` is owned by the schema-v3 saturation
+sweep (``benchmarks/bench_service_saturation.py``); the fixed-load run
+(``benchmarks/bench_service_latency.py``) writes the schema-v2
+``BENCH_service_latency.json``.  Each benchmark's ``validate_document`` is
+the single source of truth for its layout; these tests run tiny instances
+end to end so drift in either JSON layout fails CI before a malformed
+document lands at the repo root.  The committed saturation document is also
+held to the service-rebuild acceptance floors, so a regression cannot be
+silently re-recorded.
 """
 
 from __future__ import annotations
@@ -19,48 +23,119 @@ _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__f
 sys.path.insert(0, os.path.join(_REPO_ROOT, "benchmarks"))
 
 import bench_service_latency  # noqa: E402  (needs the path insertion above)
+import bench_service_saturation  # noqa: E402
 
 
-@pytest.mark.smoke
-def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
-    out = tmp_path / "BENCH_service.json"
-    assert bench_service_latency.main(
-        ["--num-ops", "512", "--initial", "512", "--num-shards", "2",
-         "--max-batch", "128", "--burst", "64", "--out", str(out)]
-    ) == 0
-    with open(out, encoding="utf-8") as handle:
-        document = json.load(handle)
-    bench_service_latency.validate_document(document)  # raises on drift
-    assert document["schema_version"] == 2
-    assert document["latency"]["count"] == 512
-    assert document["batches"]["executed"] >= 512 // 128
-    # Schema v2: the trigger view exists alongside the size view.
-    assert 0.0 <= document["batches"]["deadline_forced_fraction"] <= 1.0
+class TestSaturationSchema:
+    @pytest.mark.smoke
+    def test_tiny_benchmark_roundtrip_matches_schema(self, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        assert bench_service_saturation.main(["--smoke", "--out", str(out)]) == 0
+        with open(out, encoding="utf-8") as handle:
+            document = json.load(handle)
+        bench_service_saturation.validate_document(document)  # raises on drift
+        assert document["schema_version"] == 3
+        assert document["benchmark"] == "service_saturation"
+        assert [entry["concurrency"] for entry in document["sweep"]] == [2, 4]
+        assert document["latency"]["count"] == document["config"]["latency_point"]["num_ops"]
+        knee_levels = {entry["concurrency"] for entry in document["sweep"]}
+        assert document["knee"]["concurrency"] in knee_levels
+
+    @pytest.mark.smoke
+    def test_committed_service_file_matches_schema(self):
+        path = os.path.join(_REPO_ROOT, "BENCH_service.json")
+        if not os.path.exists(path):
+            pytest.skip("no BENCH_service.json at the repo root yet")
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        bench_service_saturation.validate_document(document)
+
+    def test_committed_service_file_meets_acceptance_floors(self):
+        """The committed document must show the rebuilt service's wins:
+        >=5x the v2 single-drain baseline at the knee, a sub-2ms p99 at the
+        configured latency point, and deadline-forced cuts staying a
+        minority at every swept load."""
+        path = os.path.join(_REPO_ROOT, "BENCH_service.json")
+        if not os.path.exists(path):
+            pytest.skip("no BENCH_service.json at the repo root yet")
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["knee"]["speedup_vs_v2_baseline"] >= 5.0
+        assert document["latency"]["p99_s"] <= 0.002
+        for entry in document["sweep"]:
+            assert entry["batches"]["deadline_forced_fraction"] < 0.5
+
+    def test_validate_document_rejects_drift(self, tmp_path):
+        out = tmp_path / "doc.json"
+        bench_service_saturation.main(["--smoke", "--out", str(out)])
+        with open(out, encoding="utf-8") as handle:
+            document = json.load(handle)
+
+        broken = dict(document)
+        broken.pop("sweep")
+        with pytest.raises(ValueError, match="sweep"):
+            bench_service_saturation.validate_document(broken)
+
+        wrong_knee = json.loads(json.dumps(document))
+        wrong_knee["knee"]["concurrency"] = 999
+        with pytest.raises(ValueError, match="knee concurrency"):
+            bench_service_saturation.validate_document(wrong_knee)
+
+        missing_fraction = json.loads(json.dumps(document))
+        missing_fraction["sweep"][0]["batches"].pop("deadline_forced_fraction")
+        with pytest.raises(ValueError, match="deadline_forced_fraction"):
+            bench_service_saturation.validate_document(missing_fraction)
+
+        wrong_count = json.loads(json.dumps(document))
+        wrong_count["latency"]["count"] = 1
+        with pytest.raises(ValueError, match="latency_point"):
+            bench_service_saturation.validate_document(wrong_count)
+
+        unsorted = json.loads(json.dumps(document))
+        unsorted["sweep"] = list(reversed(unsorted["sweep"]))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            bench_service_saturation.validate_document(unsorted)
 
 
-@pytest.mark.smoke
-def test_committed_service_file_matches_schema():
-    path = os.path.join(_REPO_ROOT, "BENCH_service.json")
-    if not os.path.exists(path):
-        pytest.skip("no BENCH_service.json at the repo root yet")
-    with open(path, encoding="utf-8") as handle:
-        bench_service_latency.validate_document(json.load(handle))
+class TestLatencySchema:
+    @pytest.mark.smoke
+    def test_tiny_benchmark_roundtrip_matches_schema(self, tmp_path):
+        out = tmp_path / "BENCH_service_latency.json"
+        assert bench_service_latency.main(
+            ["--num-ops", "512", "--initial", "512", "--num-shards", "2",
+             "--max-batch", "128", "--burst", "64", "--out", str(out)]
+        ) == 0
+        with open(out, encoding="utf-8") as handle:
+            document = json.load(handle)
+        bench_service_latency.validate_document(document)  # raises on drift
+        assert document["schema_version"] == 2
+        assert document["latency"]["count"] == 512
+        assert document["batches"]["executed"] >= 512 // 128
+        # Schema v2: the trigger view exists alongside the size view.
+        assert 0.0 <= document["batches"]["deadline_forced_fraction"] <= 1.0
 
+    @pytest.mark.smoke
+    def test_committed_latency_file_matches_schema(self):
+        path = os.path.join(_REPO_ROOT, "BENCH_service_latency.json")
+        if not os.path.exists(path):
+            pytest.skip("no BENCH_service_latency.json at the repo root yet")
+        with open(path, encoding="utf-8") as handle:
+            bench_service_latency.validate_document(json.load(handle))
 
-def test_validate_document_rejects_drift():
-    document = bench_service_latency.run_benchmark(
-        num_ops=256, initial_elements=256, num_shards=2, max_batch_size=64, burst=64
-    )
-    bench_service_latency.validate_document(document)
-    broken = dict(document)
-    broken.pop("latency")
-    with pytest.raises(ValueError, match="latency"):
-        bench_service_latency.validate_document(broken)
-    wrong_count = json.loads(json.dumps(document))
-    wrong_count["latency"]["count"] = 1
-    with pytest.raises(ValueError, match="num_ops"):
-        bench_service_latency.validate_document(wrong_count)
-    missing_fraction = json.loads(json.dumps(document))
-    missing_fraction["batches"].pop("deadline_forced_fraction")
-    with pytest.raises(ValueError, match="deadline_forced_fraction"):
-        bench_service_latency.validate_document(missing_fraction)
+    def test_validate_document_rejects_drift(self):
+        document = bench_service_latency.run_benchmark(
+            num_ops=256, initial_elements=256, num_shards=2, max_batch_size=64, burst=64
+        )
+        bench_service_latency.validate_document(document)
+        broken = dict(document)
+        broken.pop("latency")
+        with pytest.raises(ValueError, match="latency"):
+            bench_service_latency.validate_document(broken)
+        wrong_count = json.loads(json.dumps(document))
+        wrong_count["latency"]["count"] = 1
+        with pytest.raises(ValueError, match="num_ops"):
+            bench_service_latency.validate_document(wrong_count)
+        missing_fraction = json.loads(json.dumps(document))
+        missing_fraction["batches"].pop("deadline_forced_fraction")
+        with pytest.raises(ValueError, match="deadline_forced_fraction"):
+            bench_service_latency.validate_document(missing_fraction)

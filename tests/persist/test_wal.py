@@ -70,6 +70,94 @@ class TestAppendReadBack:
                 wal.append([1], [3], [4, 5])
 
 
+class TestGroupCommit:
+    """The group-commit path must be invisible on disk: one write + flush,
+    byte-identical to sequential appends, same torn-tail guarantees."""
+
+    def test_append_group_is_byte_identical_to_sequential_appends(self, tmp_path):
+        batches = [(*sample_batch(seed), seed) for seed in range(4)]
+        sequential = str(tmp_path / "seq.wal")
+        grouped = str(tmp_path / "grp.wal")
+        with WriteAheadLog(sequential) as wal:
+            for op_codes, keys, values, index in batches:
+                wal.append(op_codes, keys, values, batch_index=index)
+        with WriteAheadLog(grouped) as wal:
+            wal.append_group(batches)
+        with open(sequential, "rb") as handle:
+            expected = handle.read()
+        with open(grouped, "rb") as handle:
+            assert handle.read() == expected
+
+    def test_append_group_returns_offsets_in_batch_order(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        with WriteAheadLog(path) as wal:
+            first = wal.append(*sample_batch(0), batch_index=0)
+            offsets = wal.append_group(
+                [(*sample_batch(seed), seed) for seed in range(1, 4)]
+            )
+            end = wal.size()
+        assert first == HEADER_SIZE
+        assert offsets[0] > first
+        assert offsets == sorted(offsets)
+        assert end > offsets[-1]
+        records, torn = read_records(path)
+        assert not torn
+        assert [record.batch_index for record in records] == [0, 1, 2, 3]
+
+    def test_append_group_with_mixed_value_modes(self, tmp_path):
+        """Key-only and key-value batches may share a group (recovery decides
+        per record via the has_values flag)."""
+        path = str(tmp_path / "ops.wal")
+        op_codes, keys, values = sample_batch(3)
+        with WriteAheadLog(path) as wal:
+            wal.append_group([(op_codes, keys, None, 0), (op_codes, keys, values, 1)])
+        (key_only, key_value), torn = read_records(path)
+        assert not torn
+        assert key_only.values is None
+        assert np.array_equal(key_value.values, values)
+
+    def test_empty_group_writes_nothing(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        with WriteAheadLog(path) as wal:
+            assert wal.append_group([]) == []
+            assert wal.size() == HEADER_SIZE
+        assert read_records(path) == ([], False)
+
+    def test_mismatched_lengths_in_a_group_are_rejected(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "ops.wal")) as wal:
+            with pytest.raises(ValueError):
+                wal.append_group([([1, 2], [3], None, 0)])
+            with pytest.raises(ValueError):
+                wal.append_group([([1], [3], [4, 5], 0)])
+
+    def test_every_crash_point_in_a_group_yields_a_whole_batch_prefix(self, tmp_path):
+        """Chop a group-committed file at every byte: a crash mid-group must
+        still recover to a clean prefix of whole batches, possibly splitting
+        the group — the write being one syscall does not make it atomic."""
+        path = str(tmp_path / "ops.wal")
+        with WriteAheadLog(path) as wal:
+            offsets = wal.append_group(
+                [(*sample_batch(seed, count=12), seed) for seed in range(4)]
+            )
+            end = wal.size()
+        with open(path, "rb") as handle:
+            data = handle.read()
+        boundaries = offsets + [end]
+        clean_cuts = {HEADER_SIZE, *boundaries[1:]}
+        for cut in range(0, end):
+            chopped = str(tmp_path / "chopped.wal")
+            with open(chopped, "wb") as handle:
+                handle.write(data[:cut])
+            records, torn = read_records(chopped)
+            survived = max(
+                (i for i, off in enumerate(boundaries) if off <= cut), default=0
+            )
+            assert len(records) == survived
+            assert torn == (cut not in clean_cuts)
+            for index, record in enumerate(records):
+                assert record.batch_index == index
+
+
 class TestTornTails:
     def _write(self, path, num_batches=3):
         with WriteAheadLog(path) as wal:

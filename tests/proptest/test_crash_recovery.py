@@ -205,6 +205,122 @@ def test_recovery_from_arbitrary_crash_points_matches_the_model(seed, kind, tmp_
     run_crash_scenario(seed, kind, tmp_path)
 
 
+def run_group_commit_crash_scenario(seed: int, kind: str, tmp_path) -> None:
+    """Crash-point sweep over a *group-committed* WAL.
+
+    Batches are appended the way the per-shard service drains do: several
+    batches at a time via ``append_group`` (one write + flush per round),
+    interleaved across an engine's shards, then executed.  A checkpoint
+    lands at a random *round* boundary.  Every byte of the surviving WAL is
+    a candidate crash point for the read-back prefix property; recovery
+    itself is diffed at every record boundary plus a random mid-record tear,
+    against both the dict model and a live oracle replay of the prefix —
+    a torn group must replay its leading whole records and drop the rest.
+    """
+    rng = random.Random(seed * 57 + (0 if kind == "table" else 1))
+    batches = generate_batches(seed, num_batches=9)
+    # Chunk the stream into commit rounds of 1-3 batches (a drain round).
+    rounds, cursor = [], 0
+    while cursor < len(batches):
+        size = rng.randrange(1, 4)
+        rounds.append(batches[cursor : cursor + size])
+        cursor += size
+    checkpoint_after_round = rng.randrange(0, len(rounds))
+
+    workdir = tmp_path / f"group-{kind}-{seed}"
+    workdir.mkdir()
+    snap = str(workdir / "snap")
+    wal_path = str(workdir / "ops.wal")
+
+    impl = fresh_impl(kind)
+    wal = WriteAheadLog(wal_path)
+    record_offsets = []
+    replayed_after_checkpoint = 0
+    for round_index, round_batches in enumerate(rounds):
+        if round_index == checkpoint_after_round:
+            save(impl, snap)
+            wal.truncate()
+            record_offsets = []
+            replayed_after_checkpoint = 0
+        # Write-ahead for the whole round, then execute its batches in order.
+        record_offsets.extend(
+            wal.append_group(
+                [
+                    (record.op_codes, record.keys, record.values, record.batch_index)
+                    for record in round_batches
+                ]
+            )
+        )
+        for record in round_batches:
+            replay_record(impl, record)
+            replayed_after_checkpoint += 1
+    wal_end = wal.size()
+    wal.close()
+    live_end_state = full_state(impl)
+    checkpoint_batches = sum(len(r) for r in rounds[:checkpoint_after_round])
+
+    # Property 1 — every byte offset reads back as a whole-record prefix.
+    with open(wal_path, "rb") as handle:
+        data = handle.read()
+    boundaries = record_offsets + [wal_end]
+    for cut in range(0, wal_end):
+        records, _torn = read_records_bytes(data[:cut], workdir)
+        survived = max(
+            (i for i, off in enumerate(boundaries) if off <= cut), default=0
+        )
+        assert len(records) == survived, (
+            f"seed {seed} {kind}: group-committed WAL cut at byte {cut} "
+            f"read {len(records)} records, expected {survived}"
+        )
+
+    # Property 2 — full recovery diff at each record boundary and one tear.
+    crash_points = sorted({*boundaries, rng.randrange(HEADER_SIZE, wal_end + 1)})
+    for crash_at in crash_points:
+        chopped = str(workdir / f"crash-{crash_at}.wal")
+        shutil.copyfile(wal_path, chopped)
+        with open(chopped, "r+b") as handle:
+            handle.truncate(crash_at)
+        recovered, report = recover(snap, chopped)
+        survived = max(
+            (i for i, off in enumerate(boundaries) if off <= crash_at), default=0
+        )
+        assert report.records_replayed == survived
+
+        prefix = batches[: checkpoint_batches + survived]
+        model: dict = {}
+        for record in prefix:
+            apply_to_model(model, record)
+        assert sorted(model.items()) == sorted(
+            (int(k), int(v)) for k, v in recovered.items()
+        ), f"seed {seed} {kind}: group crash at {crash_at} diverged from the model"
+
+        oracle = fresh_impl(kind)
+        for record in prefix:
+            replay_record(oracle, record)
+        assert full_state(recovered) == full_state(oracle), (
+            f"seed {seed} {kind}: group crash at {crash_at} is not "
+            "bit-identical to a live run of the surviving prefix"
+        )
+        if crash_at == wal_end:
+            assert full_state(recovered) == live_end_state
+
+
+def read_records_bytes(data: bytes, workdir) -> tuple:
+    """read_records over an in-memory byte prefix (via a scratch file)."""
+    scratch = str(workdir / "scratch.wal")
+    with open(scratch, "wb") as handle:
+        handle.write(data)
+    from repro.persist import read_records
+
+    return read_records(scratch)
+
+
+@pytest.mark.parametrize("kind", ["table", "engine"])
+@pytest.mark.parametrize("seed", _seeds())
+def test_group_committed_wal_recovers_like_sequential_appends(seed, kind, tmp_path):
+    run_group_commit_crash_scenario(seed, kind, tmp_path)
+
+
 def test_generated_batches_are_deterministic_and_churny():
     assert [
         (record.batch_index, record.op_codes.tolist(), record.keys.tolist())

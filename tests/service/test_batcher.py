@@ -1,15 +1,61 @@
-"""Unit tests for the operation-log micro-batcher's coalescing policy."""
+"""Unit tests for the array-backed operation-log micro-batcher.
+
+The batcher is event-loop agnostic, so a plain object with ``set_result`` /
+``set_exception`` / ``done`` stands in for an asyncio future; chunks are
+built straight from NumPy arrays the way the service's admission path
+builds them.
+"""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.gpusim.warp import WARP_SIZE
-from repro.service.batcher import MicroBatcher, PendingOp
+from repro.service.batcher import CutBatch, MicroBatcher, OpChunk, OpSlice
 
 
-def pending(index: int) -> PendingOp:
-    return PendingOp(op_code=1, key=index, value=index, future=None, enqueued_at=float(index))
+class FakeFuture:
+    """Minimal future double: records the single resolution it receives."""
+
+    def __init__(self) -> None:
+        self.result = None
+        self.exception = None
+        self._done = False
+
+    def set_result(self, value) -> None:
+        assert not self._done, "future resolved twice"
+        self.result = value
+        self._done = True
+
+    def set_exception(self, error) -> None:
+        assert not self._done, "future resolved twice"
+        self.exception = error
+        self._done = True
+
+    def done(self) -> bool:
+        return self._done
+
+
+def make_chunk(keys, *, enqueued_at: float = 0.0, slice_=None) -> OpChunk:
+    """One single-chunk admission over ``keys`` (insert ops, value == key)."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    if slice_ is None:
+        slice_ = OpSlice(FakeFuture(), len(keys))
+    return OpChunk(
+        np.ones(len(keys), dtype=np.int64),
+        keys,
+        keys.astype(np.uint32),
+        slice_,
+        np.arange(len(keys), dtype=np.int64),
+        enqueued_at,
+    )
+
+
+def fill(batcher: MicroBatcher, count: int, *, start: int = 0) -> None:
+    """Admit ``count`` ops as single-op chunks (like awaited ``submit`` calls)."""
+    for index in range(start, start + count):
+        batcher.add(make_chunk([index], enqueued_at=float(index)))
 
 
 class TestConstruction:
@@ -29,23 +75,20 @@ class TestConstruction:
 class TestCutting:
     def test_unforced_take_is_warp_aligned(self):
         batcher = MicroBatcher(128)
-        for index in range(70):
-            batcher.add(pending(index))
+        batcher.add(make_chunk(range(70)))
         batch = batcher.take()
         assert len(batch) == 64  # largest warp multiple <= 70
         assert len(batcher) == 6
 
     def test_unforced_take_below_one_warp_yields_nothing(self):
         batcher = MicroBatcher(128)
-        for index in range(WARP_SIZE - 1):
-            batcher.add(pending(index))
-        assert batcher.take() == []
+        batcher.add(make_chunk(range(WARP_SIZE - 1)))
+        assert batcher.take() is None
         assert len(batcher) == WARP_SIZE - 1
 
     def test_forced_take_flushes_the_ragged_tail(self):
         batcher = MicroBatcher(128)
-        for index in range(70):
-            batcher.add(pending(index))
+        batcher.add(make_chunk(range(70)))
         batcher.take()
         tail = batcher.take(force=True)
         assert len(tail) == 6
@@ -53,32 +96,121 @@ class TestCutting:
 
     def test_take_caps_at_max_batch_size(self):
         batcher = MicroBatcher(64)
-        for index in range(200):
-            batcher.add(pending(index))
+        batcher.add(make_chunk(range(200)))
         assert batcher.full
         assert len(batcher.take()) == 64
         assert len(batcher.take(force=True)) == 64
 
-    def test_fifo_order_preserved(self):
+    def test_fifo_order_preserved_across_chunks(self):
         batcher = MicroBatcher(64)
-        for index in range(40):
-            batcher.add(pending(index))
+        fill(batcher, 40)
         batch = batcher.take()
-        assert [op.key for op in batch] == list(range(32))
+        assert batch.keys.tolist() == list(range(32))
+
+    def test_straddling_chunk_is_split_not_reordered(self):
+        """A chunk crossing the cut boundary is split by array slicing; its
+        tail stays at the head of the log for the next cut."""
+        batcher = MicroBatcher(64)
+        batcher.add(make_chunk(range(20)))
+        batcher.add(make_chunk(range(100, 130)))  # 30 ops: straddles the 32 cut
+        batch = batcher.take()
+        assert len(batch) == 32
+        assert batch.keys.tolist() == list(range(20)) + list(range(100, 112))
+        assert len(batcher) == 18
+        tail = batcher.take(force=True)
+        assert tail.keys.tolist() == list(range(112, 130))
+
+    def test_empty_chunk_completes_immediately(self):
+        batcher = MicroBatcher(64)
+        slice_ = OpSlice(FakeFuture(), 0)
+        batcher.add(make_chunk([], slice_=slice_))
+        assert len(batcher) == 0
+        assert slice_.future.done()
 
     def test_oldest_enqueued_at(self):
         batcher = MicroBatcher(64)
         assert batcher.oldest_enqueued_at() is None
-        batcher.add(pending(7))
-        batcher.add(pending(9))
+        batcher.add(make_chunk([7], enqueued_at=7.0))
+        batcher.add(make_chunk([9], enqueued_at=9.0))
         assert batcher.oldest_enqueued_at() == 7.0
+
+
+class TestCompletion:
+    def test_results_scatter_back_in_admission_order(self):
+        """A multi-chunk admission resolves with results in admission order
+        even when its chunks land in different batches."""
+        future = FakeFuture()
+        slice_ = OpSlice(future, 6)
+        # Simulates shard routing: positions interleave the two chunks.
+        chunk_a = OpChunk(
+            np.ones(3, dtype=np.int64),
+            np.array([10, 20, 30], dtype=np.uint64),
+            None,
+            slice_,
+            np.array([0, 2, 4]),
+            0.0,
+        )
+        chunk_b = OpChunk(
+            np.ones(3, dtype=np.int64),
+            np.array([11, 21, 31], dtype=np.uint64),
+            None,
+            slice_,
+            np.array([1, 3, 5]),
+            0.0,
+        )
+        CutBatch([chunk_a]).complete(np.array([100, 102, 104], dtype=np.uint32))
+        assert not future.done()  # chunk_b still outstanding
+        CutBatch([chunk_b]).complete(np.array([101, 103, 105], dtype=np.uint32))
+        assert future.done()
+        assert future.result.tolist() == [100, 101, 102, 103, 104, 105]
+
+    def test_split_chunks_share_their_slice(self):
+        future = FakeFuture()
+        slice_ = OpSlice(future, 64)
+        batcher = MicroBatcher(32)
+        batcher.add(
+            OpChunk(
+                np.ones(64, dtype=np.int64),
+                np.arange(64, dtype=np.uint64),
+                None,
+                slice_,
+                np.arange(64, dtype=np.int64),
+                0.0,
+            )
+        )
+        first, second = batcher.take(), batcher.take()
+        first.complete(np.arange(32, dtype=np.uint32))
+        assert not future.done()
+        second.complete(np.arange(32, 64, dtype=np.uint32))
+        assert future.result.tolist() == list(range(64))
+
+    def test_one_failed_chunk_fails_the_whole_admission(self):
+        future = FakeFuture()
+        slice_ = OpSlice(future, 64)
+        batcher = MicroBatcher(32)
+        batcher.add(make_chunk(range(64), slice_=slice_))
+        first, second = batcher.take(), batcher.take()
+        boom = RuntimeError("device on fire")
+        first.fail(boom)
+        assert not future.done()  # still waiting on the second chunk
+        second.complete(np.arange(32, dtype=np.uint32))
+        assert future.exception is boom
+
+    def test_multi_chunk_batch_concatenates_arrays(self):
+        batcher = MicroBatcher(64)
+        batcher.add(make_chunk([1, 2]))
+        batcher.add(make_chunk([3, 4]))
+        batch = batcher.take(force=True)
+        assert batch.op_codes.tolist() == [1, 1, 1, 1]
+        assert batch.keys.tolist() == [1, 2, 3, 4]
+        assert batch.values.tolist() == [1, 2, 3, 4]
+        assert [(start, end) for _c, start, end in batch.spans()] == [(0, 2), (2, 4)]
 
 
 class TestAccounting:
     def test_counters_track_cuts_and_alignment(self):
         batcher = MicroBatcher(64)
-        for index in range(70):
-            batcher.add(pending(index))
+        batcher.add(make_chunk(range(70)))
         batcher.take()            # 64 ops, aligned
         batcher.take(force=True)  # 6 ops, ragged
         assert batcher.ops_enqueued == 70
@@ -92,8 +224,7 @@ class TestAccounting:
         used to count as a naturally aligned batch, so alignment stats were
         inflated on deadline-heavy traffic."""
         batcher = MicroBatcher(128)
-        for index in range(WARP_SIZE):
-            batcher.add(pending(index))
+        batcher.add(make_chunk(range(WARP_SIZE)))
         batch = batcher.take(force=True)  # deadline fires on a full warp
         assert len(batch) == WARP_SIZE
         assert batcher.aligned_batches == 0   # not a size-triggered cut
@@ -102,7 +233,7 @@ class TestAccounting:
 
     def test_forced_empty_take_counts_nothing(self):
         batcher = MicroBatcher(64)
-        assert batcher.take(force=True) == []
+        assert batcher.take(force=True) is None
         assert batcher.batches_cut == 0
         assert batcher.forced_batches == 0
         assert batcher.aligned_batches == 0

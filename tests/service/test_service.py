@@ -197,8 +197,8 @@ class TestStreams:
                     await service.submit_many(
                         np.full(2000, C.OP_INSERT), doomed, doomed
                     )
-                # submit_many raises on the first failed batch; wait for the
-                # rest of the doomed log to drain before using the service.
+                # The admission's single future raises once every chunk of
+                # the doomed slice has drained, so nothing is left pending.
                 while service.pending:
                     await asyncio.sleep(0.001)
                 assert service.stats().ops_failed > 0
@@ -237,20 +237,22 @@ class TestStatsAndBatching:
 
     def test_batches_are_warp_aligned_under_load(self):
         async def main():
-            engine = make_engine()
+            # A single-table service has one drain lane, so the 256-op stream
+            # is not split by shard routing and every cut is a full multiple
+            # of 64 (256 == 4 * 64); the forced tail, if any, is empty.
+            table = SlabHash(16, alloc_config=SMALL_ALLOC, seed=5)
             keys = unique_random_keys(400, seed=37)
-            engine.bulk_build(keys, values_for_keys(keys))
+            table.bulk_build(keys, values_for_keys(keys))
             async with SlabHashService(
-                engine, config=ServiceConfig(max_batch_size=64, max_delay=0.5)
+                table, config=ServiceConfig(max_batch_size=64, max_delay=0.5)
             ) as service:
                 queries = np.tile(keys[:64], 4)
                 await service.submit_many(
                     np.full(256, C.OP_SEARCH), queries, np.zeros(256)
                 )
                 stats = service.stats()
-            # 256 ops with a generous delay budget: every batch cut is a full
-            # warp multiple (the forced tail, if any, is also 256 % 64 == 0).
             assert stats.warp_aligned_batches == stats.batches_executed
+            assert stats.deadline_forced_batches == 0
 
         asyncio.run(main())
 
