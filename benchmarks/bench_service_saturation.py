@@ -23,13 +23,16 @@ Run directly (or via ``scripts/smoke.sh`` with ``--smoke``)::
         [--max-batch 2048] [--max-delay 0.002] [--burst 256]
         [--levels 4,8,16,32,64,96,128,160] [--smoke] [--out BENCH_service.json]
 
-Schema (``SCHEMA_VERSION`` 3; version 3 replaced the single fixed-load run
+Schema (``SCHEMA_VERSION`` 4; version 3 replaced the single fixed-load run
 of ``bench_service_latency.py`` — which now writes
 ``BENCH_service_latency.json`` — with the concurrency sweep, the knee
-summary, and the dedicated latency load point)::
+summary, and the dedicated latency load point; version 4 adds an optional
+``degraded`` section written by ``benchmarks/bench_degraded.py`` recording
+the overload/quarantine operating points — this script leaves it intact if
+present and omits it on a fresh document)::
 
     {
-      "schema_version": 3,
+      "schema_version": 4,
       "benchmark": "service_saturation",
       "device_model": "...", "python": "...", "numpy": "...",
       "config": {"num_ops_per_level": ..., "num_shards": ...,
@@ -50,7 +53,17 @@ summary, and the dedicated latency load point)::
       "throughput": {"wall_seconds": ..., "ops_per_sec": ...,
                      "modelled_seconds": ..., "modelled_ops_per_sec": ...},
       "batches": {"executed": ..., "mean_size": ..., "warp_aligned_fraction": ...,
-                  "deadline_forced_fraction": ...}
+                  "deadline_forced_fraction": ...},
+      "degraded": {                                  # optional, bench_degraded.py
+        "config": {...},
+        "healthy": {"ops_per_sec": ..., "latency": {...}},
+        "overloaded": {"accepted_ops_per_sec": ..., "admitted_ops": ...,
+                       "rejected_admissions": ..., "ops_rejected": ...,
+                       "rejection_latency": {...}},
+        "quarantined": {"ops_per_sec": ..., "breaker_trips": ...,
+                        "shard_restores": ..., "injected_faults": ...,
+                        "latency": {...}}
+      }
     }
 
 ``validate_document`` is the schema's single source of truth; the smoke test
@@ -76,7 +89,7 @@ from repro.service import ServiceConfig, ServiceStats, SlabHashService
 from repro.workloads.distributions import GAMMA_40_UPDATES, build_concurrent_workload
 from repro.workloads.generators import unique_random_keys, values_for_keys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 DEFAULT_OUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
                            "BENCH_service.json")
 
@@ -294,11 +307,15 @@ def run_benchmark(
     }
 
 
-def validate_document(document: dict) -> None:
-    """Raise ``ValueError`` if ``document`` does not match the v3 schema.
+def validate_document(document: dict, *, require_degraded: bool = False) -> None:
+    """Raise ``ValueError`` if ``document`` does not match the v4 schema.
 
     Single source of truth for the repo-root BENCH_service.json layout; the
     smoke test runs a tiny benchmark through this to catch schema drift.
+    The ``degraded`` section (written by ``benchmarks/bench_degraded.py``)
+    is optional on a fresh sweep but validated whenever present;
+    ``require_degraded=True`` additionally demands it — the committed
+    repo-root document must carry both operating-point views.
     """
     required_top = {
         "schema_version": int,
@@ -400,6 +417,54 @@ def validate_document(document: dict) -> None:
             raise ValueError(f"throughput field {field!r} must be a non-negative number")
     check_batches(document["batches"], "batches")
 
+    degraded = document.get("degraded")
+    if degraded is None:
+        if require_degraded:
+            raise ValueError(
+                "missing degraded section (run benchmarks/bench_degraded.py)"
+            )
+        return
+    if not isinstance(degraded, dict):
+        raise ValueError("degraded must be an object")
+    for field in ("config", "healthy", "overloaded", "quarantined"):
+        if not isinstance(degraded.get(field), dict):
+            raise ValueError(f"missing degraded section field {field!r}")
+    for field in ("num_ops", "num_shards", "max_pending_per_shard",
+                  "breaker_threshold", "burst", "chaos_seed"):
+        if field not in degraded["config"]:
+            raise ValueError(f"missing degraded.config field {field!r}")
+    healthy = degraded["healthy"]
+    if not isinstance(healthy.get("ops_per_sec"), (int, float)) or healthy["ops_per_sec"] <= 0:
+        raise ValueError("degraded.healthy.ops_per_sec must be positive")
+    check_latency(healthy["latency"], "degraded.healthy latency")
+    overloaded = degraded["overloaded"]
+    for field in ("accepted_ops_per_sec", "admitted_ops",
+                  "rejected_admissions", "ops_rejected"):
+        value = overloaded.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"degraded.overloaded field {field!r} must be a non-negative number"
+            )
+    if overloaded["rejected_admissions"] <= 0:
+        raise ValueError(
+            "degraded.overloaded.rejected_admissions must be positive "
+            "(the overload point must actually overload)"
+        )
+    check_latency(overloaded["rejection_latency"], "degraded.overloaded rejection_latency")
+    quarantined = degraded["quarantined"]
+    for field in ("ops_per_sec", "breaker_trips", "shard_restores", "injected_faults"):
+        value = quarantined.get(field)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(
+                f"degraded.quarantined field {field!r} must be a non-negative number"
+            )
+    if quarantined["breaker_trips"] <= 0:
+        raise ValueError(
+            "degraded.quarantined.breaker_trips must be positive "
+            "(the chaos point must actually trip a breaker)"
+        )
+    check_latency(quarantined["latency"], "degraded.quarantined latency")
+
 
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -448,6 +513,16 @@ def main(argv: Optional[list] = None) -> int:
             burst=args.burst,
             concurrency_levels=[int(part) for part in args.levels.split(",")],
         )
+    if os.path.exists(args.out):
+        # Re-running the sweep must not discard the degraded operating
+        # points recorded by benchmarks/bench_degraded.py.
+        try:
+            with open(args.out, encoding="utf-8") as handle:
+                previous = json.load(handle)
+        except (OSError, ValueError):
+            previous = {}
+        if isinstance(previous, dict) and "degraded" in previous:
+            document["degraded"] = previous["degraded"]
     validate_document(document)
     os.makedirs(os.path.dirname(os.path.abspath(args.out)), exist_ok=True)
     with open(args.out, "w", encoding="utf-8") as handle:

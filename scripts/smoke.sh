@@ -33,6 +33,10 @@ echo "== Examples =="
 python examples/quickstart.py
 python examples/sharded_engine.py
 
+echo "== Service health counters (healthy + chaotic) =="
+python -m repro service-health --ops 2048
+python -m repro service-health --ops 2048 --chaos-seed 7
+
 echo "== Durable snapshot / recover (persistence layer) =="
 python -m repro snapshot results/smoke/snapshot-demo.npz --elements 2048
 python -m repro recover results/smoke/snapshot-demo.npz
@@ -50,6 +54,9 @@ bash scripts/bench_wallclock.sh --sizes 4096 --repeats 1 --out results/smoke/BEN
 echo "== Service-saturation benchmark (tiny sweep) =="
 python benchmarks/bench_service_saturation.py --smoke \
   --out results/smoke/BENCH_service.json
+
+echo "== Degraded-mode benchmark (merges into the smoke document) =="
+python benchmarks/bench_degraded.py --smoke --out results/smoke/BENCH_service.json
 
 echo "== Service-latency benchmark (tiny stream) =="
 python benchmarks/bench_service_latency.py --num-ops 2048 --initial 2048 \

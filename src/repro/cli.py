@@ -8,6 +8,7 @@ Usage (after installation, or with ``PYTHONPATH=src``)::
     python -m repro info                    # device model and calibration summary
     python -m repro snapshot out.npz --elements 8192   # durable snapshot demo
     python -m repro recover out.npz --wal ops.wal      # restore + replay a WAL
+    python -m repro service-health --chaos-seed 7      # live-service health counters
 
 Experiment ids (the single source of truth is the :data:`EXPERIMENTS`
 registry below; ``python -m repro list`` prints the same table)::
@@ -180,6 +181,24 @@ def build_parser() -> argparse.ArgumentParser:
     rec.add_argument("--wal", default=None,
                      help="write-ahead log whose complete records are replayed "
                           "(a torn final record is discarded)")
+
+    health = sub.add_parser(
+        "service-health",
+        help="run a short live-service burst (optionally under injected "
+             "faults) and print its health and degradation counters",
+    )
+    health.add_argument("--ops", type=int, default=20000,
+                        help="insertions to push through the service (default %(default)s)")
+    health.add_argument("--shards", type=int, default=2,
+                        help="shards in the backing engine (default %(default)s)")
+    health.add_argument("--seed", type=int, default=1, help="workload/table seed")
+    health.add_argument("--chaos-seed", type=int, default=None,
+                        help="inject a seeded random FaultPlan over the "
+                             "execute and allocator sites (docs/FAULTS.md); "
+                             "omitted = healthy run")
+    health.add_argument("--fault-rate", type=float, default=0.05,
+                        help="per-occurrence injection probability when "
+                             "--chaos-seed is set (default %(default)s)")
     return parser
 
 
@@ -226,6 +245,9 @@ def main(argv: Optional[list] = None, stream=None) -> int:
 
     if args.command == "recover":
         return _cmd_recover(args, stream)
+
+    if args.command == "service-health":
+        return _cmd_service_health(args, stream)
 
     # command == "reproduce"
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -291,6 +313,116 @@ def _cmd_recover(args, stream) -> int:
     ]
     stream.write(format_table(["quantity", "value"], rows) + "\n")
     return 0
+
+
+def _cmd_service_health(args, stream) -> int:
+    import asyncio
+    import random as pyrandom
+
+    import numpy as np
+
+    from repro.core import constants as C
+    from repro.engine.sharded import ShardedSlabHash
+    from repro.faults import FaultAction, FaultPlan, InjectedFault
+    from repro.service import (
+        LANE_OPEN,
+        ServiceConfig,
+        ServiceError,
+        SlabHashService,
+        retry_with_backoff,
+    )
+    from repro.workloads.generators import unique_random_keys, values_for_keys
+
+    plan = None
+    if args.chaos_seed is not None:
+        sites = []
+        for shard in range(args.shards):
+            sites.append((f"shard:{shard}.execute", FaultAction(exc="batch")))
+            sites.append(
+                (f"shard:{shard}.alloc.warp_allocate", FaultAction(exc="alloc"))
+            )
+        plan = FaultPlan.random(args.chaos_seed, sites, rate=args.fault_rate)
+
+    engine = ShardedSlabHash(max(1, args.shards), 64, seed=args.seed)
+    config = ServiceConfig(
+        max_batch_size=256,
+        max_delay=0.001,
+        max_pending_per_shard=4096,
+        breaker_threshold=2,
+    )
+    service = SlabHashService(engine, config=config, faults=plan)
+
+    keys = unique_random_keys(args.ops, seed=args.seed)
+    values = values_for_keys(keys)
+    dropped = 0
+
+    async def run() -> None:
+        nonlocal dropped
+        async with service:
+            chunk = 512
+            for start in range(0, len(keys), chunk):
+                ops = np.full(len(keys[start : start + chunk]), C.OP_INSERT)
+
+                def admit(s=start, ops=ops):
+                    return service.submit_many(
+                        ops, keys[s : s + chunk], values[s : s + chunk]
+                    )
+
+                try:
+                    await retry_with_backoff(
+                        admit,
+                        retries=20,
+                        base_delay=0.001,
+                        rng=pyrandom.Random(args.seed + start),
+                    )
+                except (InjectedFault, ServiceError):
+                    dropped += len(ops)  # degraded: the counters record why
+            while service._restore_tasks:
+                await asyncio.sleep(0.001)
+
+    asyncio.run(run())
+
+    stats = service.stats().as_dict()
+    healthy = all(state != LANE_OPEN for state in service.lane_states)
+    rows = [
+        ["verdict", "healthy" if healthy else "DEGRADED — lane(s) still open"],
+        ["ops enqueued", str(stats["ops_enqueued"])],
+        ["ops completed", str(stats["ops_completed"])],
+        ["ops failed", str(stats["ops_failed"])],
+        ["ops rejected (backpressure/quarantine)", str(stats["ops_rejected"])],
+        ["ops expired (deadline)", str(stats["ops_expired"])],
+        ["admissions dropped after retries", str(dropped)],
+        ["breaker trips", str(stats["breaker_trips"])],
+        ["shard restores", str(stats["shard_restores"])],
+        ["wal rollbacks", str(stats["wal_rollbacks"])],
+        ["batches aborted", str(stats["batches_aborted"])],
+        ["restore failures", str(len(stats["restore_failures"]))],
+        ["resize failures", str(len(stats["resize_failures"]))],
+        ["injected faults fired", str(len(plan.fired)) if plan is not None else "0"],
+    ]
+    stream.write(format_table(["quantity", "value"], rows) + "\n")
+    lane_rows = [
+        [
+            str(lane["shard"]),
+            lane["state"],
+            str(lane["ops_enqueued"]),
+            str(lane["rejected_overloaded"]),
+            str(lane["rejected_quarantined"]),
+            str(lane["ops_expired"]),
+            str(lane["trips"]),
+            str(lane["restores"]),
+        ]
+        for lane in stats["per_shard"]
+    ]
+    stream.write(
+        format_table(
+            ["lane", "state", "enqueued", "rej-over", "rej-quar",
+             "expired", "trips", "restores"],
+            lane_rows,
+        )
+        + "\n"
+    )
+    return 0 if healthy else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -50,7 +50,7 @@ from repro.core import constants as C
 from repro.core.config import SlabAllocConfig
 from repro.core.hashing import hash_pair
 from repro.gpusim.device import Device
-from repro.gpusim.errors import AllocationError
+from repro.gpusim.errors import AllocationError, SlabAllocExhausted
 from repro.gpusim.intrinsics import ballot_from_bools, first_set_lane
 from repro.gpusim.memory import GlobalMemory
 from repro.gpusim.warp import Warp
@@ -123,6 +123,9 @@ class SlabAlloc:
         self._resident: Dict[int, ResidentBlock] = {}
         #: Number of currently allocated units (host-side bookkeeping).
         self._allocated_units = 0
+        #: Optional fault hook (a :class:`repro.faults.FaultPlan` or scoped
+        #: view); consulted at the ``alloc.warp_allocate`` site when set.
+        self.faults = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -135,6 +138,10 @@ class SlabAlloc:
         the whole warp cooperates, and in the uncontended case the allocation
         costs exactly one 32-bit atomic operation.
         """
+        if self.faults is not None:
+            # Deterministic fault site: a plan can exhaust the allocator on
+            # demand (raises SlabAllocExhausted) or slow a request down.
+            self.faults.check("alloc.warp_allocate")
         state = self._resident_state(warp)
         state.changes_this_request = 0
 
@@ -450,7 +457,7 @@ class SlabAlloc:
             self._grow()
             changes = 0
         if self._allocated_units >= self.capacity_units:
-            raise AllocationError(
+            raise SlabAllocExhausted(
                 "SlabAlloc is out of memory: "
                 f"{self._allocated_units}/{self.capacity_units} units allocated"
             )

@@ -13,6 +13,16 @@ class AllocationError(GpuSimError):
     """Raised when a simulated allocator cannot satisfy a request."""
 
 
+class SlabAllocExhausted(AllocationError):
+    """Raised when SlabAlloc has no free unit and cannot grow further.
+
+    A subclass (not a replacement) of :class:`AllocationError`, so existing
+    ``except AllocationError`` handlers keep working; the service layer and
+    the fault plane use the narrower type to mean specifically "the slab
+    pool is full", as opposed to misuse errors like double frees.
+    """
+
+
 class LaunchError(GpuSimError):
     """Raised when a kernel launch configuration is invalid."""
 

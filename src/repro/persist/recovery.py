@@ -13,13 +13,23 @@ counter; the crash-point harness in ``tests/proptest`` asserts exactly that.
 A torn final record (crash mid-append) is discarded by the WAL reader; its
 batch never resolved any futures, so dropping it is the correct
 at-most-once outcome for operations whose completion was never observed.
+
+**Aborted batches** are the other exactly-once hole the WAL plugs: the
+service logs batches *before* executing them, so a batch whose execution it
+rejected *non-deterministically* — an injected fault from the fault plane,
+which a deterministic replay would not reproduce — would otherwise replay
+cleanly and resurrect operations the client saw fail.  The service writes an
+abort marker (``WalRecord.aborted``) before failing such a batch's futures;
+:func:`recover` collects the marked indices (plus any passed via
+``extra_aborted``) and skips those batches, keeping "every rejected
+operation is absent" true across crash-recovery.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.core.slab_hash import SlabHash
 from repro.engine.sharded import ShardedSlabHash
@@ -42,6 +52,7 @@ class RecoveryReport:
     records_skipped: int  #: records already covered by the snapshot (checkpoint race)
     torn_tail: bool  #: the WAL ended in a partial record (discarded)
     next_batch_index: int  #: where a resuming service should continue numbering
+    records_aborted: int = 0  #: logged batches skipped because they were aborted
 
     def as_dict(self) -> dict:
         return {
@@ -51,6 +62,7 @@ class RecoveryReport:
             "ops_replayed": self.ops_replayed,
             "records_failed": self.records_failed,
             "records_skipped": self.records_skipped,
+            "records_aborted": self.records_aborted,
             "torn_tail": self.torn_tail,
             "next_batch_index": self.next_batch_index,
         }
@@ -119,6 +131,7 @@ def recover(
     *,
     scheduler_seed: Optional[int] = None,
     wave_size: Optional[int] = None,
+    extra_aborted: Optional[Iterable[int]] = None,
 ) -> Tuple[Union[SlabHash, ShardedSlabHash], RecoveryReport]:
     """Restore ``snapshot_path`` and replay the complete records of ``wal_path``.
 
@@ -133,6 +146,13 @@ def recover(
     checkpoint window — snapshot written, WAL not yet truncated — leaves
     such already-covered records behind, and replaying them would apply
     their batches twice.
+
+    Batches named by an **abort marker** in the log are skipped too: the
+    service rejected their execution non-deterministically (injected fault),
+    so replaying them would apply operations their clients saw fail.
+    ``extra_aborted`` adds in-memory aborted indices a live service knows
+    about but whose markers did not reach the log (its marker append itself
+    failed) — the quarantine-restore path passes its own set here.
     """
     engine = load(snapshot_path)
     floor = wal_floor(snapshot_path)
@@ -140,11 +160,21 @@ def recover(
     torn = False
     if wal_path is not None and os.path.exists(wal_path):
         records, torn = read_records(wal_path)
-    replayed = failed = skipped = ops = 0
+    aborted_indices = {record.batch_index for record in records if record.aborted}
+    if extra_aborted is not None:
+        aborted_indices.update(int(index) for index in extra_aborted)
+    replayed = failed = skipped = aborted = ops = 0
     next_batch_index = floor
     for record in records:
+        # Abort markers carry no operations; they only consume numbering.
+        next_batch_index = max(next_batch_index, record.batch_index + 1)
+        if record.aborted:
+            continue
         if record.batch_index < floor:
             skipped += 1
+            continue
+        if record.batch_index in aborted_indices:
+            aborted += 1
             continue
         clean = replay_record(
             engine, record, scheduler_seed=scheduler_seed, wave_size=wave_size
@@ -153,7 +183,6 @@ def recover(
         ops += len(record)
         if not clean:
             failed += 1
-        next_batch_index = max(next_batch_index, record.batch_index + 1)
     report = RecoveryReport(
         snapshot_path=snapshot_path,
         wal_path=wal_path,
@@ -163,5 +192,6 @@ def recover(
         records_skipped=skipped,
         torn_tail=torn,
         next_batch_index=next_batch_index,
+        records_aborted=aborted,
     )
     return engine, report

@@ -5,14 +5,18 @@ sequence of framed records, one per executed micro-batch::
 
     header:  b"SLABWAL\\0" | u32 version
     record:  b"WREC" | u32 payload_len | u32 crc32(payload) | payload
-    payload: u32 batch_index | u32 count | u8 has_values |
+    payload: u32 batch_index | u32 count | u8 flags |
              u8 op_codes[count] | u32 keys[count] | (u32 values[count])
 
-All integers are little-endian.  The framing makes torn writes — a crash
-mid-append — detectable: :func:`read_records` stops at the first record
-whose frame is incomplete or whose CRC fails, reports it as a *torn tail*,
-and never surfaces partial operations.  This is exactly the property the
-crash-point harness exploits: a WAL chopped at an arbitrary byte offset
+All integers are little-endian.  ``flags`` is 0 (key-only batch), 1
+(key-value batch), or 2 (an **abort marker**: ``count == 0`` and
+``batch_index`` names a previously logged batch whose execution the service
+rejected non-deterministically — recovery must skip that batch; see
+:meth:`WriteAheadLog.append_abort`).  The framing makes torn writes — a
+crash mid-append — detectable: :func:`read_records` stops at the first
+record whose frame is incomplete or whose CRC fails, reports it as a *torn
+tail*, and never surfaces partial operations.  This is exactly the property
+the crash-point harness exploits: a WAL chopped at an arbitrary byte offset
 always recovers to a prefix of whole batches.
 
 :class:`WriteAheadLog` is the append side: the service calls
@@ -23,7 +27,17 @@ group-commit path — several concurrently cut per-shard batches framed and
 written with one ``write`` + flush, byte-identical on disk to sequential
 appends — so durability cost amortizes across a drain round.  Appends are
 flushed to the OS on every call; pass ``sync=True`` to also ``fsync`` (real
-crash durability, slower — simulated-crash tests don't need it).
+crash durability, slower — simulated-crash tests don't need it; the
+durability matrix in docs/PERSISTENCE.md spells out what each survives).
+
+**Write-failure atomicity**: the log tracks its last *committed* offset
+explicitly, never trusting the file position after an error.  If a write,
+flush, or fsync raises mid-append — a real ``OSError`` or an injected one
+from a :class:`~repro.faults.FaultPlan` at the ``wal.append`` /
+``wal.write`` / ``wal.fsync`` sites — the file is rolled back (truncate +
+seek) to the committed offset and the error propagates; the *next* append
+starts from a clean boundary, and any garbage a failed rollback leaves
+behind is CRC-guarded as a torn tail.
 """
 
 from __future__ import annotations
@@ -51,14 +65,24 @@ _PAYLOAD_HEAD = struct.Struct("<IIB")
 HEADER_SIZE = _HEADER.size
 
 
+#: ``flags`` value marking an abort record (batch_index names the aborted batch).
+_FLAG_ABORT = 2
+
+
 @dataclass(frozen=True)
 class WalRecord:
-    """One logged micro-batch, exactly as the service executed it."""
+    """One logged micro-batch, exactly as the service executed it.
+
+    ``aborted`` records are zero-op markers: ``batch_index`` names an
+    earlier logged batch the service *rejected* after logging (an injected,
+    non-deterministic failure); recovery must not replay that batch.
+    """
 
     batch_index: int
     op_codes: np.ndarray  #: int64, one op code per operation
     keys: np.ndarray  #: uint32
     values: Optional[np.ndarray]  #: uint32, or None for key-only tables
+    aborted: bool = False
 
     def __len__(self) -> int:
         return len(self.op_codes)
@@ -75,9 +99,24 @@ def _encode(batch_index: int, op_codes: np.ndarray, keys: np.ndarray,
     return _FRAME.pack(_FRAME_MAGIC, len(payload), zlib.crc32(payload)) + payload
 
 
+def _encode_abort(batch_index: int) -> bytes:
+    payload = _PAYLOAD_HEAD.pack(batch_index, 0, _FLAG_ABORT)
+    return _FRAME.pack(_FRAME_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
 def _decode(payload: bytes) -> WalRecord:
     batch_index, count, has_values = _PAYLOAD_HEAD.unpack_from(payload)
     offset = _PAYLOAD_HEAD.size
+    if has_values == _FLAG_ABORT:
+        if count != 0 or len(payload) != offset:
+            raise ValueError("abort marker with a non-empty payload")
+        return WalRecord(
+            batch_index=batch_index,
+            op_codes=np.zeros(0, dtype=np.int64),
+            keys=np.zeros(0, dtype=np.uint32),
+            values=None,
+            aborted=True,
+        )
     expected = offset + count + 4 * count * (1 + has_values)
     if len(payload) != expected:
         raise ValueError(f"payload is {len(payload)} bytes, expected {expected}")
@@ -160,11 +199,25 @@ class WriteAheadLog:
 
     Re-opening an existing file validates the header and appends after the
     last complete record, discarding any torn tail left by a crash.
+
+    The handle tracks its **committed offset** explicitly — the byte just
+    past the last record whose append fully succeeded.  All appends write at
+    that offset (never at a ``tell()`` an earlier failed write may have
+    left dangling), and a failed append rolls the file back to it before
+    re-raising, so one I/O error can never tear the *next* append.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan` (or scoped
+    view) consulted at the ``wal.append`` (before any byte), ``wal.write``
+    (the write itself; supports ``torn_write``) and ``wal.fsync`` (after
+    write+flush) sites.
     """
 
-    def __init__(self, path: str, *, sync: bool = False) -> None:
+    def __init__(self, path: str, *, sync: bool = False, faults=None) -> None:
         self.path = path
         self.sync = bool(sync)
+        self.faults = faults
+        #: Rollbacks performed after failed appends (observability hook).
+        self.rollbacks = 0
         clean_end: Optional[int] = None
         if os.path.exists(path) and os.path.getsize(path) > 0:
             with open(path, "rb") as handle:
@@ -175,16 +228,58 @@ class WriteAheadLog:
             # crash during creation: rewrite the header from scratch.
             self._file = open(path, "w+b")
             self._file.write(_HEADER_BYTES)
+            self._committed = HEADER_SIZE
             self._flush()
         else:
             self._file = open(path, "r+b")
             self._file.truncate(clean_end)
             self._file.seek(clean_end)
+            self._committed = clean_end
 
     def _flush(self) -> None:
         self._file.flush()
         if self.sync:
             os.fsync(self._file.fileno())
+
+    def _rollback(self) -> None:
+        """Best-effort return to the last committed offset after a failure.
+
+        Even if the truncate itself fails (the disk is *gone*), the next
+        append still seeks to ``_committed`` first, and whatever partial
+        garbage remains past it is CRC-guarded as a torn tail on read.
+        """
+        self.rollbacks += 1
+        try:
+            self._file.seek(self._committed)
+            self._file.truncate(self._committed)
+            self._file.flush()
+        except OSError:  # pragma: no cover - depends on a second, real I/O error
+            pass
+
+    def _write_frames(self, blob: bytes) -> None:
+        """Write ``blob`` at the committed offset, or roll back and re-raise."""
+        try:
+            if self.faults is not None:
+                self.faults.check("wal.append")  # pre-write failure
+            self._file.seek(self._committed)
+            if self.faults is not None:
+                action = self.faults.fire("wal.write")
+                if action is not None:
+                    if action.kind == "torn_write":
+                        # n bytes land before the error — the torn-tail case.
+                        self._file.write(blob[: max(0, int(action.bytes_written))])
+                        self._file.flush()
+                    raise self.faults.exception(action)
+            self._file.write(blob)
+            self._file.flush()
+            if self.faults is not None:
+                self.faults.check("wal.fsync")  # post-write, pre-fsync failure
+            if self.sync:
+                os.fsync(self._file.fileno())
+        except Exception:
+            self._rollback()
+            raise
+        self._committed += len(blob)
 
     def append(
         self,
@@ -214,7 +309,7 @@ class WriteAheadLog:
         """
         frames: List[bytes] = []
         offsets: List[int] = []
-        cursor = self._file.tell()
+        cursor = self._committed
         for op_codes, keys, values, batch_index in batches:
             op_codes = np.asarray(op_codes)
             keys = np.asarray(keys)
@@ -228,19 +323,32 @@ class WriteAheadLog:
             frames.append(frame)
         if not frames:
             return offsets
-        self._file.write(b"".join(frames))
-        self._flush()
+        self._write_frames(b"".join(frames))
         return offsets
+
+    def append_abort(self, batch_index: int) -> int:
+        """Append an abort marker: "do not replay batch ``batch_index``".
+
+        Written (and flushed) by the service *before* it fails the futures
+        of a batch whose execution was rejected non-deterministically — an
+        injected fault that deterministic WAL replay would not reproduce —
+        so any operation a client observed as rejected has a durable marker
+        and recovery skips the batch.  Returns the marker's byte offset.
+        """
+        offset = self._committed
+        self._write_frames(_encode_abort(int(batch_index)))
+        return offset
 
     def truncate(self) -> None:
         """Drop every logged record (a snapshot checkpoint supersedes them)."""
         self._file.truncate(HEADER_SIZE)
         self._file.seek(HEADER_SIZE)
+        self._committed = HEADER_SIZE
         self._flush()
 
     def size(self) -> int:
-        """Current file size in bytes (header included)."""
-        return self._file.tell()
+        """Bytes committed to the log (header included)."""
+        return self._committed
 
     def records(self) -> List[WalRecord]:
         """The complete records currently in the file (reads from disk)."""

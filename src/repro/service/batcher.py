@@ -78,10 +78,15 @@ class OpChunk:
 
     ``positions`` maps each operation back to its index in the parent
     slice's results array; ``enqueued_at`` is shared by the whole admission
-    (one clock read per admission, not per operation).
+    (one clock read per admission, not per operation).  ``deadline`` is an
+    optional absolute ``perf_counter`` bound shared the same way: a chunk
+    still waiting in the log past it is rejected at cut time
+    (:meth:`MicroBatcher.expire`) instead of executed late.
     """
 
-    __slots__ = ("op_codes", "keys", "values", "slice", "positions", "enqueued_at")
+    __slots__ = (
+        "op_codes", "keys", "values", "slice", "positions", "enqueued_at", "deadline",
+    )
 
     def __init__(
         self,
@@ -91,6 +96,7 @@ class OpChunk:
         slice_: OpSlice,
         positions: np.ndarray,
         enqueued_at: float,
+        deadline: Optional[float] = None,
     ) -> None:
         self.op_codes = op_codes
         self.keys = keys
@@ -98,6 +104,7 @@ class OpChunk:
         self.slice = slice_
         self.positions = positions
         self.enqueued_at = float(enqueued_at)
+        self.deadline = None if deadline is None else float(deadline)
         slice_.remaining += 1
 
     def __len__(self) -> int:
@@ -117,6 +124,7 @@ class OpChunk:
             self.slice,
             self.positions[:count],
             self.enqueued_at,
+            self.deadline,
         )
         self.op_codes = self.op_codes[count:]
         self.keys = self.keys[count:]
@@ -202,6 +210,10 @@ class MicroBatcher:
         #: indistinguishable from a naturally aligned one, silently inflating
         #: ``aligned_batches`` on deadline-heavy traffic.
         self.forced_aligned_batches = 0
+        #: Operations rejected because their per-op deadline expired in the
+        #: log (:meth:`expire`) — never executed, failed with
+        #: :class:`~repro.service.errors.OpDeadlineExceeded`.
+        self.ops_expired = 0
 
     # ------------------------------------------------------------------ #
     # Logging
@@ -227,6 +239,60 @@ class MicroBatcher:
     def oldest_enqueued_at(self) -> Optional[float]:
         """Enqueue time of the head of the log (None when empty)."""
         return self._log[0].enqueued_at if self._log else None
+
+    # ------------------------------------------------------------------ #
+    # Rejection paths (deadlines, shutdown, quarantine)
+    # ------------------------------------------------------------------ #
+
+    def expire(self, now: float) -> int:
+        """Reject every logged chunk whose deadline lies before ``now``.
+
+        Expired chunks are removed whole (a chunk shares one admission's
+        deadline) and their slices failed with
+        :class:`~repro.service.errors.OpDeadlineExceeded` — rejected at cut
+        time, never executed late.  Returns the number of operations
+        rejected; 0 on the common all-deadline-free path costs one ``any``
+        scan of the log.
+        """
+        if not any(
+            chunk.deadline is not None and chunk.deadline < now for chunk in self._log
+        ):
+            return 0
+        from repro.service.errors import OpDeadlineExceeded
+
+        expired = 0
+        kept: Deque[OpChunk] = deque()
+        for chunk in self._log:
+            if chunk.deadline is not None and chunk.deadline < now:
+                expired += len(chunk)
+                chunk.slice.chunk_failed(
+                    OpDeadlineExceeded(
+                        f"deadline passed before the operation was cut "
+                        f"({len(chunk)} op(s) waiting)"
+                    )
+                )
+            else:
+                kept.append(chunk)
+        self._log = kept
+        self._pending -= expired
+        self.ops_expired += expired
+        return expired
+
+    def clear(self, error: BaseException) -> int:
+        """Fail every logged chunk with ``error`` and empty the log.
+
+        Used when a lane is quarantined (pending slices fail with a
+        retryable :class:`~repro.service.errors.ShardQuarantined`) and on
+        shutdown (leftovers fail with
+        :class:`~repro.service.errors.ServiceStopped` instead of hanging
+        their futures).  Returns the number of operations failed.
+        """
+        cleared = self._pending
+        for chunk in self._log:
+            chunk.slice.chunk_failed(error)
+        self._log = deque()
+        self._pending = 0
+        return cleared
 
     # ------------------------------------------------------------------ #
     # Batch extraction

@@ -1,0 +1,89 @@
+"""The service layer's rejection vocabulary.
+
+Every error the hardened :class:`~repro.service.SlabHashService` uses to
+*refuse* work derives from :class:`ServiceError` and carries a
+``retryable`` flag — the contract :func:`repro.service.retry.retry_with_backoff`
+keys on (see docs/FAULTS.md for the full retry contract):
+
+* **retryable** (:class:`ServiceOverloaded`, :class:`ShardQuarantined`,
+  :class:`WalCommitFailed`): the operation was *not* applied and not
+  logged; the condition is transient (backpressure, a quarantined lane
+  mid-restore, a rolled-back WAL append), so resubmitting the same
+  operation is safe and expected to eventually succeed.
+* **non-retryable** (:class:`OpDeadlineExceeded`, :class:`ServiceStopped`):
+  the operation was not applied either, but retrying as-is is pointless —
+  its deadline has passed, or the service is shutting down.
+
+Batch-execution failures (e.g. real allocator exhaustion) are *not* wrapped:
+they surface as the underlying exception, exactly as before.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ServiceError",
+    "RetryableServiceError",
+    "ServiceOverloaded",
+    "ShardQuarantined",
+    "WalCommitFailed",
+    "OpDeadlineExceeded",
+    "ServiceStopped",
+]
+
+
+class ServiceError(Exception):
+    """Base class for service-level rejections (the op was never applied)."""
+
+    #: Whether resubmitting the same operation unchanged makes sense.
+    retryable = False
+
+
+class RetryableServiceError(ServiceError):
+    """A transient rejection; resubmission is safe and should succeed."""
+
+    retryable = True
+
+
+class ServiceOverloaded(RetryableServiceError):
+    """Admission refused: the target shard's pending-op budget is full.
+
+    Fail-fast backpressure — raised at submit time, before anything is
+    logged or enqueued, so the caller can shed load or back off
+    (:func:`~repro.service.retry.retry_with_backoff`).
+    """
+
+
+class ShardQuarantined(RetryableServiceError):
+    """Admission refused: the target shard's lane is circuit-broken open.
+
+    A background task is restoring the shard from the last checkpoint plus
+    the WAL tail; the lane half-opens when it finishes, and admissions
+    succeed again once a probe batch closes it.
+    """
+
+
+class WalCommitFailed(RetryableServiceError):
+    """The round's WAL group-append failed and was rolled back.
+
+    None of the round's batches executed (write-ahead: not logged means not
+    run), so every affected operation is unapplied and safe to resubmit;
+    the table itself is untouched and stays serviceable.
+    """
+
+
+class OpDeadlineExceeded(ServiceError):
+    """The operation's deadline passed while it waited to be cut.
+
+    Rejected at cut time instead of executed late.  Not retryable as-is —
+    the deadline is part of the request; resubmit with a new one if the
+    result still matters.
+    """
+
+
+class ServiceStopped(ServiceError):
+    """The service stopped before this operation could be cut and executed.
+
+    Raised at admission once shutdown begins, and used to deterministically
+    fail any operation still in a shard log when the drains have exited —
+    futures never hang across :meth:`~repro.service.SlabHashService.stop`.
+    """

@@ -1,0 +1,87 @@
+"""An asyncio-friendly retry helper for the service's retryable rejections.
+
+The service sheds load by *failing fast* — :class:`ServiceOverloaded`,
+:class:`ShardQuarantined` and :class:`WalCommitFailed` all mean "not
+applied, resubmit later".  :func:`retry_with_backoff` is the client half of
+that contract: jittered exponential backoff between attempts, an optional
+deadline, and a deterministic jitter source (seeded ``random.Random``, never
+the global RNG) so tests and chaos programs replay identically.
+
+    results = await retry_with_backoff(
+        lambda: service.submit_many(op_codes, keys, values),
+        rng=random.Random(7),
+        deadline=time.perf_counter() + 1.0,
+    )
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from typing import Awaitable, Callable, Optional, Tuple, Type, TypeVar
+
+from repro.service.errors import RetryableServiceError
+
+__all__ = ["retry_with_backoff"]
+
+T = TypeVar("T")
+
+
+async def retry_with_backoff(
+    operation: Callable[[], Awaitable[T]],
+    *,
+    retries: int = 8,
+    base_delay: float = 0.001,
+    max_delay: float = 0.25,
+    jitter: float = 0.5,
+    deadline: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+    retry_on: Tuple[Type[BaseException], ...] = (RetryableServiceError,),
+) -> T:
+    """Await ``operation()`` — a fresh coroutine per call — retrying
+    retryable service rejections with jittered exponential backoff.
+
+    Parameters
+    ----------
+    operation:
+        Zero-argument callable returning a *new* awaitable each attempt
+        (e.g. ``lambda: service.submit(op, key, value)``).
+    retries:
+        Maximum resubmissions after the first attempt.  Exhausting them
+        re-raises the last rejection.
+    base_delay / max_delay:
+        The nth backoff sleeps ``min(max_delay, base_delay * 2**n)``
+        seconds before jitter.
+    jitter:
+        Each sleep is stretched by ``1 + jitter * U[0, 1)`` drawn from
+        ``rng`` — desynchronizing retrying clients without global
+        randomness.  ``0`` disables jitter.
+    deadline:
+        Absolute ``time.perf_counter()`` bound; when the next backoff sleep
+        would land past it, the last rejection is re-raised instead of
+        sleeping (the attempt itself is never cancelled mid-flight).
+    rng:
+        Seeded jitter source; defaults to ``random.Random(0)`` so two
+        helpers built the same way behave the same.
+    retry_on:
+        Exception types worth retrying; anything else propagates
+        immediately.  Defaults to
+        :class:`~repro.service.errors.RetryableServiceError`.
+    """
+    rng = rng if rng is not None else random.Random(0)
+    attempt = 0
+    while True:
+        try:
+            return await operation()
+        except retry_on as exc:
+            if getattr(exc, "retryable", True) is False:
+                raise
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = min(max_delay, base_delay * (2 ** (attempt - 1)))
+            delay *= 1.0 + jitter * rng.random()
+            if deadline is not None and time.perf_counter() + delay >= deadline:
+                raise
+            await asyncio.sleep(delay)

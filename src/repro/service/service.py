@@ -58,6 +58,23 @@ log, and :meth:`SlabHashService.recovered` rebuilds a service after a crash
 by restoring the snapshot and replaying the log tail deterministically.
 WAL batch indices are assigned at group-commit time, so a checkpoint can
 never cover a batch that was cut but not yet logged.
+
+Degradation (docs/FAULTS.md): the service fails *fast and typed* instead of
+queueing without bound or hanging futures.  Admission is bounded per shard
+(``max_pending_per_shard`` → retryable :class:`ServiceOverloaded`),
+operations may carry deadlines (expired ops are rejected at cut time with
+:class:`OpDeadlineExceeded`, never executed late), each lane has a circuit
+breaker (``breaker_threshold`` consecutive batch failures trip it open;
+pending slices fail with retryable :class:`ShardQuarantined` while a
+background task restores the shard from the last checkpoint + WAL tail and
+half-opens the lane), a failed WAL group-append rolls back and fails only
+that round (retryable :class:`WalCommitFailed` — not logged means not run),
+and :meth:`stop` deterministically fails anything still uncut with
+:class:`ServiceStopped`.  A :class:`~repro.faults.FaultPlan` passed as
+``faults`` arms deterministic injection sites across the allocator, the
+WAL, and the per-shard execute path; injected batch failures get durable
+WAL *abort markers* so crash-recovery never resurrects an operation its
+client saw fail.
 """
 
 from __future__ import annotations
@@ -65,7 +82,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
@@ -73,13 +90,34 @@ from repro.core import constants as C
 from repro.core.hashing import is_user_key
 from repro.core.slab_hash import SlabHash
 from repro.engine.sharded import ShardedSlabHash
+from repro.faults import FaultPlan, InjectedFault
 from repro.gpusim.scheduler import WarpScheduler
 from repro.perf.latency import LatencyRecorder, LatencyReport
 from repro.perf.metrics import measure_phase
 from repro.persist.wal import WriteAheadLog
 from repro.service.batcher import CutBatch, MicroBatcher, OpChunk, OpSlice
+from repro.service.errors import (
+    OpDeadlineExceeded,
+    ServiceOverloaded,
+    ServiceStopped,
+    ShardQuarantined,
+    WalCommitFailed,
+)
 
-__all__ = ["ServiceConfig", "ServiceStats", "ShardLaneStats", "SlabHashService"]
+__all__ = [
+    "LANE_CLOSED",
+    "LANE_HALF_OPEN",
+    "LANE_OPEN",
+    "ServiceConfig",
+    "ServiceStats",
+    "ShardLaneStats",
+    "SlabHashService",
+]
+
+#: Circuit-breaker lane states (per shard drain lane).
+LANE_CLOSED = "closed"
+LANE_OPEN = "open"
+LANE_HALF_OPEN = "half_open"
 
 _VALID_OPS = np.array([C.OP_INSERT, C.OP_DELETE, C.OP_SEARCH], dtype=np.int64)
 
@@ -109,6 +147,17 @@ class ServiceConfig:
     measure_device_time:
         Also collect the modelled device time of every executed batch
         (adds one counter snapshot per batch).
+    max_pending_per_shard:
+        Admission budget: most operations one shard's log may hold.  An
+        admission that would push a target shard past it fails fast with a
+        retryable :class:`~repro.service.errors.ServiceOverloaded` before
+        anything is enqueued.  ``None`` (default) admits without bound —
+        the pre-hardening behavior.
+    breaker_threshold:
+        Consecutive batch failures on one lane before its circuit breaker
+        trips open (quarantine + background restore).  A dirty *injected*
+        failure — mid-execution, state suspect — trips immediately
+        regardless.
     """
 
     max_batch_size: int = 1024
@@ -116,6 +165,8 @@ class ServiceConfig:
     scheduler_seed: Optional[int] = None
     wave_size: Optional[int] = None
     measure_device_time: bool = True
+    max_pending_per_shard: Optional[int] = None
+    breaker_threshold: int = 3
 
 
 @dataclass(frozen=True)
@@ -136,6 +187,12 @@ class ShardLaneStats:
     forced_batches: int
     forced_aligned_batches: int
     modelled_seconds: float
+    rejected_overloaded: int = 0
+    rejected_quarantined: int = 0
+    ops_expired: int = 0
+    trips: int = 0
+    restores: int = 0
+    state: str = LANE_CLOSED
 
     @property
     def warp_aligned_batches(self) -> int:
@@ -152,6 +209,12 @@ class ShardLaneStats:
             "forced_aligned_batches": self.forced_aligned_batches,
             "warp_aligned_batches": self.warp_aligned_batches,
             "modelled_seconds": self.modelled_seconds,
+            "rejected_overloaded": self.rejected_overloaded,
+            "rejected_quarantined": self.rejected_quarantined,
+            "ops_expired": self.ops_expired,
+            "trips": self.trips,
+            "restores": self.restores,
+            "state": self.state,
         }
 
 
@@ -168,6 +231,15 @@ class ServiceStats:
     shard's total, since shards are independent modelled devices draining
     concurrently.  ``resize_failures`` is the append-only log of failed
     between-batch migrations — later successes never erase it.
+
+    The degradation counters follow the same per-lane arithmetic:
+    ``ops_rejected`` (admissions refused by backpressure or quarantine) and
+    ``ops_expired`` (deadline rejections at cut time) sum the lanes;
+    ``breaker_trips`` / ``shard_restores`` count lane quarantine cycles;
+    ``wal_rollbacks`` counts failed group commits the log rolled back; and
+    ``batches_aborted`` counts logged batches the service rejected with a
+    durable abort marker (injected failures recovery must not replay).
+    ``restore_failures`` is append-only like ``resize_failures``.
     """
 
     ops_enqueued: int
@@ -186,6 +258,13 @@ class ServiceStats:
     resizes_performed: int = 0
     resize_failures: Tuple[str, ...] = field(default_factory=tuple)
     resize_modelled_seconds: float = 0.0
+    ops_rejected: int = 0
+    ops_expired: int = 0
+    breaker_trips: int = 0
+    shard_restores: int = 0
+    wal_rollbacks: int = 0
+    batches_aborted: int = 0
+    restore_failures: Tuple[str, ...] = field(default_factory=tuple)
 
     def as_dict(self) -> dict:
         """Plain-dict view (used by the service benchmark JSON documents)."""
@@ -206,6 +285,13 @@ class ServiceStats:
             "resizes_performed": self.resizes_performed,
             "resize_failures": list(self.resize_failures),
             "resize_modelled_seconds": self.resize_modelled_seconds,
+            "ops_rejected": self.ops_rejected,
+            "ops_expired": self.ops_expired,
+            "breaker_trips": self.breaker_trips,
+            "shard_restores": self.shard_restores,
+            "wal_rollbacks": self.wal_rollbacks,
+            "batches_aborted": self.batches_aborted,
+            "restore_failures": list(self.restore_failures),
         }
 
 
@@ -239,6 +325,13 @@ class SlabHashService:
         any of them executes, so a crash can be recovered by replaying the
         tail onto the last snapshot (:meth:`checkpoint` / :meth:`recovered`);
         see docs/PERSISTENCE.md.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan`.  Arms the deterministic
+        injection sites (docs/FAULTS.md): each shard's allocator gets a
+        ``shard:<i>.``-scoped view, the WAL gets the plan for its
+        ``wal.*`` sites, and the service itself consults
+        ``shard:<i>.execute`` before each batch and ``service.restore``
+        before a quarantine restore.
 
     Use as an async context manager, or call :meth:`start` / :meth:`stop`::
 
@@ -254,10 +347,12 @@ class SlabHashService:
         *,
         config: Optional[ServiceConfig] = None,
         wal: Optional[WriteAheadLog] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.engine = engine
         self.config = config or ServiceConfig()
         self.wal = wal
+        self.faults = faults
         self._sharded = isinstance(engine, ShardedSlabHash)
         self._shards: List[SlabHash] = list(engine.shards) if self._sharded else [engine]
         table_config = self._shards[0].config
@@ -279,6 +374,28 @@ class SlabHashService:
         self._resize_modelled_seconds = 0.0
         self._first_enqueue: Optional[float] = None
         self._last_completion: Optional[float] = None
+        # Degradation state: circuit breaker + quarantine, per drain lane.
+        self._lane_state = [LANE_CLOSED for _ in self._shards]
+        self._consecutive_failures = [0 for _ in self._shards]
+        self._rejected_overloaded = [0 for _ in self._shards]
+        self._rejected_quarantined = [0 for _ in self._shards]
+        self._lane_trips = [0 for _ in self._shards]
+        self._lane_restores = [0 for _ in self._shards]
+        self._restore_tasks: Dict[int, asyncio.Task] = {}
+        self._restore_failure_log: List[str] = []
+        self._checkpoint_path: Optional[str] = None
+        # Exactly-once across recovery: indices of logged-then-rejected
+        # batches (injected failures), and the subset whose durable abort
+        # marker has not landed yet (the marker append itself failed).
+        self._aborted_indices: Set[int] = set()
+        self._unlogged_aborts: Set[int] = set()
+        self._aborts_logged = 0
+        self._wal_rollbacks = 0
+        if faults is not None:
+            for index, table in enumerate(self._shards):
+                table.alloc.faults = faults.scoped(f"shard:{index}.")
+            if wal is not None and wal.faults is None:
+                wal.faults = faults
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -298,17 +415,60 @@ class SlabHashService:
                 loop.create_task(self._drain_shard(shard))
                 for shard in range(len(self._shards))
             ]
+            # A lane left quarantined by a stop() mid-restore re-arms here.
+            for shard, state in enumerate(self._lane_state):
+                if state == LANE_OPEN and shard not in self._restore_tasks:
+                    self._restore_tasks[shard] = loop.create_task(
+                        self._restore_lane(shard)
+                    )
         return self
 
     async def stop(self) -> None:
-        """Flush every logged operation, then stop the drain loops."""
+        """Flush every logged operation, then stop the drain loops.
+
+        Deterministic shutdown contract: admissions after stop begins fail
+        with :class:`~repro.service.errors.ServiceStopped`; operations the
+        drains flush resolve normally; anything left uncut when the drains
+        exit — a lane quarantined mid-shutdown, a drain task that died or
+        was cancelled — is *failed* with ``ServiceStopped`` rather than
+        left as a hanging future.  In-flight quarantine restores are
+        cancelled (the lane restores on the next :meth:`start` trip), and
+        any abort markers whose append had failed are retried so the
+        on-disk log stays authoritative for recovery.
+        """
         if not self._drain_tasks:
             return
         self._closing = True
         for wake in self._wakes:
             wake.set()
-        await asyncio.gather(*self._drain_tasks)
+        outcomes = await asyncio.gather(*self._drain_tasks, return_exceptions=True)
         self._drain_tasks = []
+        restores = list(self._restore_tasks.values())
+        self._restore_tasks = {}
+        for task in restores:
+            task.cancel()
+        for task in restores:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._flush_unlogged_aborts()
+        stopped = ServiceStopped(
+            "service stopped before these operations could be cut"
+        )
+        for batcher in self._batchers:
+            self._ops_failed += batcher.clear(stopped)
+        for entry in self._staged:
+            self._ops_failed += len(entry.batch)
+            entry.batch.fail(stopped)
+        self._staged = []
+        # Surface an unexpected drain-loop crash only after every future
+        # has been resolved — a bug must not translate into a hang.
+        for outcome in outcomes:
+            if isinstance(outcome, BaseException) and not isinstance(
+                outcome, asyncio.CancelledError
+            ):
+                raise outcome
 
     async def __aenter__(self) -> "SlabHashService":
         return await self.start()
@@ -330,14 +490,40 @@ class SlabHashService:
             self._first_enqueue = now
         return now
 
-    def _enqueue(self, op_code: int, key: int, value: int) -> "asyncio.Future[np.ndarray]":
+    def _admission_check(self, shard: int, count: int) -> None:
+        """Fail fast — typed, retryable, *before* anything is enqueued."""
+        if self._closing:
+            raise ServiceStopped("service is stopping; operation not admitted")
+        if self._lane_state[shard] == LANE_OPEN:
+            self._rejected_quarantined[shard] += count
+            raise ShardQuarantined(
+                f"shard {shard} is quarantined (restore in progress); retry later"
+            )
+        budget = self.config.max_pending_per_shard
+        if budget is not None:
+            pending = len(self._batchers[shard])
+            if pending + count > budget:
+                self._rejected_overloaded[shard] += count
+                raise ServiceOverloaded(
+                    f"shard {shard} holds {pending} pending op(s); admitting "
+                    f"{count} would exceed the budget of {budget} — retry later"
+                )
+
+    def _enqueue(
+        self,
+        op_code: int,
+        key: int,
+        value: int,
+        deadline: Optional[float] = None,
+    ) -> "asyncio.Future[np.ndarray]":
         self._require_running()
         if not is_user_key(key):
             raise ValueError(f"key 0x{int(key):08X} is outside the storable key domain")
+        shard = self.engine.admit_one(key) if self._sharded else 0
+        self._admission_check(shard, 1)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         now = self._stamp_enqueue()
         slice_ = OpSlice(future, 1)
-        shard = self.engine.admit_one(key) if self._sharded else 0
         chunk = OpChunk(
             np.array([op_code], dtype=np.int64),
             np.array([key], dtype=np.uint64),
@@ -345,22 +531,36 @@ class SlabHashService:
             slice_,
             np.zeros(1, dtype=np.int64),
             now,
+            deadline,
         )
         self._batchers[shard].add(chunk)
         self._wakes[shard].set()
         return future
 
-    async def submit(self, op_code: int, key: int, value: Optional[int] = None) -> int:
+    async def submit(
+        self,
+        op_code: int,
+        key: int,
+        value: Optional[int] = None,
+        *,
+        deadline: Optional[float] = None,
+    ) -> int:
         """Log one operation and await its raw result (SlabHash conventions).
 
         Searches resolve to the found value or ``SEARCH_NOT_FOUND``,
-        deletions to 1/0 (removed or not), insertions to 0.
+        deletions to 1/0 (removed or not), insertions to 0.  ``deadline``
+        is an absolute ``time.perf_counter()`` bound: an operation still
+        waiting in its shard's log past it is rejected with
+        :class:`~repro.service.errors.OpDeadlineExceeded` at cut time
+        instead of executed late.
         """
         if op_code not in (C.OP_INSERT, C.OP_DELETE, C.OP_SEARCH):
             raise ValueError(f"unknown operation code {op_code!r}")
         if op_code == C.OP_INSERT and self._key_value and value is None:
             raise ValueError("key-value mode requires a value for insertions")
-        results = await self._enqueue(op_code, key, 0 if value is None else value)
+        results = await self._enqueue(
+            op_code, key, 0 if value is None else value, deadline
+        )
         return int(results[0])
 
     async def insert(self, key: int, value: Optional[int] = None) -> None:
@@ -381,6 +581,8 @@ class SlabHashService:
         op_codes: Sequence[int],
         keys: Sequence[int],
         values: Optional[Sequence[int]] = None,
+        *,
+        deadline: Optional[float] = None,
     ) -> np.ndarray:
         """Log an array of operations as **one admission** and await all results.
 
@@ -389,6 +591,14 @@ class SlabHashService:
         covers the entire slice, and results come back in submission order.
         Per-operation cost on this path is a few array ops — no per-op
         futures, objects, or clock reads.
+
+        Admission is **all-or-nothing**: every target shard's budget and
+        lane state is checked before any chunk is enqueued, so a rejection
+        (:class:`~repro.service.errors.ServiceOverloaded` /
+        :class:`~repro.service.errors.ShardQuarantined`) means no part of
+        the slice was admitted and the whole array is safe to resubmit.
+        ``deadline`` (absolute ``perf_counter``) covers every operation of
+        the admission.
         """
         self._require_running()
         op_codes = np.asarray(op_codes, dtype=np.int64)
@@ -407,13 +617,18 @@ class SlabHashService:
             bad = keys[keys >= np.uint64(C.MAX_USER_KEY)][0]
             raise ValueError(f"key 0x{int(bad):08X} is outside the storable key domain")
 
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        now = self._stamp_enqueue()
-        slice_ = OpSlice(future, len(keys))
         if self._sharded:
             parts = self.engine.admit_partition(keys)
         else:
             parts = [np.arange(len(keys), dtype=np.int64)]
+        # All-or-nothing admission: check every target lane before enqueueing
+        # anything, so a rejected slice leaves no partial chunks behind.
+        for shard, idx in enumerate(parts):
+            if idx.size:
+                self._admission_check(shard, int(idx.size))
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        now = self._stamp_enqueue()
+        slice_ = OpSlice(future, len(keys))
         for shard, idx in enumerate(parts):
             if not idx.size:
                 continue
@@ -424,6 +639,7 @@ class SlabHashService:
                 slice_,
                 idx,
                 now,
+                deadline,
             )
             self._batchers[shard].add(chunk)
             self._wakes[shard].set()
@@ -446,6 +662,21 @@ class SlabHashService:
         batcher = self._batchers[shard]
         wake = self._wakes[shard]
         while True:
+            # Deadline rejections happen at cut time: expired operations are
+            # failed here, before any batch is cut, never executed late.
+            expired = batcher.expire(time.perf_counter())
+            if expired:
+                self._ops_failed += expired
+            if self._lane_state[shard] == LANE_OPEN:
+                # Quarantined: admission is refusing traffic and the restore
+                # task owns the shard; park until it half-opens the lane.
+                if self._closing:
+                    return
+                wake.clear()
+                if self._lane_state[shard] != LANE_OPEN:  # raced with restore
+                    continue
+                await wake.wait()
+                continue
             if len(batcher) == 0:
                 if self._closing:
                     return
@@ -501,17 +732,33 @@ class SlabHashService:
             # Write-ahead, amortized: the whole round is durable — one framed
             # write, one flush — before any of its batches executes, so a
             # crash mid-round replays every logged batch on recovery.
-            self.wal.append_group(
-                [
-                    (
-                        entry.batch.op_codes,
-                        entry.batch.keys.astype(np.uint32),
-                        entry.batch.values,
-                        entry.batch_index,
-                    )
-                    for entry in staged
-                ]
-            )
+            try:
+                self.wal.append_group(
+                    [
+                        (
+                            entry.batch.op_codes,
+                            entry.batch.keys.astype(np.uint32),
+                            entry.batch.values,
+                            entry.batch_index,
+                        )
+                        for entry in staged
+                    ]
+                )
+            except Exception as exc:  # noqa: BLE001 - log rolled back; fail the round
+                # Not logged means not run: the WAL rolled back to its last
+                # committed offset, none of the round's batches executes, and
+                # every affected operation fails retryably.  The table itself
+                # was never touched, so the service keeps serving.
+                self._wal_rollbacks += 1
+                failure = WalCommitFailed(
+                    f"WAL group commit failed and was rolled back: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                failure.__cause__ = exc
+                for entry in staged:
+                    self._ops_failed += len(entry.batch)
+                    entry.batch.fail(failure)
+                return
         for entry in staged:
             self._execute(entry)
 
@@ -529,6 +776,16 @@ class SlabHashService:
         batch = entry.batch
         table = self._shards[entry.shard]
         holder = {}
+
+        if self.faults is not None:
+            # Pre-execution injection site: the batch is logged but has not
+            # touched the table yet, so the rejection is *clean* (state
+            # intact) — it counts toward the breaker but never dirties state.
+            try:
+                self.faults.check(f"shard:{entry.shard}.execute")
+            except Exception as exc:  # noqa: BLE001
+                self._reject_batch(entry, exc, dirty=False)
+                return
 
         def run() -> None:
             holder["results"] = table.concurrent_batch(
@@ -552,16 +809,175 @@ class SlabHashService:
                 run()
             results = holder["results"]
         except Exception as exc:  # noqa: BLE001 - a failed batch fails its slices
-            self._ops_failed += len(batch)
-            batch.fail(exc)
+            self._reject_batch(entry, exc, dirty=True)
             return
         completed_at = time.perf_counter()
         self._last_completion = completed_at
         self._ops_completed += len(batch)
+        self._lane_ok(entry.shard)
         for chunk, _start, _end in batch.spans():
             self._latency.record_many(completed_at - chunk.enqueued_at, len(chunk))
         batch.complete(results)
         self._resize_between_batches(entry.shard, entry.batch_index)
+
+    # ------------------------------------------------------------------ #
+    # Circuit breaker, quarantine, and restore
+    # ------------------------------------------------------------------ #
+
+    def _lane_ok(self, shard: int) -> None:
+        """A batch executed cleanly: reset the breaker, close a half-open lane."""
+        self._consecutive_failures[shard] = 0
+        if self._lane_state[shard] == LANE_HALF_OPEN:
+            self._lane_state[shard] = LANE_CLOSED
+
+    def _reject_batch(self, entry: _StagedBatch, exc: BaseException, *, dirty: bool) -> None:
+        """Fail one committed batch's futures and advance the breaker.
+
+        *Injected* failures (:class:`~repro.faults.InjectedFault`) are
+        non-deterministic — a replay would not reproduce them — so the batch
+        gets an abort marker, keeping "rejected means absent" true across
+        crash-recovery.  Natural failures (e.g. real allocator exhaustion)
+        replay identically, so the log needs no marker and the pre-hardening
+        fail-futures-and-serve-on behavior is preserved.  A *dirty* injected
+        failure (mid-execution, shard state suspect) trips the lane
+        immediately; everything else trips only after ``breaker_threshold``
+        consecutive failures.
+        """
+        shard = entry.shard
+        injected = isinstance(exc, InjectedFault)
+        if injected:
+            self._abort_batch_record(entry.batch_index)
+        self._ops_failed += len(entry.batch)
+        entry.batch.fail(exc)
+        self._consecutive_failures[shard] += 1
+        if (dirty and injected) or (
+            self._consecutive_failures[shard] >= self.config.breaker_threshold
+        ):
+            self._trip(shard, exc)
+
+    def _abort_batch_record(self, batch_index: int) -> None:
+        """Durably mark a logged batch as aborted so recovery skips it."""
+        self._aborted_indices.add(batch_index)
+        if self.wal is None:
+            return
+        try:
+            self.wal.append_abort(batch_index)
+            self._aborts_logged += 1
+        except Exception:  # noqa: BLE001 - retried at restore/stop time
+            self._unlogged_aborts.add(batch_index)
+
+    def _flush_unlogged_aborts(self) -> None:
+        """Retry abort markers whose append failed; best-effort, in order."""
+        if self.wal is None or not self._unlogged_aborts:
+            return
+        for batch_index in sorted(self._unlogged_aborts):
+            try:
+                self.wal.append_abort(batch_index)
+                self._aborts_logged += 1
+                self._unlogged_aborts.discard(batch_index)
+            except Exception:  # noqa: BLE001 - still unlogged; keep for later
+                pass
+
+    def _trip(self, shard: int, cause: BaseException) -> None:
+        """Open the lane's breaker: quarantine the shard, start its restore.
+
+        Without a checkpoint on record there is no state to rebuild, so the
+        "restore" is soft and happens *synchronously*: pending slices still
+        fail retryably and the trip is counted, but the lane lands in
+        half-open immediately — no admission window ever rejects, matching
+        the pre-hardening serve-on behavior for natural failures.
+        """
+        if self._lane_state[shard] == LANE_OPEN:
+            return
+        self._lane_trips[shard] += 1
+        error = ShardQuarantined(
+            f"shard {shard} quarantined after "
+            f"{self._consecutive_failures[shard]} consecutive batch failure(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        error.__cause__ = cause
+        self._ops_failed += self._batchers[shard].clear(error)
+        if self._checkpoint_path is None:
+            self._flush_unlogged_aborts()
+            self._lane_restores[shard] += 1
+            self._consecutive_failures[shard] = 0
+            self._lane_state[shard] = LANE_HALF_OPEN
+            return
+        self._lane_state[shard] = LANE_OPEN
+        self._restore_tasks[shard] = asyncio.get_running_loop().create_task(
+            self._restore_lane(shard)
+        )
+
+    async def _restore_lane(self, shard: int) -> None:
+        """Background quarantine restore: rebuild the shard, half-open the lane.
+
+        With a checkpoint on record the shard is rebuilt from snapshot + WAL
+        tail (aborted batches skipped), which discards whatever partial state
+        the dirty failure left; without one the restore is *soft* — the lane
+        merely cools down and half-opens, matching the pre-hardening
+        serve-on behavior.  Restore failures are injectable
+        (``service.restore``) and retried; after the attempts the lane
+        half-opens regardless (degraded but live — admission works and the
+        next clean batch closes the breaker, so no manual intervention is
+        ever required).
+        """
+        try:
+            await asyncio.sleep(0)  # let the tripping execute() unwind first
+            self._flush_unlogged_aborts()
+            for attempt in range(3):
+                try:
+                    if self.faults is not None:
+                        self.faults.check("service.restore")
+                    self._restore_shard_state(shard)
+                    break
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - retry, then degrade
+                    self._restore_failure_log.append(
+                        f"shard {shard} restore attempt {attempt + 1}: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    await asyncio.sleep(self.config.max_delay)
+            self._lane_restores[shard] += 1
+            self._consecutive_failures[shard] = 0
+            self._lane_state[shard] = LANE_HALF_OPEN
+            self._restore_tasks.pop(shard, None)
+            if shard < len(self._wakes):
+                self._wakes[shard].set()
+        except asyncio.CancelledError:
+            pass
+
+    def _restore_shard_state(self, shard: int) -> None:
+        """Rebuild one shard from the last checkpoint plus the WAL tail.
+
+        Hash routing sends every occurrence of a key to the same shard, so
+        shard ``i`` of a full :func:`~repro.persist.recovery.recover` equals
+        checkpointed shard ``i`` plus exactly the acked shard-``i`` batches —
+        swapping it in cannot disturb any other lane.  In-memory aborted
+        indices ride along as ``extra_aborted`` in case their durable
+        markers have not landed.  Without a checkpoint this is a no-op
+        (soft restore: cool down and half-open).
+        """
+        if self._checkpoint_path is None:
+            return
+        from repro.persist.recovery import recover as _recover
+
+        engine, _report = _recover(
+            self._checkpoint_path,
+            None if self.wal is None else self.wal.path,
+            scheduler_seed=self.config.scheduler_seed,
+            wave_size=self.config.wave_size,
+            extra_aborted=self._aborted_indices,
+        )
+        if self._sharded:
+            fresh = engine.shards[shard]
+            self.engine.shards[shard] = fresh
+        else:
+            fresh = engine
+            self.engine = engine
+        self._shards[shard] = fresh
+        if self.faults is not None:
+            fresh.alloc.faults = self.faults.scoped(f"shard:{shard}.")
 
     def _resize_between_batches(self, shard: int, batch_index: int) -> None:
         """Apply this shard's deferred load-factor policy while it is idle.
@@ -610,12 +1026,27 @@ class SlabHashService:
         freshly-truncated WAL keeps its batch numbering contiguous.  Batch
         indices are assigned at group-commit time, so a batch cut but not
         yet committed is always numbered *above* the floor and replays.
+
+        Checkpointing while a shard is quarantined is refused (retryable
+        :class:`~repro.service.errors.ShardQuarantined`): the snapshot would
+        capture the quarantined lane's suspect state and the truncation
+        would discard the very WAL tail its restore needs.
         """
         from repro.persist.snapshot import save as _save
+
+        for shard, state in enumerate(self._lane_state):
+            if state == LANE_OPEN:
+                raise ShardQuarantined(
+                    f"cannot checkpoint while shard {shard} is quarantined "
+                    "(restore in progress); retry after it half-opens"
+                )
 
         _save(self.engine, snapshot_path, wal_min_batch_index=self._batch_index)
         if self.wal is not None:
             self.wal.truncate()
+        # The quarantine-restore path rebuilds shards from here; batches the
+        # truncation discarded are also no longer abortable-by-marker.
+        self._checkpoint_path = snapshot_path
         return snapshot_path
 
     @classmethod
@@ -625,15 +1056,18 @@ class SlabHashService:
         wal: Optional[WriteAheadLog] = None,
         *,
         config: Optional[ServiceConfig] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> "SlabHashService":
         """Rebuild a service from a snapshot plus the WAL it was paired with.
 
         Restores the snapshot, replays the WAL's complete records (a torn
-        final record is discarded — its futures never resolved), and returns
-        a *not yet started* service over the recovered engine that continues
-        appending to the same log with contiguous batch numbering.  The
-        ``config`` must match the crashed service's (the scheduler seed
-        participates in replay determinism).
+        final record is discarded — its futures never resolved; aborted
+        batches are skipped), and returns a *not yet started* service over
+        the recovered engine that continues appending to the same log with
+        contiguous batch numbering.  The ``config`` must match the crashed
+        service's (the scheduler seed participates in replay determinism).
+        The recovered service remembers the snapshot as its checkpoint, so
+        quarantine restores work immediately.
         """
         from repro.persist.recovery import recover as _recover
 
@@ -644,8 +1078,9 @@ class SlabHashService:
             scheduler_seed=config.scheduler_seed,
             wave_size=config.wave_size,
         )
-        service = cls(engine, config=config, wal=wal)
+        service = cls(engine, config=config, wal=wal, faults=faults)
         service._batch_index = report.next_batch_index
+        service._checkpoint_path = snapshot_path
         return service
 
     # ------------------------------------------------------------------ #
@@ -663,6 +1098,11 @@ class SlabHashService:
     def num_lanes(self) -> int:
         """Drain lanes (shards for a sharded engine, 1 for a single table)."""
         return len(self._shards)
+
+    @property
+    def lane_states(self) -> Tuple[str, ...]:
+        """Per-lane circuit-breaker states (``closed``/``open``/``half_open``)."""
+        return tuple(self._lane_state)
 
     @property
     def resizes_performed(self) -> int:
@@ -703,6 +1143,12 @@ class SlabHashService:
                 forced_batches=batcher.forced_batches,
                 forced_aligned_batches=batcher.forced_aligned_batches,
                 modelled_seconds=self._modelled_per_shard[shard],
+                rejected_overloaded=self._rejected_overloaded[shard],
+                rejected_quarantined=self._rejected_quarantined[shard],
+                ops_expired=batcher.ops_expired,
+                trips=self._lane_trips[shard],
+                restores=self._lane_restores[shard],
+                state=self._lane_state[shard],
             )
             for shard, batcher in enumerate(self._batchers)
         )
@@ -730,6 +1176,14 @@ class SlabHashService:
             resizes_performed=self._resizes_performed,
             resize_failures=tuple(self._resize_failure_log),
             resize_modelled_seconds=self._resize_modelled_seconds,
+            ops_rejected=sum(lane.rejected_overloaded for lane in lanes)
+            + sum(lane.rejected_quarantined for lane in lanes),
+            ops_expired=sum(lane.ops_expired for lane in lanes),
+            breaker_trips=sum(lane.trips for lane in lanes),
+            shard_restores=sum(lane.restores for lane in lanes),
+            wal_rollbacks=self._wal_rollbacks,
+            batches_aborted=len(self._aborted_indices),
+            restore_failures=tuple(self._restore_failure_log),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

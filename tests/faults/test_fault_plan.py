@@ -1,0 +1,100 @@
+"""Unit tests for the deterministic fault-injection plane (repro.faults)."""
+
+import pytest
+
+from repro.faults import (
+    FaultAction,
+    FaultClock,
+    FaultPlan,
+    InjectedAllocExhausted,
+    InjectedBatchFailure,
+    InjectedFault,
+    InjectedWalError,
+)
+from repro.gpusim.errors import AllocationError, SlabAllocExhausted
+
+
+class TestFaultClock:
+    def test_ticks_are_per_site_and_monotonic(self):
+        clock = FaultClock()
+        assert clock.tick("a") == 0
+        assert clock.tick("a") == 1
+        assert clock.tick("b") == 0
+        assert clock.count("a") == 2
+        assert clock.count("b") == 1
+        assert clock.count("never") == 0
+        assert clock.as_dict() == {"a": 2, "b": 1}
+
+
+class TestFaultAction:
+    def test_exception_registry(self):
+        assert isinstance(FaultAction(exc="alloc").exception(), InjectedAllocExhausted)
+        assert isinstance(FaultAction(exc="batch").exception(), InjectedBatchFailure)
+        assert isinstance(FaultAction(exc="os").exception(), InjectedWalError)
+        assert isinstance(FaultAction(exc="fault").exception(), InjectedFault)
+        # Unknown keys degrade to the marker base instead of KeyError-ing.
+        assert isinstance(FaultAction(exc="nope").exception(), InjectedFault)
+
+    def test_injected_exceptions_are_catchable_as_their_natural_kind(self):
+        # The service's pre-existing handlers catch these injected errors
+        # exactly like the real thing.
+        assert isinstance(FaultAction(exc="alloc").exception(), SlabAllocExhausted)
+        assert isinstance(FaultAction(exc="alloc").exception(), AllocationError)
+        assert isinstance(FaultAction(exc="os").exception(), OSError)
+
+    def test_note_lands_in_the_message(self):
+        exc = FaultAction(exc="batch", note="chaos seed 7").exception()
+        assert "chaos seed 7" in str(exc)
+
+
+class TestFaultPlan:
+    def test_fire_matches_site_and_occurrence(self):
+        action = FaultAction(exc="batch")
+        plan = FaultPlan({("x", 1): action})
+        assert plan.fire("x") is None  # occurrence 0: not scheduled
+        assert plan.fire("x") is action  # occurrence 1: fires
+        assert plan.fire("x") is None  # occurrence 2: consumed
+        assert plan.fired_sites() == [("x", 1)]
+
+    def test_check_raises_scheduled_raise_actions(self):
+        plan = FaultPlan({("x", 0): FaultAction(exc="alloc")})
+        with pytest.raises(InjectedAllocExhausted):
+            plan.check("x")
+        assert plan.check("x") is None
+
+    def test_check_returns_non_raise_actions(self):
+        torn = FaultAction(kind="torn_write", bytes_written=3)
+        plan = FaultPlan({("w", 0): torn})
+        assert plan.check("w") is torn
+
+    def test_sleep_action_proceeds(self):
+        plan = FaultPlan({("s", 0): FaultAction(kind="sleep", seconds=0.0)})
+        action = plan.check("s")
+        assert action is not None and action.kind == "sleep"
+
+    def test_scoped_view_prefixes_and_shares_the_clock(self):
+        plan = FaultPlan({("shard:2.alloc", 1): FaultAction(exc="alloc")})
+        scoped = plan.scoped("shard:2.")
+        assert scoped.check("alloc") is None
+        with pytest.raises(InjectedAllocExhausted):
+            scoped.check("alloc")
+        # The shared clock saw the prefixed site name.
+        assert plan.clock.count("shard:2.alloc") == 2
+        # Nested scoping concatenates prefixes.
+        nested = plan.scoped("shard:").scoped("2.")
+        assert nested.prefix == "shard:2."
+
+    def test_random_plans_are_deterministic_in_the_seed(self):
+        sites = [("a", FaultAction(exc="batch")), ("b", FaultAction(exc="os"))]
+        one = FaultPlan.random(17, sites, rate=0.3, horizon=32)
+        two = FaultPlan.random(17, sites, rate=0.3, horizon=32)
+        other = FaultPlan.random(18, sites, rate=0.3, horizon=32)
+        assert one.schedule == two.schedule
+        assert len(one) > 0  # rate 0.3 over 64 draws: virtually certain
+        assert one.schedule != other.schedule
+
+    def test_empty_plan_is_a_no_op(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.check("anything") is None
+        assert plan.fired == []

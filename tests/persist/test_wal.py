@@ -232,3 +232,138 @@ class TestTornTails:
             handle.write(b"definitely not a wal file")
         with pytest.raises(ValueError, match="magic"):
             read_records(path)
+
+
+class TestWriteFailureAtomicity:
+    """A failed append rolls back to the committed offset — one I/O error
+    can never tear the *next* append."""
+
+    def test_failed_write_rolls_back_and_next_append_is_clean(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        wal = WriteAheadLog(path)
+        wal.append(*sample_batch(1), batch_index=0)
+        committed = wal.size()
+
+        original_write = wal._file.write
+        def failing_write(blob):
+            original_write(blob[: len(blob) // 2])  # half the frame lands...
+            raise OSError("disk error mid-write")   # ...then the device dies
+        wal._file.write = failing_write
+        with pytest.raises(OSError, match="mid-write"):
+            wal.append(*sample_batch(2), batch_index=1)
+        wal._file.write = original_write
+
+        assert wal.rollbacks == 1
+        assert wal.size() == committed  # committed offset unchanged
+        records, torn = read_records(path)
+        assert not torn  # rollback truncated the partial frame
+        assert [record.batch_index for record in records] == [0]
+
+        wal.append(*sample_batch(3), batch_index=2)
+        records, torn = read_records(path)
+        assert not torn
+        assert [record.batch_index for record in records] == [0, 2]
+        wal.close()
+
+    def test_size_reflects_committed_bytes_only(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        wal = WriteAheadLog(path)
+        before = wal.size()
+        def failing_write(blob):
+            raise OSError("no space")
+        wal._file.write = failing_write
+        with pytest.raises(OSError):
+            wal.append(*sample_batch(1), batch_index=0)
+        assert wal.size() == before
+        wal.close()
+
+    def test_injected_torn_write_leaves_a_crc_guarded_tail(self, tmp_path):
+        from repro.faults import FaultAction, FaultPlan, InjectedWalError
+
+        path = str(tmp_path / "ops.wal")
+        plan = FaultPlan(
+            {("wal.write", 1): FaultAction(kind="torn_write", exc="os", bytes_written=9)}
+        )
+        wal = WriteAheadLog(path, faults=plan)
+        wal.append(*sample_batch(1), batch_index=0)
+        with pytest.raises(InjectedWalError):
+            wal.append(*sample_batch(2), batch_index=1)
+        assert wal.rollbacks == 1
+        wal.append(*sample_batch(3), batch_index=2)
+        records, torn = read_records(path)
+        assert not torn
+        assert [record.batch_index for record in records] == [0, 2]
+        wal.close()
+
+    def test_injected_fsync_failure_rolls_back(self, tmp_path):
+        from repro.faults import FaultAction, FaultPlan, InjectedWalError
+
+        path = str(tmp_path / "ops.wal")
+        plan = FaultPlan({("wal.fsync", 0): FaultAction(exc="os")})
+        wal = WriteAheadLog(path, faults=plan)
+        with pytest.raises(InjectedWalError):
+            wal.append(*sample_batch(1), batch_index=0)
+        assert wal.size() == HEADER_SIZE
+        wal.append(*sample_batch(2), batch_index=1)
+        assert [record.batch_index for record in wal.records()] == [1]
+        wal.close()
+
+
+class TestAbortMarkers:
+    def test_abort_marker_round_trips(self, tmp_path):
+        path = str(tmp_path / "ops.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append(*sample_batch(1), batch_index=0)
+            wal.append_abort(0)
+            wal.append(*sample_batch(2), batch_index=1)
+        records, torn = read_records(path)
+        assert not torn
+        assert [(r.batch_index, r.aborted, len(r)) for r in records] == [
+            (0, False, 40),
+            (0, True, 0),
+            (1, False, 40),
+        ]
+
+    def test_recovery_skips_aborted_batches(self, tmp_path):
+        from repro.core import constants as C
+        from repro.core.slab_hash import SlabHash
+        from repro.persist.recovery import recover
+        from repro.persist.snapshot import save
+
+        snap = str(tmp_path / "snap.bin")
+        save(SlabHash(8), snap)
+        path = str(tmp_path / "ops.wal")
+        ops = np.array([C.OP_INSERT, C.OP_INSERT], dtype=np.int64)
+        with WriteAheadLog(path) as wal:
+            wal.append(ops, np.array([10, 11], np.uint32),
+                       np.array([100, 101], np.uint32), batch_index=0)
+            wal.append(ops, np.array([20, 21], np.uint32),
+                       np.array([200, 201], np.uint32), batch_index=1)
+            wal.append_abort(0)
+        engine, report = recover(snap, path)
+        assert report.records_aborted == 1
+        assert report.records_replayed == 1
+        assert report.next_batch_index == 2
+        # The aborted batch is absent; the clean one replayed.
+        assert engine.search(10) is None
+        assert engine.search(11) is None
+        assert engine.search(20) == 200
+        assert engine.search(21) == 201
+
+    def test_extra_aborted_skips_unmarked_batches(self, tmp_path):
+        from repro.core import constants as C
+        from repro.core.slab_hash import SlabHash
+        from repro.persist.recovery import recover
+        from repro.persist.snapshot import save
+
+        snap = str(tmp_path / "snap.bin")
+        save(SlabHash(8), snap)
+        path = str(tmp_path / "ops.wal")
+        ops = np.array([C.OP_INSERT], dtype=np.int64)
+        with WriteAheadLog(path) as wal:
+            wal.append(ops, np.array([10], np.uint32), np.array([100], np.uint32),
+                       batch_index=0)
+        engine, report = recover(snap, path, extra_aborted=[0])
+        assert report.records_aborted == 1
+        assert report.records_replayed == 0
+        assert engine.search(10) is None

@@ -20,6 +20,7 @@ the workflow's run id), mirroring the differential-harness job.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import random
 import shutil
@@ -32,9 +33,11 @@ from repro.core.config import SlabAllocConfig
 from repro.core.resize import LoadFactorPolicy
 from repro.core.slab_hash import SlabHash
 from repro.engine import ShardedSlabHash
+from repro.faults import FaultAction, FaultPlan, InjectedBatchFailure
 from repro.persist import WalRecord, WriteAheadLog, recover, save
 from repro.persist.recovery import replay_record
 from repro.persist.wal import HEADER_SIZE
+from repro.service import LANE_OPEN, ServiceConfig, SlabHashService
 
 PINNED_SEEDS = [711, 722, 733]
 KEY_SPACE = 50_000
@@ -319,6 +322,167 @@ def read_records_bytes(data: bytes, workdir) -> tuple:
 @pytest.mark.parametrize("seed", _seeds())
 def test_group_committed_wal_recovers_like_sequential_appends(seed, kind, tmp_path):
     run_group_commit_crash_scenario(seed, kind, tmp_path)
+
+
+def run_quarantine_crash_scenario(seed: int, tmp_path) -> None:
+    """Crash the process while a shard is quarantined mid-restore.
+
+    A live service takes a checkpoint, serves acked traffic, then an
+    injected batch failure trips shard 0's breaker (threshold 1).  Injected
+    ``service.restore`` failures hold the background restore in its retry
+    loop, and the process "crashes" — drain and restore tasks cancelled,
+    ``stop()`` never runs — while the lane is still OPEN.  Recovery from the
+    on-disk snapshot + WAL alone (no in-memory abort knowledge: the poison
+    batch's abort marker is durable) must land on exactly the acked model,
+    and a service rebuilt over it must serve reads and writes immediately.
+    """
+    rng = random.Random(seed * 97 + 3)
+    workdir = tmp_path / f"quarantine-{seed}"
+    workdir.mkdir()
+    snap = str(workdir / "snap")
+    wal_path = str(workdir / "ops.wal")
+
+    engine = ShardedSlabHash(2, 64, alloc_config=ALLOC, seed=43)
+    config = ServiceConfig(max_batch_size=512, max_delay=0.05, breaker_threshold=1)
+    # Shard-0 execute occurrence 4: the first shard-0 batch after two
+    # pre-checkpoint and two post-checkpoint admissions (warp-aligned
+    # slices, sequentially awaited — exactly one execute per shard each).
+    plan = FaultPlan(
+        {
+            ("shard:0.execute", 4): FaultAction(exc="batch", note="quarantine crash"),
+            ("service.restore", 0): FaultAction(exc="fault"),
+            ("service.restore", 1): FaultAction(exc="fault"),
+            ("service.restore", 2): FaultAction(exc="fault"),
+        }
+    )
+    wal = WriteAheadLog(wal_path)
+    service = SlabHashService(engine, config=config, wal=wal, faults=plan)
+
+    used: set = set()
+    per_shard_keys: list = [[], []]
+
+    def fresh_shard_keys(shard: int, count: int) -> list:
+        keys = []
+        while len(keys) < count:
+            key = rng.randrange(1, KEY_SPACE)
+            if key not in used and engine.admit_one(key) == shard:
+                keys.append(key)
+                used.add(key)
+        per_shard_keys[shard].extend(keys)
+        return keys
+
+    model: dict = {}
+
+    async def admit_wave(deletes: bool) -> None:
+        """One warp-aligned admission per call: 32 ops for each shard."""
+        op_codes, keys, values = [], [], []
+        for shard in (0, 1):
+            if deletes:
+                victims = per_shard_keys[shard][:16]
+                fresh = fresh_shard_keys(shard, 16)
+                for key in victims:
+                    op_codes.append(C.OP_DELETE)
+                    keys.append(key)
+                    values.append(0)
+                for key in fresh:
+                    op_codes.append(C.OP_INSERT)
+                    keys.append(key)
+                    values.append(rng.randrange(1, 2**16))
+            else:
+                for key in fresh_shard_keys(shard, 32):
+                    op_codes.append(C.OP_INSERT)
+                    keys.append(key)
+                    values.append(rng.randrange(1, 2**16))
+        await service.submit_many(
+            np.array(op_codes, dtype=np.int64),
+            np.array(keys, dtype=np.uint64),
+            np.array(values, dtype=np.uint32),
+        )
+        for code, key, value in zip(op_codes, keys, values):
+            if code == C.OP_INSERT:
+                model[key] = value
+            else:
+                model.pop(key, None)
+
+    poison_keys: list = []
+
+    async def main() -> None:
+        await service.start()
+        await admit_wave(deletes=False)
+        await admit_wave(deletes=False)
+        service.checkpoint(snap)
+        await admit_wave(deletes=False)
+        await admit_wave(deletes=True)
+        # The poisoned admission: 32 shard-0-only inserts, never acked.
+        poison_keys.extend(fresh_shard_keys(0, 32))
+        with pytest.raises(InjectedBatchFailure):
+            await service.submit_many(
+                np.full(32, C.OP_INSERT, dtype=np.int64),
+                np.array(poison_keys, dtype=np.uint64),
+                np.full(32, 7, dtype=np.uint32),
+            )
+        # Let the restore task run its first attempt into the injected
+        # service.restore failure, parking it in the retry sleep.
+        for _ in range(5):
+            await asyncio.sleep(0)
+        assert service.lane_states[0] == LANE_OPEN
+        assert 0 in service._restore_tasks
+        assert service.stats().breaker_trips == 1
+        # Crash: every task dies mid-flight; stop() never runs.
+        tasks = list(service._restore_tasks.values()) + list(service._drain_tasks)
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+
+    asyncio.run(asyncio.wait_for(main(), timeout=60))
+    wal.close()
+
+    # Recovery uses only what is durable on disk — the poison batch's WAL
+    # record is neutralised by its abort marker, not by in-memory state.
+    recovered, report = recover(
+        snap,
+        wal_path,
+        scheduler_seed=config.scheduler_seed,
+        wave_size=config.wave_size,
+    )
+    assert report.records_aborted >= 1
+    assert sorted(model.items()) == sorted(
+        (int(k), int(v)) for k, v in recovered.items()
+    ), f"seed {seed}: quarantine-crash recovery diverged from the acked model"
+    for key in poison_keys:
+        assert recovered.search(key) in (None, C.SEARCH_NOT_FOUND)
+
+    # A service rebuilt from the same artifacts serves immediately: reads
+    # agree with the model and a fresh write round-trips.
+    service2 = SlabHashService.recovered(
+        snap, WriteAheadLog(wal_path), config=config
+    )
+
+    async def verify() -> None:
+        async with service2:
+            probe_keys = sorted(model)[:64] + poison_keys
+            results = await service2.submit_many(
+                np.full(len(probe_keys), C.OP_SEARCH, dtype=np.int64),
+                np.array(probe_keys, dtype=np.uint64),
+                np.zeros(len(probe_keys), dtype=np.uint32),
+            )
+            for key, result in zip(probe_keys, results):
+                expected = model.get(key, C.SEARCH_NOT_FOUND)
+                assert int(result) == expected, (
+                    f"seed {seed}: recovered service read {key} -> "
+                    f"{int(result)}, model says {expected}"
+                )
+            await service2.insert(KEY_SPACE + 1, 99)
+            assert await service2.search(KEY_SPACE + 1) == 99
+
+    asyncio.run(asyncio.wait_for(verify(), timeout=60))
+
+
+@pytest.mark.parametrize("seed", _seeds())
+def test_crash_while_shard_quarantined_mid_restore_recovers_acked_state(
+    seed, tmp_path
+):
+    run_quarantine_crash_scenario(seed, tmp_path)
 
 
 def test_generated_batches_are_deterministic_and_churny():

@@ -102,6 +102,27 @@ class TestPersistCommands:
         assert "sharded engine" in stream.getvalue()
 
     @pytest.mark.smoke
+    def test_service_health_reports_a_healthy_run(self):
+        stream = io.StringIO()
+        assert main(["service-health", "--ops", "2048"], stream=stream) == 0
+        output = stream.getvalue()
+        assert "healthy" in output
+        assert "breaker trips" in output
+        assert "rej-quar" in output  # the per-lane table rendered
+
+    def test_service_health_surfaces_fault_counters_under_chaos(self):
+        stream = io.StringIO()
+        code = main(
+            ["service-health", "--ops", "2048", "--chaos-seed", "7"],
+            stream=stream,
+        )
+        output = stream.getvalue()
+        assert "injected faults fired" in output
+        # Every lane self-heals, so even a chaotic run must exit healthy.
+        assert code == 0, output
+        assert "DEGRADED" not in output
+
+    @pytest.mark.smoke
     def test_recover_replays_a_wal_tail(self, tmp_path):
         import numpy as np
 
