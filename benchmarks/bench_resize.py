@@ -14,13 +14,20 @@ stream:
   every peak and (unique-keys mode) tombstones accumulate cycle over cycle,
   so every later batch pays for history.
 
-The results feed ``BENCH_wallclock.json`` schema v3: per-backend
-``resize_churn`` entries in ``results`` / ``speedups`` (recorded by
-``bench_wallclock.py``, which imports this module) and the top-level
-``resize_churn`` comparison section whose ``auto_over_fixed`` ratio is the
-headline number — amortized resize churn beats the fixed undersized table.
+The results feed ``BENCH_wallclock.json``: per-backend ``resize_churn``
+entries in ``results`` / ``speedups`` (recorded by ``bench_wallclock.py``,
+which imports this module), the top-level ``resize_churn`` comparison
+section whose ``auto_over_fixed`` ratio is the headline number — amortized
+resize churn beats the fixed undersized table — and, since schema v5, the
+top-level ``incremental_resize`` section: a **modelled-latency** comparison
+of one incremental migration against the equivalent stop-the-world rebuild
+(:func:`incremental_comparison`).  Its ``stw_over_incremental_max`` ratio is
+the tentpole claim of the non-blocking resize: the worst pause any
+operation can land behind shrinks from a whole rebuild to one bounded
+migration step — an order of magnitude at production sizes, which
+``validate_incremental_section`` enforces at ``num_keys >= 100000``.
 
-Run standalone to refresh just the comparison section of an existing
+Run standalone to refresh just the comparison sections of an existing
 ``BENCH_wallclock.json``::
 
     PYTHONPATH=src python benchmarks/bench_resize.py [--num-keys 100000]
@@ -38,6 +45,8 @@ import json
 import os
 import time
 from typing import Optional
+
+import numpy as np
 
 from repro.core.resize import LoadFactorPolicy
 from repro.core.slab_hash import SlabHash
@@ -126,6 +135,119 @@ def churn_comparison(num_keys: int, *, cycles: int = CYCLES, auto: Optional[dict
     }
 
 
+def _p99(samples: list) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+
+
+def incremental_comparison(
+    num_keys: int, *, step_buckets: int = 64, batch_ops: int = 512, seed: int = 11
+) -> dict:
+    """Incremental migration versus a stop-the-world rebuild, in modelled time.
+
+    Two identical right-sized tables holding ``num_keys`` items double their
+    bucket count while an insert stream keeps arriving.  The stop-the-world
+    twin pays one :meth:`~repro.core.slab_hash.SlabHash.resize` — the whole
+    rebuild lands in a single pause some unlucky batch waits out.  The
+    incremental twin begins a migration and pumps **one bounded step per
+    interleaved batch**; its worst pause is one band of ``step_buckets``
+    buckets.  Modelled device seconds (the same accounting the engine uses
+    for every kernel) make the comparison exactly reproducible — no host
+    wall-clock noise.
+
+    The twins are verified to land on identical contents before the timings
+    are reported.
+    """
+    buckets = SlabHash.buckets_for_beta(num_keys, 0.6)
+    target = buckets * 2
+    rng = np.random.default_rng(seed)
+    base = rng.choice(2**28, size=2 * num_keys, replace=False).astype(np.uint32)
+    resident, fresh = base[:num_keys], base[num_keys:]
+
+    stw = SlabHash(buckets, backend="vectorized", seed=seed)
+    stw.bulk_insert(resident, resident)
+    rebuild = stw.resize(target)
+
+    incr = SlabHash(buckets, backend="vectorized", seed=seed)
+    incr.bulk_insert(resident, resident)
+    incr.begin_resize(target, step_buckets=step_buckets)
+    pauses: list = []
+    cursor = 0
+    while incr.migration is not None:
+        batch = fresh[cursor : cursor + batch_ops]
+        cursor += batch_ops
+        if len(batch):
+            incr.bulk_insert(batch, batch)  # routed old/new by the watermark
+        pauses.append(incr.migrate_step().seconds)
+
+    # The stop-the-world twin serves the same interleaved stream (after its
+    # rebuild); both must land on identical live contents.
+    used = fresh[:cursor]
+    if len(used):
+        stw.bulk_insert(used, used)
+    if sorted(incr.items()) != sorted(stw.items()):
+        raise AssertionError("incremental and stop-the-world twins diverged")
+
+    worst_step = max(pauses)
+    return {
+        "num_keys": int(num_keys),
+        "old_buckets": int(buckets),
+        "new_buckets": int(target),
+        "step_buckets": int(step_buckets),
+        "interleaved_batch_ops": int(batch_ops),
+        "stop_the_world": {
+            "rebuild_seconds": rebuild.seconds,
+            "migrated_items": rebuild.migrated,
+        },
+        "incremental": {
+            "steps": len(pauses),
+            "items_moved": incr.resize_stats.migration_items,
+            "max_step_seconds": worst_step,
+            "p99_step_seconds": _p99(pauses),
+            "total_seconds": sum(pauses),
+        },
+        "stw_over_incremental_max": rebuild.seconds / worst_step,
+    }
+
+
+def validate_incremental_section(section: dict) -> None:
+    """Raise ``ValueError`` if an ``incremental_resize`` section drifts.
+
+    At production sizes (``num_keys >= 100000``) the tentpole claim itself
+    is enforced: the worst incremental pause must sit an order of magnitude
+    below the stop-the-world rebuild.
+    """
+    if not isinstance(section, dict):
+        raise ValueError("incremental_resize must be an object")
+    for field in ("num_keys", "old_buckets", "new_buckets", "step_buckets",
+                  "interleaved_batch_ops"):
+        if not isinstance(section.get(field), int):
+            raise ValueError(f"incremental_resize field {field!r} must be an integer")
+    stw = section.get("stop_the_world")
+    if not isinstance(stw, dict):
+        raise ValueError("incremental_resize must contain a 'stop_the_world' object")
+    for field in ("rebuild_seconds", "migrated_items"):
+        if not isinstance(stw.get(field), (int, float)):
+            raise ValueError(f"incremental_resize stop_the_world field {field!r} must be numeric")
+    incremental = section.get("incremental")
+    if not isinstance(incremental, dict):
+        raise ValueError("incremental_resize must contain an 'incremental' object")
+    for field in ("steps", "items_moved", "max_step_seconds", "p99_step_seconds",
+                  "total_seconds"):
+        if not isinstance(incremental.get(field), (int, float)):
+            raise ValueError(f"incremental_resize incremental field {field!r} must be numeric")
+    if incremental["steps"] < 1:
+        raise ValueError("the incremental twin must pump at least one step")
+    ratio = section.get("stw_over_incremental_max")
+    if not isinstance(ratio, (int, float)) or ratio <= 0:
+        raise ValueError("incremental_resize stw_over_incremental_max must be positive")
+    if section["num_keys"] >= 100_000 and ratio < 10:
+        raise ValueError(
+            "at production sizes the worst incremental pause must be an order "
+            f"of magnitude below the rebuild; got {ratio:.2f}x"
+        )
+
+
 def validate_section(section: dict) -> None:
     """Raise ``ValueError`` if a ``resize_churn`` section does not match the schema."""
     if not isinstance(section, dict):
@@ -171,22 +293,32 @@ def main(argv: Optional[list] = None) -> int:
               f"shrinks={entry['shrinks']} final_beta={entry['final_beta']:.3f}")
     print(f"  auto_over_fixed: {comparison['auto_over_fixed']:.2f}x")
 
+    incremental = incremental_comparison(args.num_keys)
+    validate_incremental_section(incremental)
+    print(f"  stop-the-world rebuild: "
+          f"{incremental['stop_the_world']['rebuild_seconds']:.3e}s modelled; "
+          f"worst incremental step: "
+          f"{incremental['incremental']['max_step_seconds']:.3e}s "
+          f"({incremental['incremental']['steps']} steps)")
+    print(f"  stw_over_incremental_max: {incremental['stw_over_incremental_max']:.1f}x")
+
     if args.print_only:
         return 0
     if not os.path.exists(args.out):
         print(f"{args.out} does not exist; run benchmarks/bench_wallclock.py first "
-              "(it records the full schema-v3 document, including this section)")
+              "(it records the full schema document, including these sections)")
         return 1
     with open(args.out, encoding="utf-8") as handle:
         document = json.load(handle)
     document["resize_churn"] = comparison
+    document["incremental_resize"] = incremental
     import bench_wallclock  # deferred: bench_wallclock imports this module
 
     bench_wallclock.validate_document(document)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2)
         handle.write("\n")
-    print(f"updated resize_churn section of {args.out}")
+    print(f"updated resize_churn + incremental_resize sections of {args.out}")
     return 0
 
 
@@ -222,3 +354,14 @@ def test_churn_comparison_structure_and_coverage():
     assert comparison["auto"]["shrinks"] >= 1
     # The fixed table served the same stream without ever resizing.
     assert comparison["fixed"]["total_ops"] == comparison["auto"]["total_ops"]
+
+
+def test_incremental_comparison_structure_and_determinism():
+    """A small incremental-vs-rebuild comparison satisfies the schema, and
+    its modelled timings are exactly reproducible."""
+    section = incremental_comparison(4096, step_buckets=16, batch_ops=128)
+    validate_incremental_section(section)
+    assert section["incremental"]["steps"] >= 2
+    assert section["incremental"]["items_moved"] >= 4096  # resident + routed fresh
+    twin = incremental_comparison(4096, step_buckets=16, batch_ops=128)
+    assert twin == section  # modelled seconds: no wall-clock noise anywhere

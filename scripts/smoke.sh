@@ -42,6 +42,33 @@ python -m repro snapshot results/smoke/snapshot-demo.npz --elements 2048
 python -m repro recover results/smoke/snapshot-demo.npz
 rm -f results/smoke/snapshot-demo.npz
 
+echo "== Incremental resize, end to end (migrate + mid-flight snapshot) =="
+python - <<'PY'
+import numpy as np
+from repro import SlabHash
+
+keys = np.arange(1, 3001, dtype=np.uint64)
+table = SlabHash(16, seed=3)
+table.bulk_insert(keys, keys * 3)
+table.begin_resize(64, step_buckets=4)
+# A few interleaved writes plus steps, then a mid-migration round-trip.
+while table.migration is not None and table.migration.steps < 3:
+    table.migrate_step()
+table.bulk_insert(np.array([9001], dtype=np.uint64), np.array([1], dtype=np.uint64))
+table.save("results/smoke/mid-migration.npz")
+resumed = SlabHash.load("results/smoke/mid-migration.npz")
+assert resumed.migration is not None
+assert resumed.migration.watermark == table.migration.watermark
+while resumed.migration is not None:
+    resumed.migrate_step()
+assert resumed.num_buckets == 64
+assert len(resumed) == len(keys) + 1
+assert np.array_equal(resumed.bulk_search(keys), keys * 3)
+print(f"incremental resize OK: {resumed.resize_stats.migration_steps} steps, "
+      f"{resumed.resize_stats.migration_items} items migrated")
+PY
+rm -f results/smoke/mid-migration.npz
+
 echo "== Tutorial snippets (docs/TUTORIAL.md, executed top to bottom) =="
 python scripts/run_doc_snippets.py docs/TUTORIAL.md
 

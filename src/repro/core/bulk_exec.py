@@ -94,6 +94,7 @@ from repro.gpusim.warp import WARP_SIZE, Warp
 __all__ = [
     "BulkExecutor",
     "BACKENDS",
+    "gather_band",
     "get_default_backend",
     "set_default_backend",
 ]
@@ -119,6 +120,38 @@ def set_default_backend(name: str) -> None:
     if name not in BACKENDS:
         raise ValueError(f"unknown backend {name!r}; choose from {BACKENDS}")
     _DEFAULT_BACKEND = name
+
+
+def gather_band(lists, lo: int, hi: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Vectorized migration kernel: live contents of buckets ``[lo, hi)``.
+
+    Returns ``(keys, values)`` in bucket scan order — the exact order the
+    reference generator schedule observes when walking the same band with
+    :meth:`~repro.core.slab_list.SlabListCollection.live_items` — with
+    ``values`` ``None`` in key-only mode.  One grouped gather over the
+    band's slabs (via :class:`~repro.core.slab_list.ChainTable`), no Python
+    loop per slab.  Host-side and uncounted, like the other snapshot scans;
+    the *re-insertion* of the band is what the migration charges to the
+    device, through the regular bulk path.
+    """
+    cfg = lists.config
+    ct = lists.chain_table()
+    start, stop = int(ct.offsets[lo]), int(ct.offsets[hi])
+    words = np.empty((stop - start, C.SLAB_WORDS), dtype=np.uint32)
+    band_store_idx = ct.store_idx[start:stop]
+    band_rows = ct.rows[start:stop]
+    for index, store in enumerate(ct.stores):
+        mask = band_store_idx == index
+        if mask.any():
+            words[mask] = store[band_rows[mask]]
+    key_lanes = np.fromiter(cfg.key_lanes, dtype=np.int64)
+    keys = words[:, key_lanes]
+    live = (keys != C.EMPTY_KEY) & (keys != C.DELETED_KEY)
+    rows, cols = np.nonzero(live)
+    out_keys = keys[rows, cols]
+    if not cfg.key_value:
+        return out_keys, None
+    return out_keys, words[rows, key_lanes[cols] + 1]
 
 
 class _AppendFailed(Exception):

@@ -50,7 +50,16 @@ from repro.core.slab_list import SlabListCollection
 from repro.gpusim.costmodel import CostModel
 from repro.gpusim.counters import Counters
 
-__all__ = ["LoadFactorPolicy", "ResizeResult", "ResizeStats", "resize_table"]
+__all__ = [
+    "LoadFactorPolicy",
+    "MigrationState",
+    "MigrationStepResult",
+    "ResizeResult",
+    "ResizeStats",
+    "begin_migration",
+    "migrate_step",
+    "resize_table",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +96,18 @@ class LoadFactorPolicy:
         *deferred* — nothing happens until someone calls
         :meth:`~repro.core.slab_hash.SlabHash.maybe_resize`, which is how
         the service layer schedules migrations between micro-batches.
+    incremental:
+        ``False`` (default): a triggered resize is a stop-the-world rebuild
+        (:func:`resize_table`).  ``True``: a triggered resize only *begins*
+        an incremental migration (:func:`begin_migration`) in which the old
+        and new bucket arrays are both live; subsequent pump calls
+        (:meth:`~repro.core.slab_hash.SlabHash.maybe_resize` /
+        :meth:`~repro.core.slab_hash.SlabHash.migrate_step`) move a bounded
+        band of buckets each, so no single batch's latency absorbs a full
+        rebuild.
+    migration_step_buckets:
+        How many buckets one incremental migration step moves (the bounded
+        unit of work interleaved between batches).
     """
 
     beta_low: float = 0.25
@@ -97,8 +118,14 @@ class LoadFactorPolicy:
     hysteresis: float = 0.1
     min_buckets: int = 1
     auto: bool = True
+    incremental: bool = False
+    migration_step_buckets: int = 8
 
     def __post_init__(self) -> None:
+        if self.migration_step_buckets < 1:
+            raise ValueError(
+                f"migration_step_buckets must be at least 1, got {self.migration_step_buckets}"
+            )
         if not 0.0 < self.beta_low < self.target_beta < self.beta_high:
             raise ValueError(
                 "policy needs 0 < beta_low < target_beta < beta_high, got "
@@ -193,7 +220,16 @@ class ResizeStats:
     migrated_items: int = 0
     released_slabs: int = 0
     modelled_seconds: float = 0.0
+    migration_steps: int = 0
+    migration_buckets: int = 0
+    migration_items: int = 0
     history: List[ResizeResult] = field(default_factory=list)
+
+    def note_step(self, *, buckets: int, items: int) -> None:
+        """Record one incremental migration step (a band of buckets moved)."""
+        self.migration_steps += 1
+        self.migration_buckets += buckets
+        self.migration_items += items
 
     def note(self, result: ResizeResult) -> None:
         """Record one resize outcome."""
@@ -219,6 +255,9 @@ class ResizeStats:
             "migrated_items": self.migrated_items,
             "released_slabs": self.released_slabs,
             "modelled_seconds": self.modelled_seconds,
+            "migration_steps": self.migration_steps,
+            "migration_buckets": self.migration_buckets,
+            "migration_items": self.migration_items,
         }
 
 
@@ -315,3 +354,238 @@ def resize_table(table, num_buckets: int, *, trigger: str = "manual") -> ResizeR
     )
     table.resize_stats.note(result)
     return result
+
+
+@dataclass
+class MigrationState:
+    """An in-flight incremental resize: old and new bucket arrays both live.
+
+    Buckets of the old array are migrated whole, in scan order, a bounded
+    band per :func:`migrate_step`.  :attr:`watermark` is the routing rule:
+    a key whose *old* bucket is below the watermark lives (and is operated
+    on) entirely in the new array; at or above it, entirely in the old one.
+    Because every occurrence of a key shares one old bucket, each key lives
+    in exactly one array at any instant — duplicate-key scan order and
+    REPLACE/DELETE semantics are preserved mid-migration.
+
+    The table's ``lists`` / ``hash_fn`` keep pointing at the *old* array
+    until the final step completes, at which point they are swapped to
+    :attr:`new_lists` / :attr:`new_hash` and the state is retired into a
+    :class:`ResizeResult`.
+    """
+
+    new_lists: SlabListCollection
+    new_hash: object  #: :class:`~repro.core.hashing.UniversalHash` re-ranged to the target
+    old_buckets: int
+    target_buckets: int
+    trigger: str
+    step_buckets: int
+    beta_before: float
+    watermark: int = 0
+    steps: int = 0
+    items_moved: int = 0
+    released_slabs: int = 0
+    counters: Counters = field(default_factory=Counters)
+    seconds: float = 0.0
+
+    @property
+    def direction(self) -> str:
+        return "grow" if self.target_buckets > self.old_buckets else "shrink"
+
+    @property
+    def remaining_buckets(self) -> int:
+        return self.old_buckets - self.watermark
+
+    @property
+    def done(self) -> bool:
+        return self.watermark >= self.old_buckets
+
+
+@dataclass(frozen=True)
+class MigrationStepResult:
+    """Outcome and accounting of one bounded incremental migration step."""
+
+    buckets_moved: int  #: old buckets whose contents moved this step
+    items_moved: int  #: live elements moved this step
+    watermark: int  #: routing watermark after the step
+    done: bool  #: ``True`` when this step completed the migration
+    released_slabs: int  #: old chained slabs returned to SlabAlloc this step
+    counters: Counters  #: device events charged by this step
+    seconds: float  #: modelled device time of this step
+    result: Optional[ResizeResult] = None  #: the whole migration, when ``done``
+
+
+def _gather_band_reference(lists: SlabListCollection, lo: int, hi: int):
+    """Live (keys, values) of buckets ``[lo, hi)`` in scan order (generator schedule)."""
+    keys: List[int] = []
+    values: List[int] = []
+    for bucket in range(lo, hi):
+        for key, value in lists.live_items(bucket):
+            keys.append(key)
+            if value is not None:
+                values.append(value)
+    out_keys = np.asarray(keys, dtype=np.uint32)
+    if not lists.config.key_value:
+        return out_keys, None
+    return out_keys, np.asarray(values, dtype=np.uint32)
+
+
+def begin_migration(
+    table, num_buckets: int, *, trigger: str = "manual", step_buckets: Optional[int] = None
+) -> Optional[ResizeResult]:
+    """Begin an incremental resize of ``table`` to ``num_buckets`` buckets.
+
+    Allocates the new (empty) bucket array and re-ranges the hash function's
+    ``(a, b)`` draw — both host-side, no device events — and installs a
+    :class:`MigrationState` at watermark 0.  No items move until
+    :func:`migrate_step` is called; requesting the current bucket count is a
+    counted no-op that starts nothing (the returned :class:`ResizeResult`
+    says so); otherwise returns ``None``.
+    """
+    if table.migration is not None:
+        raise RuntimeError("a migration is already in flight; drain it first")
+    if num_buckets <= 0:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    old_buckets = table.num_buckets
+    beta_before = table.beta()
+    if num_buckets == old_buckets:
+        result = ResizeResult(
+            old_buckets=old_buckets,
+            new_buckets=old_buckets,
+            direction="noop",
+            trigger=trigger,
+            migrated=0,
+            released_slabs=0,
+            beta_before=beta_before,
+            beta_after=beta_before,
+            counters=Counters(),
+            seconds=0.0,
+        )
+        table.resize_stats.note(result)
+        return result
+    if step_buckets is None:
+        policy = table.policy
+        step_buckets = policy.migration_step_buckets if policy is not None else 8
+    if step_buckets < 1:
+        raise ValueError(f"step_buckets must be at least 1, got {step_buckets}")
+    table.migration = MigrationState(
+        new_lists=SlabListCollection(table.device, table.alloc, num_buckets, table.config),
+        new_hash=table.hash_fn.rebucket(num_buckets),
+        old_buckets=old_buckets,
+        target_buckets=num_buckets,
+        trigger=trigger,
+        step_buckets=int(step_buckets),
+        beta_before=beta_before,
+    )
+    return None
+
+
+def migrate_step(table, max_buckets: Optional[int] = None) -> MigrationStepResult:
+    """Move the next band of old buckets into the new array, whole and atomically.
+
+    The band's live contents are gathered host-side in scan order (the
+    vectorized backend uses the band-gather kernel in
+    :mod:`repro.core.bulk_exec`; the reference backend walks the chains —
+    identical output) and re-inserted through the table's own bulk path
+    against the *new* array, so the step's device events are charged and
+    priced like any other kernel.  On success the band's old chained slabs
+    go back to SlabAlloc, the old base slabs are cleared, and the watermark
+    advances — the step is the atomic unit of migration progress.
+
+    Exception safety mirrors :func:`resize_table`: if the bulk insert fails
+    mid-band (e.g. allocator exhaustion, injected fault), every band key
+    that reached the new array is deleted again — band keys cannot
+    pre-exist there, since their writes routed to the old array — the
+    watermark stays put, and the error propagates.  Both arrays stay
+    consistent and the migration remains resumable.
+    """
+    state = table.migration
+    if state is None:
+        raise RuntimeError("no migration in flight; call begin_migration first")
+    faults = getattr(table.alloc, "faults", None)
+    if faults is not None:
+        faults.check("migration.step")
+    step = int(state.step_buckets if max_buckets is None else max_buckets)
+    if step < 1:
+        raise ValueError(f"max_buckets must be at least 1, got {step}")
+    lo = state.watermark
+    hi = min(lo + step, state.old_buckets)
+
+    device = table.device
+    before = device.snapshot()
+    old_lists = table.lists
+    old_hash = table.hash_fn
+    if table.backend == "vectorized":
+        from repro.core.bulk_exec import gather_band
+
+        keys, values = gather_band(old_lists, lo, hi)
+    else:
+        keys, values = _gather_band_reference(old_lists, lo, hi)
+
+    was_in_resize = table._in_resize
+    table._in_resize = True
+    table.lists = state.new_lists
+    table.hash_fn = state.new_hash
+    try:
+        if len(keys):
+            table.bulk_insert(keys, values)
+    except Exception:
+        # Roll the partial band back: delete every occurrence that made it
+        # into the new array (extra deletes of never-inserted occurrences
+        # traverse and miss, which is charged but harmless and deterministic).
+        if len(keys):
+            table.bulk_delete(keys)
+        raise
+    finally:
+        table.lists = old_lists
+        table.hash_fn = old_hash
+        table._in_resize = was_in_resize
+
+    band_chained: List[int] = []
+    for bucket in range(lo, hi):
+        band_chained.extend(old_lists.chain_addresses(bucket))
+    if band_chained:
+        warp = table._next_warp()
+        for address in band_chained:
+            table.alloc.deallocate(warp, int(address))
+    old_lists.base_slabs[lo:hi] = C.EMPTY_KEY
+
+    state.watermark = hi
+    state.steps += 1
+    state.items_moved += len(keys)
+    state.released_slabs += len(band_chained)
+    delta = device.counters.diff(before)
+    seconds = CostModel(device.spec).elapsed(delta).total_time
+    state.counters += delta
+    state.seconds += seconds
+    table.resize_stats.note_step(buckets=hi - lo, items=len(keys))
+
+    result: Optional[ResizeResult] = None
+    done = state.done
+    if done:
+        table.lists = state.new_lists
+        table.hash_fn = state.new_hash
+        table.migration = None
+        result = ResizeResult(
+            old_buckets=state.old_buckets,
+            new_buckets=state.target_buckets,
+            direction=state.direction,
+            trigger=state.trigger,
+            migrated=state.items_moved,
+            released_slabs=state.released_slabs,
+            beta_before=state.beta_before,
+            beta_after=table.beta(),
+            counters=state.counters,
+            seconds=state.seconds,
+        )
+        table.resize_stats.note(result)
+    return MigrationStepResult(
+        buckets_moved=hi - lo,
+        items_moved=len(keys),
+        watermark=hi,
+        done=done,
+        released_slabs=len(band_chained),
+        counters=delta,
+        seconds=seconds,
+        result=result,
+    )

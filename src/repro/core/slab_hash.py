@@ -29,6 +29,7 @@ see :mod:`repro.perf.harness`.
 
 from __future__ import annotations
 
+import contextlib
 import math
 from typing import List, Optional, Sequence
 
@@ -39,7 +40,16 @@ from repro.core.bulk_exec import BACKENDS, BulkExecutor, get_default_backend
 from repro.core.config import SlabAllocConfig, SlabConfig
 from repro.core.flush import FlushResult, flush_all, flush_bucket
 from repro.core.hashing import UniversalHash, is_user_key
-from repro.core.resize import LoadFactorPolicy, ResizeResult, ResizeStats, resize_table
+from repro.core.resize import (
+    LoadFactorPolicy,
+    MigrationState,
+    MigrationStepResult,
+    ResizeResult,
+    ResizeStats,
+    begin_migration,
+    migrate_step as _migrate_table_step,
+    resize_table,
+)
 from repro.core.slab_alloc import SlabAlloc
 from repro.core.slab_alloc_light import SlabAllocLight
 from repro.core.slab_list import SlabListCollection
@@ -131,6 +141,8 @@ class SlabHash:
         self.policy = policy
         self.resize_stats = ResizeStats()
         self._in_resize = False
+        #: In-flight incremental resize (``None`` when fully in one array).
+        self.migration: Optional[MigrationState] = None
 
     # ------------------------------------------------------------------ #
     # Bucket sizing helpers (Fig. 4c)
@@ -232,6 +244,43 @@ class SlabHash:
         lane[end - start :] = fill
 
     # ------------------------------------------------------------------ #
+    # Migration routing (incremental resize; see repro.core.resize)
+    # ------------------------------------------------------------------ #
+
+    @contextlib.contextmanager
+    def _routed_to_new(self):
+        """Temporarily execute against the migration's new bucket array.
+
+        Both backends read ``self.lists`` / ``self.hash_fn`` at call time,
+        so swapping them routes an entire sub-batch — results, state and
+        synthesized counters — to the new array.
+        """
+        state = self.migration
+        saved = (self.lists, self.hash_fn)
+        self.lists, self.hash_fn = state.new_lists, state.new_hash
+        try:
+            yield
+        finally:
+            self.lists, self.hash_fn = saved
+
+    def _migration_mask(self, keys: np.ndarray) -> np.ndarray:
+        """Watermark routing: True where a key's old bucket already migrated.
+
+        A migrated bucket's every occurrence lives in the new array, so each
+        operation runs against exactly one array; relative order within each
+        routed sub-batch is preserved, which keeps duplicate-key scan-order
+        semantics intact mid-migration.
+        """
+        return self.hash_fn.hash_array(keys) < self.migration.watermark
+
+    def _route_to_new(self, key_arr: np.ndarray) -> bool:
+        """Single-key variant of :meth:`_migration_mask` (search_all/delete_all)."""
+        state = self.migration
+        if state is None or self._in_resize:
+            return False
+        return int(self.hash_fn.hash_array(key_arr)[0]) < state.watermark
+
+    # ------------------------------------------------------------------ #
     # Single-operation convenience API
     # ------------------------------------------------------------------ #
 
@@ -259,6 +308,12 @@ class SlabHash:
     def search_all(self, key: int) -> List[int]:
         """Return every value stored under ``key`` (duplicates mode)."""
         key_arr = self._validate_keys(np.array([key]))
+        if self._route_to_new(key_arr):
+            with self._routed_to_new():
+                return self._search_all_impl(key_arr)
+        return self._search_all_impl(key_arr)
+
+    def _search_all_impl(self, key_arr: np.ndarray) -> List[int]:
         buckets = self.hash_fn.hash_array(key_arr)
         warp = self._next_warp()
         is_active = np.zeros(WARP_SIZE, dtype=bool)
@@ -276,6 +331,15 @@ class SlabHash:
     def delete_all(self, key: int) -> int:
         """Delete every occurrence of ``key``; returns the number removed."""
         key_arr = self._validate_keys(np.array([key]))
+        if self._route_to_new(key_arr):
+            with self._routed_to_new():
+                removed = self._delete_all_impl(key_arr)
+        else:
+            removed = self._delete_all_impl(key_arr)
+        self._auto_resize()
+        return removed
+
+    def _delete_all_impl(self, key_arr: np.ndarray) -> int:
         buckets = self.hash_fn.hash_array(key_arr)
         warp = self._next_warp()
         is_active = np.zeros(WARP_SIZE, dtype=bool)
@@ -288,7 +352,6 @@ class SlabHash:
         run_sequential(
             [self.lists.warp_delete_all(warp, is_active, lane_buckets, lane_keys, out)]
         )
-        self._auto_resize()
         return int(out[0])
 
     # ------------------------------------------------------------------ #
@@ -304,7 +367,12 @@ class SlabHash:
         self.bulk_insert(keys, values)
 
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> None:
-        """Insert a batch: one element per thread, WCWS processing per warp."""
+        """Insert a batch: one element per thread, WCWS processing per warp.
+
+        During an incremental migration the batch is split by the per-bucket
+        watermark: elements whose (old) bucket has migrated go to the new
+        array, the rest to the old one, order preserved within each part.
+        """
         keys = self._validate_keys(np.asarray(keys))
         if self.config.key_value:
             if values is None:
@@ -312,11 +380,29 @@ class SlabHash:
             values = np.asarray(values, dtype=np.uint32)
             if values.shape != keys.shape:
                 raise ValueError("keys and values must have the same length")
+        if self.migration is None or self._in_resize:
+            self._exec_bulk_insert(keys, values)
+        else:
+            mask = self._migration_mask(keys)
+            if not mask.any():
+                self._exec_bulk_insert(keys, values)
+            elif mask.all():
+                with self._routed_to_new():
+                    self._exec_bulk_insert(keys, values)
+            else:
+                old = ~mask
+                self._exec_bulk_insert(keys[old], values[old] if values is not None else None)
+                with self._routed_to_new():
+                    self._exec_bulk_insert(
+                        keys[mask], values[mask] if values is not None else None
+                    )
+        self._auto_resize()
+
+    def _exec_bulk_insert(self, keys: np.ndarray, values: Optional[np.ndarray]) -> None:
         if self.backend == "vectorized":
             self._bulk_exec.bulk_insert(keys, values)
         else:
             self._reference_bulk_insert(keys, values)
-        self._auto_resize()
 
     def _reference_bulk_insert(self, keys: np.ndarray, values: Optional[np.ndarray]) -> None:
         """The per-warp generator schedule (one legal concurrent schedule)."""
@@ -342,8 +428,29 @@ class SlabHash:
             run_sequential([op(warp, is_active, lane_buckets, lane_keys, lane_values)])
 
     def bulk_search(self, queries: Sequence[int]) -> np.ndarray:
-        """Search a batch of queries; returns values (or ``SEARCH_NOT_FOUND``)."""
+        """Search a batch of queries; returns values (or ``SEARCH_NOT_FOUND``).
+
+        During an incremental migration each query runs against the single
+        array its key currently lives in (watermark routing), and results
+        are scattered back to the original batch positions.
+        """
         queries = self._validate_keys(np.asarray(queries))
+        if self.migration is None or self._in_resize:
+            return self._exec_bulk_search(queries)
+        mask = self._migration_mask(queries)
+        if not mask.any():
+            return self._exec_bulk_search(queries)
+        if mask.all():
+            with self._routed_to_new():
+                return self._exec_bulk_search(queries)
+        results = np.empty(len(queries), dtype=np.uint32)
+        old = ~mask
+        results[old] = self._exec_bulk_search(queries[old])
+        with self._routed_to_new():
+            results[mask] = self._exec_bulk_search(queries[mask])
+        return results
+
+    def _exec_bulk_search(self, queries: np.ndarray) -> np.ndarray:
         if self.backend == "vectorized":
             return self._bulk_exec.bulk_search(queries)
         return self._reference_bulk_search(queries)
@@ -372,14 +479,34 @@ class SlabHash:
         return results
 
     def bulk_delete(self, keys: Sequence[int]) -> np.ndarray:
-        """Delete a batch of keys; returns per-key removed counts (0 or 1)."""
+        """Delete a batch of keys; returns per-key removed counts (0 or 1).
+
+        During an incremental migration each delete runs against the single
+        array its key currently lives in (watermark routing).
+        """
         keys = self._validate_keys(np.asarray(keys))
-        if self.backend == "vectorized":
-            removed = self._bulk_exec.bulk_delete(keys)
+        if self.migration is None or self._in_resize:
+            removed = self._exec_bulk_delete(keys)
         else:
-            removed = self._reference_bulk_delete(keys)
+            mask = self._migration_mask(keys)
+            if not mask.any():
+                removed = self._exec_bulk_delete(keys)
+            elif mask.all():
+                with self._routed_to_new():
+                    removed = self._exec_bulk_delete(keys)
+            else:
+                removed = np.zeros(len(keys), dtype=np.int64)
+                old = ~mask
+                removed[old] = self._exec_bulk_delete(keys[old])
+                with self._routed_to_new():
+                    removed[mask] = self._exec_bulk_delete(keys[mask])
         self._auto_resize()
         return removed
+
+    def _exec_bulk_delete(self, keys: np.ndarray) -> np.ndarray:
+        if self.backend == "vectorized":
+            return self._bulk_exec.bulk_delete(keys)
+        return self._reference_bulk_delete(keys)
 
     def _reference_bulk_delete(self, keys: np.ndarray) -> np.ndarray:
         buckets = self.hash_fn.hash_array(keys)
@@ -452,14 +579,52 @@ class SlabHash:
             if values.shape != keys.shape:
                 raise ValueError("keys and values must have the same length")
 
-        if scheduler is None and self.backend == "vectorized":
-            results = self._bulk_exec.concurrent_batch(op_codes, keys, values)
+        if self.migration is None or self._in_resize:
+            results = self._exec_concurrent(op_codes, keys, values, scheduler, wave_size)
         else:
-            results = self._reference_concurrent_batch(
-                op_codes, keys, values, scheduler, wave_size
-            )
+            # Watermark routing: each operation runs against the single array
+            # its key lives in; relative order within each part is preserved,
+            # results are scattered back to the original batch positions.
+            mask = self._migration_mask(keys)
+            if not mask.any():
+                results = self._exec_concurrent(op_codes, keys, values, scheduler, wave_size)
+            elif mask.all():
+                with self._routed_to_new():
+                    results = self._exec_concurrent(
+                        op_codes, keys, values, scheduler, wave_size
+                    )
+            else:
+                results = np.zeros(len(keys), dtype=np.uint32)
+                old = ~mask
+                results[old] = self._exec_concurrent(
+                    op_codes[old],
+                    keys[old],
+                    values[old] if values is not None else None,
+                    scheduler,
+                    wave_size,
+                )
+                with self._routed_to_new():
+                    results[mask] = self._exec_concurrent(
+                        op_codes[mask],
+                        keys[mask],
+                        values[mask] if values is not None else None,
+                        scheduler,
+                        wave_size,
+                    )
         self._auto_resize()
         return results
+
+    def _exec_concurrent(
+        self,
+        op_codes: np.ndarray,
+        keys: np.ndarray,
+        values: Optional[np.ndarray],
+        scheduler: Optional[WarpScheduler],
+        wave_size: Optional[int],
+    ) -> np.ndarray:
+        if scheduler is None and self.backend == "vectorized":
+            return self._bulk_exec.concurrent_batch(op_codes, keys, values)
+        return self._reference_concurrent_batch(op_codes, keys, values, scheduler, wave_size)
 
     def _reference_concurrent_batch(
         self,
@@ -538,34 +703,101 @@ class SlabHash:
         kernel), old chained slabs are returned to the allocator, and the
         hash function keeps its ``(a, b)`` draw re-ranged to the new bucket
         count.  Resizing to the current size is a no-op.
+
+        Raises ``RuntimeError`` while an incremental migration is in flight:
+        drain it with :meth:`migrate_step` / :meth:`maybe_resize` first.
         """
+        if self.migration is not None:
+            raise RuntimeError(
+                "an incremental migration is in flight; pump it with migrate_step() "
+                "or maybe_resize() before a stop-the-world resize"
+            )
         return resize_table(self, num_buckets, trigger=trigger)
 
-    def maybe_resize(self, *, max_steps: int = 8) -> List[ResizeResult]:
-        """Apply the load-factor policy until it is quiescent.
+    def begin_resize(
+        self,
+        num_buckets: int,
+        *,
+        trigger: str = "manual",
+        step_buckets: Optional[int] = None,
+    ) -> Optional[ResizeResult]:
+        """Begin an incremental (non-blocking) resize to ``num_buckets``.
 
-        Each step asks :meth:`LoadFactorPolicy.decide
-        <repro.core.resize.LoadFactorPolicy.decide>` for a bucket count and
-        performs that resize; geometric stepping means a handful of steps
-        reach the band from any state (``max_steps`` is a safety bound).
-        Returns the performed resizes; ``[]`` when there is no policy or the
-        table is already in the band.
+        Installs a :class:`~repro.core.resize.MigrationState`; no items move
+        until :meth:`migrate_step` (or :meth:`maybe_resize`) pumps the
+        migration.  Requesting the current size is a counted no-op, returned
+        as a :class:`~repro.core.resize.ResizeResult`; otherwise ``None``.
         """
-        if self.policy is None or self._in_resize:
+        return begin_migration(self, num_buckets, trigger=trigger, step_buckets=step_buckets)
+
+    def migrate_step(self, max_buckets: Optional[int] = None) -> MigrationStepResult:
+        """Advance the in-flight migration by one bounded band of buckets.
+
+        See :func:`repro.core.resize.migrate_step` for semantics (atomic
+        whole-bucket bands, strong exception guarantee, resumability).
+        """
+        return _migrate_table_step(self, max_buckets)
+
+    def maybe_resize(self, *, max_steps: int = 8) -> List[ResizeResult]:
+        """Pump the in-flight migration and/or apply the load-factor policy.
+
+        With a migration in flight, up to ``max_steps`` incremental steps
+        are advanced (policy decisions stay suppressed until it completes).
+        Otherwise each step asks :meth:`LoadFactorPolicy.decide
+        <repro.core.resize.LoadFactorPolicy.decide>` for a bucket count and
+        performs that resize — as a stop-the-world rebuild, or, under an
+        ``incremental`` policy, by beginning a migration that the remaining
+        step budget (and later calls) pumps.  Returns the *completed*
+        resizes; ``[]`` when quiescent or when a begun migration has not
+        finished yet.
+        """
+        if self._in_resize:
             return []
         results: List[ResizeResult] = []
-        for _ in range(max_steps):
+        steps = 0
+        while steps < max_steps:
+            if self.migration is not None:
+                outcome = self.migrate_step()
+                steps += 1
+                if outcome.result is not None:
+                    results.append(outcome.result)
+                continue
+            if self.policy is None:
+                break
             decision = self.policy.decide(
                 len(self), self.num_buckets, self.config.elements_per_slab
             )
             if decision is None:
                 break
+            if self.policy.incremental:
+                if self.begin_resize(decision, trigger="policy") is not None:
+                    break  # counted no-op; nothing to pump
+                continue
             results.append(self.resize(decision, trigger="policy"))
+            steps += 1
         return results
 
     def _auto_resize(self) -> None:
-        """Post-batch hook: apply an automatic policy, if one is attached."""
-        if self.policy is not None and self.policy.auto and not self._in_resize:
+        """Post-batch hook: apply an automatic policy, if one is attached.
+
+        With a migration in flight the hook advances at most one step per
+        mutating batch, so migration work stays interleaved with — never
+        ahead of — the request stream.  The moment that step *completes*
+        the migration, the policy takes back control in the same hook, so
+        an auto table is policy-quiescent after every batch that is not
+        mid-migration (manual migrations can land anywhere; the policy
+        reconciles as soon as they finish).
+        """
+        if self.policy is None or not self.policy.auto or self._in_resize:
+            return
+        if self.migration is not None:
+            if self.migrate_step().result is None:
+                return
+            # fall through: the migration just finished; let the policy
+            # reconcile the (possibly out-of-band) result right away
+        if self.policy.incremental:
+            self.maybe_resize(max_steps=1)
+        else:
             self.maybe_resize()
 
     # ------------------------------------------------------------------ #
@@ -598,32 +830,52 @@ class SlabHash:
     # ------------------------------------------------------------------ #
 
     def flush(self, bucket: Optional[int] = None) -> List[FlushResult]:
-        """Compact one bucket (or all buckets) and release empty slabs."""
+        """Compact one bucket (or all buckets) and release empty slabs.
+
+        ``bucket`` addresses the current (old) array; a full flush during an
+        incremental migration compacts both live arrays.
+        """
         warp = self._next_warp()
         if bucket is not None:
             self.device.launch_kernel()
             return [flush_bucket(self.lists, warp, bucket)]
-        return flush_all(self.lists, warp)
+        results = flush_all(self.lists, warp)
+        if self.migration is not None:
+            results += flush_all(self.migration.new_lists, self._next_warp())
+        return results
 
     @property
     def num_buckets(self) -> int:
+        """Bucket count of the current (old, during a migration) array."""
         return self.lists.num_lists
 
     def __len__(self) -> int:
-        """Number of stored elements (host-side scan, not performance-counted)."""
-        return self.lists.live_item_count()
+        """Number of stored elements (host-side scan, not performance-counted).
+
+        During an incremental migration this spans both live arrays.
+        """
+        count = self.lists.live_item_count()
+        if self.migration is not None:
+            count += self.migration.new_lists.live_item_count()
+        return count
 
     def beta(self) -> float:
         """Average slab count ``beta = n / (M * B)`` for the current contents."""
         return len(self) / (self.config.elements_per_slab * self.num_buckets)
 
     def total_slabs(self) -> int:
-        """Base slabs plus allocated slabs currently used by the table."""
-        return self.lists.total_slabs()
+        """Base slabs plus allocated slabs currently used by the table.
+
+        Spans both live arrays during an incremental migration.
+        """
+        total = self.lists.total_slabs()
+        if self.migration is not None:
+            total += self.migration.new_lists.total_slabs()
+        return total
 
     def used_bytes(self) -> int:
         """Total memory occupied by the table (all slabs, 128 bytes each)."""
-        return self.lists.used_bytes()
+        return self.total_slabs() * C.SLAB_BYTES
 
     def memory_utilization(self) -> float:
         """Stored data bytes over total used memory (the paper's utilization metric)."""
@@ -631,12 +883,19 @@ class SlabHash:
         return stored / self.used_bytes()
 
     def bucket_slab_counts(self) -> np.ndarray:
-        """Per-bucket slab counts (useful for load-balance diagnostics)."""
+        """Per-bucket slab counts of the current (old) array."""
         return self.lists.slab_counts()
 
     def items(self) -> List[tuple]:
-        """All stored (key, value) pairs (value ``None`` in key-only mode)."""
-        return self.lists.all_live_items()
+        """All stored (key, value) pairs (value ``None`` in key-only mode).
+
+        During an incremental migration, old-array items first (buckets at
+        or above the watermark), then new-array items.
+        """
+        items = self.lists.all_live_items()
+        if self.migration is not None:
+            items += self.migration.new_lists.all_live_items()
+        return items
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         mode = "key-value" if self.config.key_value else "key-only"

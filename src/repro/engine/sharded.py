@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.core import constants as C
 from repro.core.config import SlabAllocConfig
-from repro.core.resize import LoadFactorPolicy, ResizeResult
+from repro.core.resize import LoadFactorPolicy, MigrationStepResult, ResizeResult
 from repro.core.slab_hash import SlabHash
 from repro.engine.router import ShardRouter
 from repro.engine.stats import EngineStats
@@ -337,21 +337,56 @@ class ShardedSlabHash:
     # ------------------------------------------------------------------ #
 
     def resize_shard(
-        self, shard: int, num_buckets: int, *, trigger: str = "manual"
-    ) -> ResizeResult:
-        """Rebuild one shard into ``num_buckets`` buckets (items stay put).
+        self,
+        shard: int,
+        num_buckets: int,
+        *,
+        trigger: str = "manual",
+        incremental: bool = False,
+        step_buckets: Optional[int] = None,
+    ) -> Optional[ResizeResult]:
+        """Resize one shard into ``num_buckets`` buckets (items stay put).
 
         Routing is untouched — a shard resize only changes that shard's
         bucket array — so every key remains reachable and the engine's
         totals (:meth:`__len__`, :meth:`shard_sizes`, :meth:`items`) are
         unchanged by construction.
+
+        With ``incremental=True`` the shard's migration is *begun* rather
+        than run to completion: the call returns ``None`` (or a counted
+        no-op :class:`ResizeResult` when the shard is already that size)
+        and subsequent batches / :meth:`maybe_resize` /
+        :meth:`migrate_step_shard` calls advance it a bounded number of
+        buckets at a time.  Shards migrate independently — beginning a
+        migration on one shard never blocks the others.
         """
         if not 0 <= shard < self.num_shards:
             raise ValueError(f"shard {shard} out of range for {self.num_shards} shards")
+        if incremental:
+            return self.shards[shard].begin_resize(
+                num_buckets, trigger=trigger, step_buckets=step_buckets
+            )
         return self.shards[shard].resize(num_buckets, trigger=trigger)
 
+    def migrate_step_shard(
+        self, shard: int, max_buckets: Optional[int] = None
+    ) -> MigrationStepResult:
+        """Advance one shard's in-flight migration by at most ``max_buckets``."""
+        if not 0 <= shard < self.num_shards:
+            raise ValueError(f"shard {shard} out of range for {self.num_shards} shards")
+        return self.shards[shard].migrate_step(max_buckets)
+
+    def migrating_shards(self) -> List[int]:
+        """Indices of shards with a migration currently in flight."""
+        return [i for i, shard in enumerate(self.shards) if shard.migration is not None]
+
     def maybe_resize(self) -> List[ResizeResult]:
-        """Apply each shard's load-factor policy until quiescent (see SlabHash)."""
+        """Pump each shard's migration / load-factor policy (see SlabHash).
+
+        Shards are pumped independently: a shard mid-migration advances by
+        a bounded number of steps while its neighbours follow their own
+        policies, so one shard's long migration never delays another's.
+        """
         results: List[ResizeResult] = []
         for shard in self.shards:
             results.extend(shard.maybe_resize())
@@ -371,11 +406,20 @@ class ShardedSlabHash:
         Uses ``load_factor_policy`` if given, else each shard's own policy;
         raises when neither exists.  Returns the performed per-shard resizes.
 
+        Incremental policies (``LoadFactorPolicy.incremental``) *begin* a
+        per-shard migration instead of rebuilding — each shard migrates
+        independently as its own batches and :meth:`maybe_resize` calls pump
+        it.  A shard whose migration is already in flight is pumped one step
+        and otherwise left alone (its target is reconsidered once the
+        migration completes); begun-but-unfinished migrations contribute no
+        :class:`ResizeResult` to the return value.
+
         Failure semantics: shards are independent devices with independent
         allocators, so one shard's failed migration (e.g. allocator
         exhaustion) must not starve the others of maintenance.  A failing
         shard is restored unchanged — ``resize_table``'s strong guarantee
-        covers its bucket array, chains and allocator occupancy — the
+        covers its bucket array, chains and allocator occupancy, and a
+        failed incremental step leaves the watermark where it was — the
         remaining shards still get their rebalance attempt, and the first
         error is re-raised afterwards.
         """
@@ -388,11 +432,24 @@ class ShardedSlabHash:
                     "rebalance needs a LoadFactorPolicy: pass one, or construct "
                     "the engine with load_factor_policy="
                 )
-            target = pol.target_buckets(len(shard), shard.config.elements_per_slab)
-            if abs(target - shard.num_buckets) <= pol.hysteresis * shard.num_buckets:
-                continue
             try:
-                results.append(self.resize_shard(index, target, trigger="rebalance"))
+                if shard.migration is not None:
+                    outcome = shard.migrate_step()
+                    if outcome.result is not None:
+                        results.append(outcome.result)
+                    continue
+                target = pol.target_buckets(len(shard), shard.config.elements_per_slab)
+                if abs(target - shard.num_buckets) <= pol.hysteresis * shard.num_buckets:
+                    continue
+                performed = self.resize_shard(
+                    index,
+                    target,
+                    trigger="rebalance",
+                    incremental=pol.incremental,
+                    step_buckets=pol.migration_step_buckets if pol.incremental else None,
+                )
+                if performed is not None:
+                    results.append(performed)
             except Exception as error:  # noqa: BLE001 - shard restored; try the rest
                 if first_error is None:
                     first_error = error

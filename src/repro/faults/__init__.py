@@ -14,6 +14,7 @@ from repro.faults.plan import (
     InjectedAllocExhausted,
     InjectedBatchFailure,
     InjectedFault,
+    InjectedMigrationFailure,
     InjectedWalError,
     ScopedFaults,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "InjectedAllocExhausted",
     "InjectedBatchFailure",
     "InjectedFault",
+    "InjectedMigrationFailure",
     "InjectedWalError",
     "ScopedFaults",
 ]

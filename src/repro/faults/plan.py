@@ -16,7 +16,15 @@ test when not) and consult it at named sites:
 site                           fired by
 =============================  ==================================================
 ``shard:<i>.alloc.warp_allocate``  :meth:`repro.core.slab_alloc.SlabAlloc.warp_allocate`
-                               (via the service's per-shard scoped view)
+                               (via the service's per-shard scoped view;
+                               fires mid-migration-step too — the step's
+                               inserts allocate through the same hook, so
+                               allocator exhaustion inside a step is the
+                               same site)
+``shard:<i>.migration.step``   :func:`repro.core.resize.migrate_step`, before
+                               the step moves any bucket (the step fails
+                               whole: watermark unchanged, both tables
+                               consistent, migration resumable)
 ``wal.append``                 :meth:`~repro.persist.wal.WriteAheadLog.append_group`,
                                before any byte is written
 ``wal.write``                  same, at the write itself (supports
@@ -50,6 +58,7 @@ __all__ = [
     "InjectedFault",
     "InjectedAllocExhausted",
     "InjectedBatchFailure",
+    "InjectedMigrationFailure",
     "InjectedWalError",
 ]
 
@@ -72,6 +81,15 @@ class InjectedBatchFailure(InjectedFault):
     """Injected batch-execution failure (``shard:<i>.execute`` site)."""
 
 
+class InjectedMigrationFailure(InjectedFault):
+    """Injected migration-step failure (``shard:<i>.migration.step`` site).
+
+    Fired before the step moves any bucket, so the failed step leaves the
+    watermark unchanged and both tables consistent; the migration resumes
+    on the next pump.
+    """
+
+
 class InjectedWalError(InjectedFault, OSError):
     """Injected WAL I/O error (``wal.append`` / ``wal.write`` / ``wal.fsync``)."""
 
@@ -80,6 +98,7 @@ class InjectedWalError(InjectedFault, OSError):
 _EXCEPTIONS = {
     "alloc": InjectedAllocExhausted,
     "batch": InjectedBatchFailure,
+    "migration": InjectedMigrationFailure,
     "os": InjectedWalError,
     "fault": InjectedFault,
 }

@@ -31,6 +31,8 @@ import os
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Tuple, Union
 
+import numpy as np
+
 from repro.core.slab_hash import SlabHash
 from repro.engine.sharded import ShardedSlabHash
 from repro.gpusim.scheduler import WarpScheduler
@@ -83,8 +85,13 @@ def replay_record(
     that raises — e.g. deterministic allocator exhaustion that failed the
     same batch's futures in the live run, leaving its partial state — is
     tolerated and, like the live loop, skips the between-batch resize.
-    Successful batches are followed by ``maybe_resize()``, whose failures
-    the live loop also swallows (``_resize_between_batches``).
+    Successful batches are followed by the same between-batch pump the live
+    drain performed: ``maybe_resize()`` on exactly the shard(s) the record's
+    keys route to (a logged batch is one shard's lane, and pumping is *not*
+    idempotent once resizes are incremental — pumping an untouched shard
+    would advance its migration further than the live run did).  Pump
+    failures are swallowed like the live loop's
+    (``_resize_between_batches``).
 
     Returns ``True`` when the batch executed cleanly, ``False`` when it
     raised (matching the live run's ``ops_failed`` outcome).
@@ -119,7 +126,15 @@ def replay_record(
     except Exception:  # noqa: BLE001 - the live loop failed this batch and served on
         return False
     try:
-        engine.maybe_resize()
+        if isinstance(engine, ShardedSlabHash):
+            # The live drain pumped only the shard whose batch just ran;
+            # router.partition is the accounting-free routing view.
+            keys = np.asarray(record.keys, dtype=np.uint64)
+            for shard, idx in zip(engine.shards, engine.router.partition(keys)):
+                if idx.size:
+                    shard.maybe_resize()
+        else:
+            engine.maybe_resize()
     except Exception:  # noqa: BLE001 - the live loop swallowed this too
         pass
     return True

@@ -2,9 +2,13 @@
 
 A table snapshot is one compressed ``.npz`` file holding a JSON header (the
 scalar state: layout config, hash-function draw, allocator sizing, device
-spec, counters, policy, warp counter) plus three arrays — the bucket heads
-(``base_slabs``), the addresses of every allocated slab, and those slabs'
-words.  Together these determine the table *exactly*: restoring yields the
+spec, counters, policy, warp counter, in-flight migration) plus three
+arrays — the bucket heads (``base_slabs``), the addresses of every
+allocated slab, and those slabs' words — and, for a table snapshotted
+mid-migration, a fourth array with the new table's bucket heads
+(``migration_base_slabs``; the shared allocator dump already covers both
+tables' chained slabs).  Together these determine the table *exactly*:
+restoring yields the
 same items in the same scan order, the same chain structure, the same
 allocator bitmap occupancy, and the same device counters, so every future
 operation behaves (and is counted) identically to the original table.  The
@@ -31,10 +35,11 @@ from typing import Union
 import numpy as np
 
 from repro.core.config import SlabAllocConfig
-from repro.core.resize import LoadFactorPolicy
+from repro.core.resize import LoadFactorPolicy, MigrationState
 from repro.core.slab_alloc import SlabAlloc
 from repro.core.slab_alloc_light import SlabAllocLight
 from repro.core.slab_hash import SlabHash
+from repro.core.slab_list import SlabListCollection
 from repro.engine.router import ShardRouter
 from repro.engine.sharded import ShardedSlabHash
 from repro.gpusim.costmodel import CostModel
@@ -44,7 +49,10 @@ from repro.gpusim.device import Device, DeviceSpec
 __all__ = ["SNAPSHOT_VERSION", "load", "save", "wal_floor"]
 
 #: Format version written into every snapshot header/manifest.
-SNAPSHOT_VERSION = 1
+#: Version 2 added the ``migration`` header field and the
+#: ``migration_base_slabs`` array so a table can be snapshotted (and
+#: restored bit-identically) while an incremental resize is in flight.
+SNAPSHOT_VERSION = 2
 
 _FORMAT = "slabhash-snapshot"
 _MANIFEST = "manifest.json"
@@ -85,19 +93,36 @@ def _table_header(table: SlabHash, wal_min_batch_index: int) -> dict:
         },
         "policy": None if table.policy is None else dataclasses.asdict(table.policy),
         "resize_stats": stats.as_dict(),
+        "migration": None if table.migration is None else {
+            "target_buckets": table.migration.target_buckets,
+            "watermark": table.migration.watermark,
+            "step_buckets": table.migration.step_buckets,
+            "trigger": table.migration.trigger,
+            "beta_before": table.migration.beta_before,
+            "steps": table.migration.steps,
+            "items_moved": table.migration.items_moved,
+            "released_slabs": table.migration.released_slabs,
+            "seconds": table.migration.seconds,
+            "counters": table.migration.counters.as_dict(),
+        },
     }
 
 
 def _save_table(table: SlabHash, path: str, wal_min_batch_index: int = 0) -> None:
     addresses, words = table.alloc.export_units()
+    arrays = {
+        "header": np.array(json.dumps(_table_header(table, wal_min_batch_index))),
+        "base_slabs": table.lists.base_slabs,
+        "alloc_addresses": addresses,
+        "alloc_words": words,
+    }
+    if table.migration is not None:
+        # Both tables are live mid-migration; the shared allocator already
+        # covers the new array's chained slabs, so only its bucket heads
+        # need their own array.
+        arrays["migration_base_slabs"] = table.migration.new_lists.base_slabs
     with open(path, "wb") as handle:
-        np.savez_compressed(
-            handle,
-            header=np.array(json.dumps(_table_header(table, wal_min_batch_index))),
-            base_slabs=table.lists.base_slabs,
-            alloc_addresses=addresses,
-            alloc_words=words,
-        )
+        np.savez_compressed(handle, **arrays)
 
 
 def _check_header(header: dict, kind: str, where: str) -> None:
@@ -119,6 +144,11 @@ def _load_table(path: str) -> SlabHash:
         base_slabs = archive["base_slabs"].astype(np.uint32)
         addresses = archive["alloc_addresses"]
         words = archive["alloc_words"]
+        migration_base_slabs = (
+            archive["migration_base_slabs"].astype(np.uint32)
+            if header.get("migration") is not None
+            else None
+        )
 
     spec = DeviceSpec(**header["device"]["spec"])
     device = Device(spec)
@@ -147,6 +177,32 @@ def _load_table(path: str) -> SlabHash:
     stats = header["resize_stats"]
     for name, value in stats.items():
         setattr(table.resize_stats, name, value)
+    if header["migration"] is not None:
+        mig = header["migration"]
+        new_lists = SlabListCollection(
+            device, alloc, mig["target_buckets"], table.config
+        )
+        new_lists.base_slabs[:] = migration_base_slabs
+        mig_counters = Counters()
+        for name, value in mig["counters"].items():
+            setattr(mig_counters, name, value)
+        table.migration = MigrationState(
+            new_lists=new_lists,
+            # rebucket() preserves the restored (a, b) draw, so routing by
+            # the new table's hash is bit-identical to the original's.
+            new_hash=table.hash_fn.rebucket(mig["target_buckets"]),
+            old_buckets=table.hash_fn.num_buckets,
+            target_buckets=mig["target_buckets"],
+            trigger=mig["trigger"],
+            step_buckets=mig["step_buckets"],
+            beta_before=mig["beta_before"],
+            watermark=mig["watermark"],
+            steps=mig["steps"],
+            items_moved=mig["items_moved"],
+            released_slabs=mig["released_slabs"],
+            counters=mig_counters,
+            seconds=mig["seconds"],
+        )
     # Restore the counters last: nothing above charges device events, but a
     # direct overwrite keeps that true by construction.
     for name, value in header["device"]["counters"].items():

@@ -41,9 +41,13 @@ numbers ``benchmarks/bench_service_saturation.py`` records.
 Online resizing is coordinated *between* micro-batches: after a shard's
 batch resolves its futures, the drain calls that shard's ``maybe_resize()``
 so a :class:`~repro.core.resize.LoadFactorPolicy` in deferred mode migrates
-the shard while none of its requests are in flight.  Because every shard is
-made quiescent right after its own batch, this is state-identical to the
-engine-wide ``maybe_resize()`` that recovery replay performs per record.
+the shard while none of its requests are in flight.  With
+``LoadFactorPolicy.incremental`` the call advances a bounded number of
+migration *steps* instead of a full rebuild, so no request ever waits out a
+whole-table migration — the incremental rehash interleaves with the cut
+batches.  Recovery replay reproduces the same schedule by pumping exactly
+the shards each replayed record touched (see
+:func:`repro.persist.recovery.replay_record`).
 
 The batch execution itself is synchronous CPU work (the simulator), so the
 event loop pauses while a batch runs; coalescing still works because the
@@ -231,6 +235,10 @@ class ServiceStats:
     shard's total, since shards are independent modelled devices draining
     concurrently.  ``resize_failures`` is the append-only log of failed
     between-batch migrations — later successes never erase it.
+    ``migration_steps`` / ``migration_buckets_moved`` /
+    ``migration_items_moved`` sum each live shard's incremental-resize
+    step accounting (:class:`~repro.core.resize.ResizeStats`), so a churn
+    run shows how much rehash work was interleaved between batches.
 
     The degradation counters follow the same per-lane arithmetic:
     ``ops_rejected`` (admissions refused by backpressure or quarantine) and
@@ -258,6 +266,9 @@ class ServiceStats:
     resizes_performed: int = 0
     resize_failures: Tuple[str, ...] = field(default_factory=tuple)
     resize_modelled_seconds: float = 0.0
+    migration_steps: int = 0
+    migration_buckets_moved: int = 0
+    migration_items_moved: int = 0
     ops_rejected: int = 0
     ops_expired: int = 0
     breaker_trips: int = 0
@@ -285,6 +296,9 @@ class ServiceStats:
             "resizes_performed": self.resizes_performed,
             "resize_failures": list(self.resize_failures),
             "resize_modelled_seconds": self.resize_modelled_seconds,
+            "migration_steps": self.migration_steps,
+            "migration_buckets_moved": self.migration_buckets_moved,
+            "migration_items_moved": self.migration_items_moved,
             "ops_rejected": self.ops_rejected,
             "ops_expired": self.ops_expired,
             "breaker_trips": self.breaker_trips,
@@ -984,12 +998,17 @@ class SlabHashService:
 
         No-op without a policy (``maybe_resize`` returns ``[]`` immediately);
         migration device time is accounted separately from the batches'.
-        Because every shard is made quiescent immediately after its own
-        batch, this per-shard call is state-identical to the engine-wide
-        ``maybe_resize()`` recovery replay performs after each record.  A
-        failed migration (e.g. allocator exhaustion) leaves the table
-        restored — ``resize_table``'s strong guarantee — so it is recorded
-        and the service keeps serving rather than killing the drain loop.
+        Under an incremental policy the call advances at most a bounded
+        number of migration steps, so the pause between batches stays
+        bounded by the step size rather than the table size.  Recovery
+        replay reproduces the same per-shard schedule by pumping exactly
+        the shards each replayed record touched (pumping is not idempotent
+        once migrations are incremental, so replay must not pump untouched
+        shards).  A failed migration (e.g. allocator exhaustion) leaves the
+        table restored — ``resize_table``'s strong guarantee for rebuilds;
+        an unchanged watermark with both tables consistent for a failed
+        incremental step — so it is recorded and the service keeps serving
+        rather than killing the drain loop.
         Failures append to an append-only log surfaced via
         :attr:`resize_failures` / :meth:`stats`; a later successful
         migration never overwrites or clears an earlier recorded failure.
@@ -1176,6 +1195,13 @@ class SlabHashService:
             resizes_performed=self._resizes_performed,
             resize_failures=tuple(self._resize_failure_log),
             resize_modelled_seconds=self._resize_modelled_seconds,
+            migration_steps=sum(t.resize_stats.migration_steps for t in self._shards),
+            migration_buckets_moved=sum(
+                t.resize_stats.migration_buckets for t in self._shards
+            ),
+            migration_items_moved=sum(
+                t.resize_stats.migration_items for t in self._shards
+            ),
             ops_rejected=sum(lane.rejected_overloaded for lane in lanes)
             + sum(lane.rejected_quarantined for lane in lanes),
             ops_expired=sum(lane.ops_expired for lane in lanes),

@@ -28,7 +28,7 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     with open(out, encoding="utf-8") as handle:
         document = json.load(handle)
     bench_wallclock.validate_document(document)  # raises on drift
-    assert document["schema_version"] == 4
+    assert document["schema_version"] == 5
     assert document["speedups"]["bulk_build_1024"] > 0
     assert document["speedups"]["concurrent_mixed_1024"] > 0
     assert document["speedups"]["resize_churn_1024"] > 0
@@ -48,6 +48,11 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     assert persist["num_keys"] == 1024
     assert persist["replay_records"] >= 1
     assert persist["snapshot_bytes"] > 0 and persist["wal_bytes"] > 0
+    # Schema v5: incremental-vs-stop-the-world modelled-latency comparison.
+    incremental = document["incremental_resize"]
+    assert incremental["num_keys"] == 1024
+    assert incremental["incremental"]["steps"] >= 1
+    assert incremental["stw_over_incremental_max"] > 0
 
 
 @pytest.mark.smoke
@@ -82,3 +87,13 @@ def test_validate_document_rejects_drift():
     no_shrink["resize_churn"]["auto"]["shrinks"] = 0
     with pytest.raises(ValueError, match="grow and one shrink"):
         bench_wallclock.validate_document(no_shrink)
+    incrementalless = dict(document)
+    incrementalless.pop("incremental_resize")
+    with pytest.raises(ValueError, match="incremental_resize"):
+        bench_wallclock.validate_document(incrementalless)
+    # The headline latency claim is schema-enforced at production sizes.
+    slow_steps = json.loads(json.dumps(document))
+    slow_steps["incremental_resize"]["num_keys"] = 100_000
+    slow_steps["incremental_resize"]["stw_over_incremental_max"] = 9.0
+    with pytest.raises(ValueError, match="order of magnitude"):
+        bench_wallclock.validate_document(slow_steps)

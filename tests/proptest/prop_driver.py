@@ -1,11 +1,13 @@
 """Seeded random-operation driver for the differential property harness.
 
 A *program* is a plain list of repr-able tuples — single operations, bulk
-batches, concurrent mixed batches, explicit resizes, flushes — generated
-deterministically from a ``random.Random`` seed with two structural
-guarantees: the first part of every program inserts enough elements to force
-at least one policy *grow*, and the tail deletes enough to force at least
-one *shrink*, whatever the seed.
+batches, concurrent mixed batches, explicit resizes, incremental-migration
+begin/step ops, flushes — generated deterministically from a
+``random.Random`` seed with three structural guarantees: the first part of
+every program inserts enough elements to force at least one policy *grow*,
+the tail deletes enough to force at least one *shrink*, and every program
+begins at least one incremental migration so searches, deletes, concurrent
+batches and flushes run while **both tables are live**, whatever the seed.
 
 :func:`run_program` executes the same program against
 
@@ -31,12 +33,15 @@ Invariants (the differential contract):
 5. stored items equal the model's items exactly (multiset of pairs), and
    ``search_all`` multisets match the model on sampled keys;
 6. chain structure is coherent: per-bucket slab counts cover exactly
-   ``num_buckets`` buckets, each at least one slab, summing to
-   ``total_slabs()``;
+   ``num_buckets`` buckets (the old array, during a migration), each at
+   least one slab, summing to that array's slab total;
 7. after every mutating step the auto-policy is quiescent
    (``policy.decide(...) is None``) and beta does not exceed the band's
-   ceiling beyond the hysteresis slack — and the run's resize stats must
-   show at least one grow and one shrink per table (coverage hooks).
+   ceiling beyond the hysteresis slack — except while an incremental
+   migration is in flight, when the policy is deliberately suppressed and
+   the table's shape is transiently out of band — and the run's resize
+   stats must show at least one grow, one shrink, and one migration step
+   per table (coverage hooks).
 
 Concurrent batches are generated with batch-unique keys, so their outcome is
 schedule-independent and the sharded engine (which interleaves differently)
@@ -110,10 +115,12 @@ def _random_step(rng: random.Random, shadow: dict, *, delete_phase: bool) -> Ste
     """One random filler step; the shadow dict mirrors what the model will hold."""
     ops = (
         ["search", "search", "search_all", "insert", "delete", "delete_all",
-         "bulk_search", "concurrent", "resize", "flush"]
+         "bulk_search", "concurrent", "resize", "flush",
+         "begin_migration", "migrate_step", "migrate_step"]
         if not delete_phase
         else ["search", "search_all", "delete", "delete", "delete_all",
-              "bulk_delete", "bulk_search", "concurrent", "resize", "flush"]
+              "bulk_delete", "bulk_search", "concurrent", "resize", "flush",
+              "begin_migration", "migrate_step", "migrate_step"]
     )
     op = rng.choice(ops)
     if op == "insert":
@@ -150,6 +157,14 @@ def _random_step(rng: random.Random, shadow: dict, *, delete_phase: bool) -> Ste
         # Explicit resize request; the auto policy may well undo it on the
         # next mutating batch, which is itself a path worth exercising.
         return ("resize", rng.choice([2, 3, 4]), rng.choice(["grow", "shrink"]))
+    if op == "begin_migration":
+        # Begin an incremental migration (no-op on tables already migrating);
+        # subsequent ops then run with both tables live until the auto hook
+        # and explicit migrate_step ops drain it.
+        return ("begin_migration", rng.choice([2, 3]), rng.choice(["grow", "shrink"]))
+    if op == "migrate_step":
+        # Advance any in-flight migration by one bounded step (no-op otherwise).
+        return ("migrate_step",)
     return ("flush",)
 
 
@@ -207,6 +222,14 @@ def generate_program(seed: int, *, filler_steps: int = 22) -> Program:
             shadow[key] = value
         program.append(("bulk_insert", list(keys), values))
 
+    # Structural guarantee: whatever the seed drew above, at least one
+    # incremental migration is begun here and the following delete-phase
+    # filler runs with both tables live (the auto hook and explicit
+    # migrate_step ops drain it).
+    program.append(("begin_migration", 2, "grow"))
+    program.append(("migrate_step",))
+    program.append(("migrate_step",))
+
     for _ in range(filler_steps - grow_half):
         program.append(_random_step(rng, shadow, delete_phase=True))
         # Guaranteed delete ramp: drain the population toward the floor.
@@ -222,6 +245,10 @@ def generate_program(seed: int, *, filler_steps: int = 22) -> Program:
         for key in batch:
             shadow.pop(key, None)
         program.append(("bulk_delete", list(batch)))
+    # Finish any migration still in flight and let the policy reconcile, so
+    # the end-of-program quiescence and shrink-coverage checks are about the
+    # steady state, not about where the last random migration happened to be.
+    program.append(("drain_migration",))
     return program
 
 
@@ -270,20 +297,60 @@ def apply_to_model(model: dict, step: Step):
             else:
                 results.append(_norm(model.get(key)))
         return results
-    if op in ("resize", "flush"):
+    if op in ("resize", "flush", "begin_migration", "migrate_step",
+              "drain_migration", "fail_if_migrating"):
         return None
     raise ValueError(f"unknown program step {step!r}")
 
 
-def _resize_impl(impl, factor: int, direction: str) -> None:
-    def target(buckets: int) -> int:
-        return max(1, buckets * factor if direction == "grow" else buckets // factor)
+def _scaled_target(buckets: int, factor: int, direction: str) -> int:
+    return max(1, buckets * factor if direction == "grow" else buckets // factor)
 
+
+def _drain_migration(impl) -> None:
+    """Run any in-flight migration to completion (stop-the-world resize
+    requires a quiescent table, and the drain itself is deterministic)."""
+    for table in _tables(impl):
+        while table.migration is not None:
+            table.migrate_step()
+
+
+def _resize_impl(impl, factor: int, direction: str) -> None:
+    _drain_migration(impl)
     if isinstance(impl, ShardedSlabHash):
         for index, shard in enumerate(impl.shards):
-            impl.resize_shard(index, target(shard.num_buckets))
+            impl.resize_shard(index, _scaled_target(shard.num_buckets, factor, direction))
     else:
-        impl.resize(target(impl.num_buckets))
+        impl.resize(_scaled_target(impl.num_buckets, factor, direction))
+
+
+def _begin_migration_impl(impl, factor: int, direction: str) -> None:
+    """Begin an incremental migration per table; tables already migrating
+    are left alone (double-begin is an API error)."""
+    if isinstance(impl, ShardedSlabHash):
+        for index, shard in enumerate(impl.shards):
+            if shard.migration is None:
+                impl.resize_shard(
+                    index,
+                    _scaled_target(shard.num_buckets, factor, direction),
+                    incremental=True,
+                    step_buckets=2,
+                )
+    elif impl.migration is None:
+        impl.begin_resize(
+            _scaled_target(impl.num_buckets, factor, direction), step_buckets=2
+        )
+
+
+def _migrate_step_impl(impl) -> None:
+    for table in _tables(impl):
+        if table.migration is not None:
+            outcome = table.migrate_step()
+            if outcome.result is not None:
+                # The step completed the migration; reconcile with the auto
+                # policy right away (exactly what the post-batch hook does),
+                # so quiescence is checkable on the very next step.
+                table.maybe_resize()
 
 
 def apply_to_impl(impl, step: Step):
@@ -325,8 +392,25 @@ def apply_to_impl(impl, step: Step):
         # quiescence would otherwise be unverifiable step to step.
         impl.maybe_resize()
         return None
+    if op == "begin_migration":
+        _begin_migration_impl(impl, step[1], step[2])
+        return None
+    if op == "migrate_step":
+        _migrate_step_impl(impl)
+        return None
+    if op == "drain_migration":
+        _drain_migration(impl)
+        impl.maybe_resize()
+        return None
     if op == "flush":
         impl.flush()
+        return None
+    if op == "fail_if_migrating":
+        # Harness self-test hook (never generated): fails exactly when a
+        # migration is in flight, so the shrinker demonstrably preserves
+        # the migration ops a failure depends on.
+        if any(table.migration is not None for table in _tables(impl)):
+            raise RuntimeError("fail_if_migrating: both tables are live")
         return None
     raise ValueError(f"unknown program step {step!r}")
 
@@ -417,10 +501,19 @@ def _check_chains(impls) -> Optional[str]:
                 )
             if counts.min() < 1:
                 return f"{name}: a bucket reports {counts.min()} slabs"
-            if int(counts.sum()) != table.total_slabs():
+            # bucket_slab_counts covers the current (old) array; during a
+            # migration the new array's slabs are extra, so compare against
+            # the old array's own total rather than the two-array sum.
+            old_total = table.lists.total_slabs()
+            if int(counts.sum()) != old_total:
                 return (
                     f"{name}: slab counts sum {int(counts.sum())} != "
-                    f"total_slabs {table.total_slabs()}"
+                    f"old-array total_slabs {old_total}"
+                )
+            if table.migration is None and old_total != table.total_slabs():
+                return (
+                    f"{name}: quiescent table reports total_slabs "
+                    f"{table.total_slabs()} != array total {old_total}"
                 )
     return None
 
@@ -441,6 +534,11 @@ def _check_search_all(impls, model, rng: random.Random) -> Optional[str]:
 def _check_policy_band(impls) -> Optional[str]:
     for name, impl in impls.items():
         for table in _tables(impl):
+            if table.migration is not None:
+                # The policy is deliberately suppressed while a migration is
+                # in flight; shape invariants resume once it completes (the
+                # auto hook reconciles in the same post-batch call).
+                continue
             eps = table.config.elements_per_slab
             decision = POLICY.decide(len(table), table.num_buckets, eps)
             if decision is not None:
@@ -514,6 +612,11 @@ def run_program(program: Program, *, check_coverage: bool = False) -> Optional[s
                         f"coverage: {name} table saw grows="
                         f"{table.resize_stats.grows}, shrinks="
                         f"{table.resize_stats.shrinks}; the generator must force both"
+                    )
+                if table.resize_stats.migration_steps < 1:
+                    return (
+                        f"coverage: {name} table saw no incremental migration "
+                        f"steps; the generator must force a mid-migration phase"
                     )
     return None
 

@@ -3,10 +3,20 @@ random :class:`~repro.faults.FaultPlan`, diffed against a dict model.
 
 Each pinned seed derives both a *program* (sequential waves of concurrent
 ``submit_many`` admissions plus awaited singles, one op per key per wave)
-and a *fault plan* (injected batch failures, allocator exhaustion, WAL I/O
-errors and torn writes, restore failures) — fully deterministic, no
-wall-clock or global randomness anywhere.  Clients ride out retryable
-rejections with :func:`~repro.service.retry.retry_with_backoff`.
+and a *fault plan* (injected batch failures, allocator exhaustion,
+migration-step failures, WAL I/O errors and torn writes, restore
+failures) — fully deterministic, no wall-clock or global randomness
+anywhere.  Clients ride out retryable rejections with
+:func:`~repro.service.retry.retry_with_backoff`.
+
+The engine runs an *incremental* deferred load-factor policy starting from
+a deliberately tiny bucket array, so the drain loop interleaves bounded
+migration steps between batches all run long — the
+``shard:<i>.migration.step`` fault site (and allocator exhaustion landing
+*inside* a step) is therefore exercised by the same random plans.  A failed
+step must leave the watermark unchanged and both tables consistent, which
+the end-of-run model/live/recovery diffs verify; the focused tests at the
+bottom of this file pin the step-failure semantics down deterministically.
 
 The invariants (docs/FAULTS.md):
 
@@ -38,8 +48,16 @@ import pytest
 
 from repro.core import constants as C
 from repro.core.config import SlabAllocConfig
+from repro.core.resize import LoadFactorPolicy
+from repro.core.slab_hash import SlabHash
 from repro.engine import ShardedSlabHash
-from repro.faults import FaultAction, FaultPlan, InjectedFault
+from repro.faults import (
+    FaultAction,
+    FaultPlan,
+    InjectedAllocExhausted,
+    InjectedFault,
+    InjectedMigrationFailure,
+)
 from repro.persist import WriteAheadLog
 from repro.persist.recovery import recover
 from repro.service import (
@@ -56,6 +74,13 @@ NUM_SHARDS = 2
 #: Generous sizing: natural allocator exhaustion never fires, so every
 #: failure in a run is one the fault plan injected (and therefore seeded).
 ALLOC = SlabAllocConfig(num_super_blocks=8, num_memory_blocks=32, units_per_block=128)
+#: Incremental + deferred: the drain loop pumps bounded migration steps
+#: between batches.  The tiny starting array guarantees the waves push the
+#: shards through several grow migrations, so the migration fault sites are
+#: genuinely reachable under every plan.
+POLICY = LoadFactorPolicy(
+    min_buckets=4, incremental=True, migration_step_buckets=2
+).deferred()
 
 
 def _seeds() -> list:
@@ -80,6 +105,12 @@ def chaos_sites() -> list:
             (
                 f"shard:{shard}.alloc.warp_allocate",
                 FaultAction(exc="alloc", note="chaos"),
+            )
+        )
+        sites.append(
+            (
+                f"shard:{shard}.migration.step",
+                FaultAction(exc="migration", note="chaos"),
             )
         )
     sites.append(("wal.append", FaultAction(exc="os", note="chaos")))
@@ -164,7 +195,10 @@ def run_chaos_program(seed: int, tmp_path) -> None:
 
     waves = generate_waves(seed)
     plan = FaultPlan.random(seed, chaos_sites(), rate=0.05, horizon=48)
-    engine = ShardedSlabHash(NUM_SHARDS, 64, alloc_config=ALLOC, seed=47)
+    engine = ShardedSlabHash(
+        NUM_SHARDS, POLICY.min_buckets, alloc_config=ALLOC, seed=47,
+        load_factor_policy=POLICY,
+    )
     config = ServiceConfig(
         max_batch_size=128,
         max_delay=0.0005,
@@ -302,6 +336,22 @@ def run_chaos_program(seed: int, tmp_path) -> None:
     assert service.pending == 0
     assert stats.ops_completed + stats.ops_failed + stats.ops_expired >= 0
 
+    # The tiny starting array guarantees growth: the drain loop must have
+    # pumped incremental migration steps, and every injected step failure
+    # must have been absorbed into the resize-failure log (the drain never
+    # dies; the failed step leaves the watermark unchanged and resumable).
+    assert stats.migration_steps > 0, (
+        f"seed {seed}: the chaos run never pumped a migration step"
+    )
+    migration_faults_fired = [
+        site for site, _ in plan.fired_sites() if site.endswith("migration.step")
+    ]
+    logged = [f for f in stats.resize_failures if "InjectedMigrationFailure" in f]
+    assert len(logged) == len(migration_faults_fired), (
+        f"seed {seed}: {len(migration_faults_fired)} injected step failures "
+        f"but {len(logged)} were logged: {stats.resize_failures}"
+    )
+
     # Acked exactly once / rejected absent, against the live engine.
     live = {int(k): int(v) for k, v in service.engine.items()}
     for key, value in model.items():
@@ -358,3 +408,94 @@ def test_chaos_waves_use_each_key_at_most_once_per_wave():
             for key in keys:
                 assert int(key) not in seen  # the idempotence precondition
                 seen.add(int(key))
+
+
+# --------------------------------------------------------------------------- #
+# Focused migration fault-site semantics (deterministic, table-level)
+# --------------------------------------------------------------------------- #
+
+
+def _table_state(table) -> tuple:
+    """Everything a failed step must not disturb: contents + both arrays."""
+    state = table.migration
+    return (
+        sorted((int(k), int(v)) for k, v in table.items()),
+        table.lists.base_slabs.tobytes(),
+        None if state is None else state.watermark,
+        None if state is None else state.steps,
+        None if state is None else state.new_lists.base_slabs.tobytes(),
+    )
+
+
+def _mid_migration_table(backend: str) -> tuple:
+    """A table shrinking 32 -> 8 buckets with plenty of band items per step.
+
+    The shrink direction concentrates each migrated band into few new
+    buckets, so a step's re-insert is guaranteed to chain past the base
+    slab and hit ``alloc.warp_allocate`` — the natural in-step site for
+    injected allocator exhaustion.
+    """
+    table = SlabHash(32, key_value=True, backend=backend, seed=5, alloc_config=ALLOC)
+    keys = np.arange(1, 601, dtype=np.uint64)
+    table.bulk_insert(keys, keys * np.uint64(7))
+    model = {int(k): int(k) * 7 for k in keys}
+    table.begin_resize(8, step_buckets=8)
+    return table, model
+
+
+def _drain_and_check(table, model: dict) -> None:
+    while table.migration is not None:
+        table.migrate_step()
+    assert sorted((int(k), int(v)) for k, v in table.items()) == sorted(model.items())
+    lookup = table.bulk_search(np.array(sorted(model), dtype=np.uint64))
+    assert [int(x) for x in lookup] == [model[k] for k in sorted(model)]
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_injected_step_failure_is_atomic_and_resumable(backend):
+    """``migration.step`` fires before any bucket moves: the failed step is
+    a pure no-op and the very next pump resumes the same band."""
+    table, model = _mid_migration_table(backend)
+    table.migrate_step()  # one clean step first: fail from a nonzero watermark
+    before = _table_state(table)
+    assert before[2] == 8  # the clean step advanced the watermark
+
+    table.alloc.faults = FaultPlan(
+        {("migration.step", 0): FaultAction(exc="migration", note="focused")}
+    )
+    with pytest.raises(InjectedMigrationFailure):
+        table.migrate_step()
+    assert _table_state(table) == before  # nothing moved, nothing charged to state
+
+    _drain_and_check(table, model)  # occurrence 1+ is clean: resumable in place
+
+
+@pytest.mark.parametrize("backend", ["reference", "vectorized"])
+def test_alloc_exhaustion_mid_step_rolls_the_band_back(backend):
+    """Exhaustion *inside* a step's re-insert rolls the partial band out of
+    the new array: watermark unchanged, both tables consistent, resumable."""
+    table, model = _mid_migration_table(backend)
+    before = _table_state(table)
+
+    table.alloc.faults = FaultPlan(
+        {("alloc.warp_allocate", 0): FaultAction(exc="alloc", note="focused")}
+    )
+    with pytest.raises(InjectedAllocExhausted):
+        table.migrate_step()
+
+    state = table.migration
+    assert state is not None and state.watermark == before[2] == 0
+    assert state.steps == 0 and state.items_moved == 0
+    # The band rollback deleted every key that reached the new array.
+    live_in_new = [
+        item
+        for bucket in range(state.target_buckets)
+        for item in state.new_lists.live_items(bucket)
+    ]
+    assert live_in_new == []
+    # The old array is untouched and every key still resolves through it.
+    assert table.lists.base_slabs.tobytes() == before[1]
+    assert sorted((int(k), int(v)) for k, v in table.items()) == sorted(model.items())
+
+    table.alloc.faults = None
+    _drain_and_check(table, model)

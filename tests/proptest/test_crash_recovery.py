@@ -21,6 +21,7 @@ the workflow's run id), mirroring the differential-harness job.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import os
 import random
 import shutil
@@ -116,6 +117,34 @@ def apply_to_model(model: dict, record: WalRecord) -> None:
             model.pop(int(key), None)
 
 
+def _migration_view(table):
+    """Bit-level view of a table's in-flight migration (None when quiescent).
+
+    The new array's bucket heads are digested rather than listed — equality
+    of the digest plus the shared-allocator occupancy (checked separately)
+    pins both live tables exactly.
+    """
+    state = table.migration
+    if state is None:
+        return None
+    return {
+        "watermark": state.watermark,
+        "target_buckets": state.target_buckets,
+        "step_buckets": state.step_buckets,
+        "trigger": state.trigger,
+        "steps": state.steps,
+        "items_moved": state.items_moved,
+        "released_slabs": state.released_slabs,
+        "counters": state.counters.as_dict(),
+        "new_base_digest": hashlib.sha256(
+            state.new_lists.base_slabs.tobytes()
+        ).hexdigest(),
+        "old_base_digest": hashlib.sha256(
+            table.lists.base_slabs.tobytes()
+        ).hexdigest(),
+    }
+
+
 def full_state(impl):
     tables = impl.shards if isinstance(impl, ShardedSlabHash) else [impl]
     return {
@@ -125,6 +154,7 @@ def full_state(impl):
         "alloc_units": [table.alloc.allocated_units for table in tables],
         "counters": [table.device.counters.as_dict() for table in tables],
         "warp_counters": [table._warp_counter for table in tables],
+        "migration": [_migration_view(table) for table in tables],
     }
 
 
@@ -322,6 +352,194 @@ def read_records_bytes(data: bytes, workdir) -> tuple:
 @pytest.mark.parametrize("seed", _seeds())
 def test_group_committed_wal_recovers_like_sequential_appends(seed, kind, tmp_path):
     run_group_commit_crash_scenario(seed, kind, tmp_path)
+
+
+#: Incremental deferred policy for the mid-migration family: one bucket per
+#: step keeps migrations in flight across many records, so checkpoints and
+#: crash points land with both tables live.
+POLICY_INCR = LoadFactorPolicy(
+    min_buckets=2, incremental=True, migration_step_buckets=1
+).deferred()
+
+
+def fresh_incremental_impl(kind: str):
+    if kind == "engine":
+        return ShardedSlabHash(
+            2, POLICY_INCR.min_buckets, alloc_config=ALLOC, seed=41,
+            load_factor_policy=POLICY_INCR,
+        )
+    return SlabHash(
+        POLICY_INCR.min_buckets, alloc_config=ALLOC, seed=41, policy=POLICY_INCR
+    )
+
+
+def _any_migrating(impl) -> bool:
+    tables = impl.shards if isinstance(impl, ShardedSlabHash) else [impl]
+    return any(table.migration is not None for table in tables)
+
+
+def generate_migration_batches(seed: int) -> list:
+    """The mid-migration churn shape: big insert waves, then random mix.
+
+    The waves push the table to dozens of buckets *in stages*, so the later
+    policy grows begin migrations whose old arrays take many bounded pumps
+    to drain — an in-flight migration is guaranteed to straddle several
+    batch boundaries (``replay_record`` advances at most 8 one-bucket steps
+    per record under :data:`POLICY_INCR`).
+    """
+    rng = random.Random(seed * 7 + 5)
+    fresh = rng.sample(range(1, KEY_SPACE), 1500)
+    waves = [fresh[:500], fresh[500:1000], fresh[1000:1500]]
+    records = []
+    for index, wave in enumerate(waves):
+        records.append(
+            WalRecord(
+                batch_index=index,
+                op_codes=np.full(len(wave), C.OP_INSERT, dtype=np.int64),
+                keys=np.array(wave, dtype=np.uint32),
+                values=np.array(
+                    [rng.randrange(0, 2**16) for _ in wave], dtype=np.uint32
+                ),
+            )
+        )
+    for record in generate_batches(seed):
+        records.append(
+            WalRecord(
+                batch_index=record.batch_index + len(waves),
+                op_codes=record.op_codes,
+                keys=record.keys,
+                values=record.values,
+            )
+        )
+    return records
+
+
+def run_mid_migration_crash_scenario(seed: int, kind: str, tmp_path) -> None:
+    """Checkpoint and crash with an incremental migration in flight.
+
+    The incremental deferred policy begins migrations naturally as the
+    insert-heavy head breaches the band; a dry run finds the first batch
+    boundary where a migration is in flight, and the real run checkpoints
+    exactly there — so the snapshot serializes **both live tables** and
+    every crash point recovers through a mid-migration snapshot.  Recovery
+    is diffed against the dict model and a live oracle, with
+    :func:`full_state` pinning the migration itself (watermark, step
+    accounting, both arrays' digests) bit-for-bit.
+    """
+    rng = random.Random(seed * 131 + (0 if kind == "table" else 1))
+    batches = generate_migration_batches(seed)
+
+    # Dry run: find a batch boundary where a migration is mid-flight.
+    scout = fresh_incremental_impl(kind)
+    checkpoint_after = None
+    for index, record in enumerate(batches):
+        replay_record(scout, record)
+        if checkpoint_after is None and _any_migrating(scout):
+            checkpoint_after = index + 1
+    assert checkpoint_after is not None and checkpoint_after < len(batches), (
+        f"seed {seed} {kind}: the generator never left a migration in flight "
+        "at a batch boundary; widen the stream or shrink the step size"
+    )
+
+    workdir = tmp_path / f"midmig-{kind}-{seed}"
+    workdir.mkdir()
+    snap = str(workdir / "snap")
+    wal_path = str(workdir / "ops.wal")
+
+    impl = fresh_incremental_impl(kind)
+    wal = WriteAheadLog(wal_path)
+    record_offsets = []
+    for index, record in enumerate(batches):
+        if index == checkpoint_after:
+            assert _any_migrating(impl)
+            save(impl, snap)
+            wal.truncate()
+            record_offsets = []
+        record_offsets.append(
+            wal.append(record.op_codes, record.keys, record.values,
+                       batch_index=record.batch_index)
+        )
+        replay_record(impl, record)
+    wal_end = wal.size()
+    wal.close()
+    live_end_state = full_state(impl)
+
+    crash_points = sorted(
+        {0, HEADER_SIZE, rng.randrange(0, wal_end + 1), wal_end}
+    )
+    for crash_at in crash_points:
+        chopped = str(workdir / f"crash-{crash_at}.wal")
+        shutil.copyfile(wal_path, chopped)
+        with open(chopped, "r+b") as handle:
+            handle.truncate(crash_at)
+
+        recovered, report = recover(snap, chopped)
+        boundaries = record_offsets + [wal_end]
+        survived = max(
+            (i for i, off in enumerate(boundaries) if off <= crash_at), default=0
+        )
+        assert report.records_replayed == survived
+        if survived == 0:
+            # Snapshot-only recovery: the restored table must still be
+            # mid-migration — the crash landed with both tables live.
+            assert _any_migrating(recovered), (
+                f"seed {seed} {kind}: mid-migration snapshot recovered "
+                "to a quiescent table"
+            )
+
+        prefix = batches[: checkpoint_after + survived]
+        model: dict = {}
+        for record in prefix:
+            apply_to_model(model, record)
+        assert sorted(model.items()) == sorted(
+            (int(k), int(v)) for k, v in recovered.items()
+        ), f"seed {seed} {kind}: mid-migration crash at {crash_at} diverged from the model"
+
+        oracle = fresh_incremental_impl(kind)
+        for record in prefix:
+            replay_record(oracle, record)
+        assert full_state(recovered) == full_state(oracle), (
+            f"seed {seed} {kind}: mid-migration crash at {crash_at} is not "
+            "bit-identical to a live run of the surviving prefix"
+        )
+        if crash_at == wal_end:
+            assert full_state(recovered) == live_end_state
+
+
+@pytest.mark.parametrize("kind", ["table", "engine"])
+@pytest.mark.parametrize("seed", _seeds())
+def test_recovery_mid_migration_matches_model_and_live_oracle(seed, kind, tmp_path):
+    run_mid_migration_crash_scenario(seed, kind, tmp_path)
+
+
+def test_mid_migration_snapshot_round_trips_bit_identically(tmp_path):
+    """A snapshot taken mid-migration restores both live tables exactly.
+
+    Beyond state equality, the restored table must *behave* identically:
+    stepping both migrations to completion and searching produces the same
+    results and the same device-counter deltas.
+    """
+    for backend in ("reference", "vectorized"):
+        table = SlabHash(8, key_value=True, backend=backend, seed=3)
+        keys = np.arange(1, 600, dtype=np.uint64)
+        table.bulk_insert(keys, keys * np.uint64(13))
+        table.begin_resize(32, step_buckets=3)
+        table.migrate_step()
+        table.migrate_step()
+
+        snap = str(tmp_path / f"midmig-{backend}.npz")
+        save(table, snap)
+        restored, report = recover(snap)
+        assert report.records_replayed == 0
+        assert full_state(restored) == full_state(table)
+
+        while table.migration is not None:
+            table.migrate_step()
+        while restored.migration is not None:
+            restored.migrate_step()
+        queries = np.arange(1, 700, dtype=np.uint64)
+        assert np.array_equal(table.bulk_search(queries), restored.bulk_search(queries))
+        assert full_state(restored) == full_state(table)
 
 
 def run_quarantine_crash_scenario(seed: int, tmp_path) -> None:

@@ -1,10 +1,13 @@
 """Property-based differential tests: random programs, three implementations.
 
 Each pinned seed generates a random interleaved program (single ops, bulk
-batches, concurrent mixed batches, explicit resizes, flushes) and runs it
-against the reference backend, the vectorized backend and the two-shard
-engine — all with an auto load-factor policy — plus a plain-dict model,
-checking the seven invariant families of :mod:`prop_driver` after every
+batches, concurrent mixed batches, explicit resizes, incremental-migration
+begin/step ops, flushes) and runs it against the reference backend, the
+vectorized backend and the two-shard engine — all with an auto load-factor
+policy — plus a plain-dict model, checking the seven invariant families of
+:mod:`prop_driver` after every step.  Every generated program forces a
+mid-migration phase (searches, deletes, concurrent batches and flushes with
+both tables live); the coverage hook rejects runs that saw no migration
 step.  On failure the program is delta-debugged and the **minimal
 reproducing program** is printed as a copy-pasteable literal.
 
@@ -65,3 +68,36 @@ def test_shrinker_minimizes_an_injected_failure():
 def test_generator_is_deterministic():
     assert generate_program(7) == generate_program(7)
     assert generate_program(7) != generate_program(8)
+
+
+def test_generator_forces_a_mid_migration_phase():
+    """Every seed's program begins a migration and steps it explicitly."""
+    for seed in (7, 101, 909):
+        program = generate_program(seed)
+        ops = [step[0] for step in program]
+        assert "begin_migration" in ops
+        begin = ops.index("begin_migration")
+        assert "migrate_step" in ops[begin:]
+
+
+def test_shrinker_preserves_migration_ops_in_minimal_repro():
+    """A failure that *requires* both tables live keeps its migration ops.
+
+    ``fail_if_migrating`` raises exactly when a migration is in flight, so
+    a minimal reproducer must retain a ``begin_migration`` (not yet drained
+    by enough auto pumps) before it — the shrinker cannot drop the
+    migration ops without losing the failure.
+    """
+    program = generate_program(505)
+    # Strip generated migration ops so the injected pair below is the only
+    # way to reach a mid-migration state, then fail while it is in flight.
+    program = [s for s in program if s[0] not in ("begin_migration", "migrate_step")]
+    program.append(("begin_migration", 2, "grow"))
+    program.append(("fail_if_migrating",))
+    assert run_program(program) is not None
+    minimal = shrink_program(program)
+    kinds = [step[0] for step in minimal]
+    assert "fail_if_migrating" in kinds
+    assert "begin_migration" in kinds
+    assert kinds.index("begin_migration") < kinds.index("fail_if_migrating")
+    assert len(minimal) < len(program)
