@@ -17,6 +17,7 @@ from repro.faults.plan import (
     InjectedMigrationFailure,
     InjectedWalError,
     ScopedFaults,
+    WorkerCrashed,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "InjectedMigrationFailure",
     "InjectedWalError",
     "ScopedFaults",
+    "WorkerCrashed",
 ]

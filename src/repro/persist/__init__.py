@@ -22,19 +22,31 @@ reproduction a restart story:
 See ``docs/PERSISTENCE.md`` for the file formats and recovery semantics.
 """
 
-from repro.persist.recovery import RecoveryReport, recover
-from repro.persist.snapshot import SNAPSHOT_VERSION, load, save, wal_floor
+from repro.persist.recovery import RecoveryReport, WalFloorRegressionError, recover
+from repro.persist.snapshot import (
+    SNAPSHOT_VERSION,
+    adopt_table_state,
+    load,
+    save,
+    table_from_bytes,
+    table_to_bytes,
+    wal_floor,
+)
 from repro.persist.wal import WAL_VERSION, WalRecord, WriteAheadLog, read_records
 
 __all__ = [
     "SNAPSHOT_VERSION",
     "WAL_VERSION",
     "RecoveryReport",
+    "WalFloorRegressionError",
     "WalRecord",
     "WriteAheadLog",
+    "adopt_table_state",
     "load",
     "read_records",
     "recover",
     "save",
+    "table_from_bytes",
+    "table_to_bytes",
     "wal_floor",
 ]

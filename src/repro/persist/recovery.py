@@ -39,7 +39,20 @@ from repro.gpusim.scheduler import WarpScheduler
 from repro.persist.snapshot import load, wal_floor
 from repro.persist.wal import WalRecord, read_records
 
-__all__ = ["RecoveryReport", "recover", "replay_record"]
+__all__ = ["RecoveryReport", "WalFloorRegressionError", "recover", "replay_record"]
+
+
+class WalFloorRegressionError(ValueError):
+    """The WAL's batch_index sequence regressed below the snapshot's floor.
+
+    A checkpoint-window crash legitimately leaves already-covered records
+    *as a prefix* of the log: snapshot written (floor recorded), WAL not yet
+    truncated.  Those are skipped.  But once a record at or above the floor
+    has been seen, a later record numbered *below* it cannot come from this
+    snapshot's service — the log was mixed, reused, or corrupted — and
+    silently skipping (or replaying) it would hide the mismatch and recover
+    a state no live run ever held.  :func:`recover` refuses instead.
+    """
 
 
 @dataclass(frozen=True)
@@ -160,7 +173,15 @@ def recover(
     (:func:`~repro.persist.snapshot.wal_floor`) are skipped: a crash in the
     checkpoint window — snapshot written, WAL not yet truncated — leaves
     such already-covered records behind, and replaying them would apply
-    their batches twice.
+    their batches twice.  The boundary is exact: the floor is the *next*
+    batch index at checkpoint time, so a record numbered exactly at the
+    floor is **not** covered by the snapshot and replays (strictly-below
+    skips — no off-by-one; pinned by ``tests/persist/test_recovery.py``).
+    Skipping is only legal as a prefix, though — a ``batch_index`` that
+    regresses below the floor *after* an at-or-above-floor record has been
+    seen means the log cannot belong to this snapshot, and :func:`recover`
+    refuses with :class:`WalFloorRegressionError` rather than silently
+    replaying from a mismatched log.
 
     Batches named by an **abort marker** in the log are skipped too: the
     service rejected their execution non-deterministically (injected fault),
@@ -180,14 +201,24 @@ def recover(
         aborted_indices.update(int(index) for index in extra_aborted)
     replayed = failed = skipped = aborted = ops = 0
     next_batch_index = floor
+    seen_at_or_above_floor = False
     for record in records:
         # Abort markers carry no operations; they only consume numbering.
         next_batch_index = max(next_batch_index, record.batch_index + 1)
         if record.aborted:
             continue
         if record.batch_index < floor:
+            if seen_at_or_above_floor:
+                raise WalFloorRegressionError(
+                    f"WAL {wal_path!r} record batch_index {record.batch_index} "
+                    f"regresses below the snapshot's WAL floor {floor} after a "
+                    "record at or above it; the log does not belong to this "
+                    "snapshot (mixed, reused, or corrupted WAL) — refusing to "
+                    "replay"
+                )
             skipped += 1
             continue
+        seen_at_or_above_floor = True
         if record.batch_index in aborted_indices:
             aborted += 1
             continue

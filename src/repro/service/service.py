@@ -94,7 +94,7 @@ from repro.core import constants as C
 from repro.core.hashing import is_user_key
 from repro.core.slab_hash import SlabHash
 from repro.engine.sharded import ShardedSlabHash
-from repro.faults import FaultPlan, InjectedFault
+from repro.faults import FaultPlan, InjectedFault, WorkerCrashed
 from repro.gpusim.scheduler import WarpScheduler
 from repro.perf.latency import LatencyRecorder, LatencyReport
 from repro.perf.metrics import measure_phase
@@ -162,6 +162,19 @@ class ServiceConfig:
         trips open (quarantine + background restore).  A dirty *injected*
         failure — mid-execution, state suspect — trips immediately
         regardless.
+    executor:
+        ``None``/``"serial"`` (default) executes batches inline.
+        ``"process"`` requires a sharded engine and dispatches each lane's
+        cut batches to that shard's worker process
+        (:class:`~repro.engine.parallel.ProcessShardExecutor`) — results,
+        counters, and migration behavior are bit-identical to serial; a
+        worker death surfaces as :class:`~repro.faults.WorkerCrashed` and
+        takes the quarantine/restore path, re-shipping the rebuilt shard to
+        a fresh worker.  An engine that already carries a process executor
+        is used as-is.
+    executor_workers:
+        Worker-process count when this config attaches the executor
+        (default: one per shard).
     """
 
     max_batch_size: int = 1024
@@ -171,6 +184,8 @@ class ServiceConfig:
     measure_device_time: bool = True
     max_pending_per_shard: Optional[int] = None
     breaker_threshold: int = 3
+    executor: Optional[str] = None
+    executor_workers: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -203,6 +218,27 @@ class ShardLaneStats:
         """Batches whose *size* was a warp multiple (size view)."""
         return self.aligned_batches + self.forced_aligned_batches
 
+    @property
+    def deadline_forced_fraction(self) -> float:
+        """Fraction of this lane's cuts forced by a deadline or drain.
+
+        Clamped to ``0.0`` when the lane cut zero batches — a shard
+        quarantined over the whole window must report a finite fraction,
+        not ``NaN`` from ``0 / 0``.
+        """
+        return self.forced_batches / self.batches_cut if self.batches_cut else 0.0
+
+    @property
+    def warp_aligned_fraction(self) -> float:
+        """Fraction of this lane's cuts that were warp-multiple sized.
+
+        Clamped to ``0.0`` for a zero-batch lane, like
+        :attr:`deadline_forced_fraction`.
+        """
+        return (
+            self.warp_aligned_batches / self.batches_cut if self.batches_cut else 0.0
+        )
+
     def as_dict(self) -> dict:
         return {
             "shard": self.shard,
@@ -212,6 +248,8 @@ class ShardLaneStats:
             "forced_batches": self.forced_batches,
             "forced_aligned_batches": self.forced_aligned_batches,
             "warp_aligned_batches": self.warp_aligned_batches,
+            "deadline_forced_fraction": self.deadline_forced_fraction,
+            "warp_aligned_fraction": self.warp_aligned_fraction,
             "modelled_seconds": self.modelled_seconds,
             "rejected_overloaded": self.rejected_overloaded,
             "rejected_quarantined": self.rejected_quarantined,
@@ -277,6 +315,30 @@ class ServiceStats:
     batches_aborted: int = 0
     restore_failures: Tuple[str, ...] = field(default_factory=tuple)
 
+    @property
+    def deadline_forced_fraction(self) -> float:
+        """Forced cuts over all cuts, clamped to ``0.0`` at zero batches.
+
+        A window in which every lane was quarantined (or simply idle) cuts
+        zero batches; the fraction must come back finite, not ``NaN``, so
+        dashboards and the benchmark JSON stay comparable across windows.
+        """
+        return (
+            self.deadline_forced_batches / self.batches_executed
+            if self.batches_executed
+            else 0.0
+        )
+
+    @property
+    def warp_aligned_fraction(self) -> float:
+        """Warp-multiple-sized cuts over all cuts, clamped like
+        :attr:`deadline_forced_fraction`."""
+        return (
+            self.warp_aligned_batches / self.batches_executed
+            if self.batches_executed
+            else 0.0
+        )
+
     def as_dict(self) -> dict:
         """Plain-dict view (used by the service benchmark JSON documents)."""
         return {
@@ -286,6 +348,8 @@ class ServiceStats:
             "batches_executed": self.batches_executed,
             "warp_aligned_batches": self.warp_aligned_batches,
             "deadline_forced_batches": self.deadline_forced_batches,
+            "deadline_forced_fraction": self.deadline_forced_fraction,
+            "warp_aligned_fraction": self.warp_aligned_fraction,
             "mean_batch_size": self.mean_batch_size,
             "latency": self.latency.as_dict(),
             "wall_seconds": self.wall_seconds,
@@ -368,6 +432,20 @@ class SlabHashService:
         self.wal = wal
         self.faults = faults
         self._sharded = isinstance(engine, ShardedSlabHash)
+        if self.config.executor not in (None, "serial", "process"):
+            raise ValueError(
+                f"unknown executor {self.config.executor!r}; "
+                "expected None, 'serial', or 'process'"
+            )
+        if self.config.executor == "process":
+            if not self._sharded:
+                raise ValueError(
+                    "ServiceConfig(executor='process') needs a ShardedSlabHash "
+                    "engine; a single table has no shards to parallelize"
+                )
+            if engine.process_executor is None:
+                engine.attach_executor("process", self.config.executor_workers)
+        self._process_mode = self._sharded and engine.process_executor is not None
         self._shards: List[SlabHash] = list(engine.shards) if self._sharded else [engine]
         table_config = self._shards[0].config
         self._key_value = table_config.key_value
@@ -410,6 +488,11 @@ class SlabHashService:
                 table.alloc.faults = faults.scoped(f"shard:{index}.")
             if wal is not None and wal.faults is None:
                 wal.faults = faults
+            if self._process_mode:
+                # Arm the shard:<i>.worker dispatch sites.  Worker-internal
+                # sites (alloc, migration.step) cannot fire in process mode —
+                # the resident shards do not carry the plan; see docs/API.md.
+                self.engine.process_executor.faults = faults
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -776,15 +859,21 @@ class SlabHashService:
         for entry in staged:
             self._execute(entry)
 
-    def _scheduler_for(self, shard: int, batch_index: int) -> Optional[WarpScheduler]:
+    def _seed_for(self, shard: int, batch_index: int) -> Optional[int]:
+        """Scheduler seed for one batch, or ``None`` for the phased schedule.
+
+        Mirrors recovery replay exactly: ShardedSlabHash.concurrent_batch
+        seeds shard ``s`` with (seed + batch_index) + s; a single table is
+        seeded with seed + batch_index.
+        """
         seed = self.config.scheduler_seed
         if seed is None:
             return None
-        # Mirrors recovery replay exactly: ShardedSlabHash.concurrent_batch
-        # seeds shard ``s`` with (seed + batch_index) + s; a single table is
-        # seeded with seed + batch_index.
-        offset = shard if self._sharded else 0
-        return WarpScheduler(seed=seed + batch_index + offset)
+        return seed + batch_index + (shard if self._sharded else 0)
+
+    def _scheduler_for(self, shard: int, batch_index: int) -> Optional[WarpScheduler]:
+        seed = self._seed_for(shard, batch_index)
+        return None if seed is None else WarpScheduler(seed=seed)
 
     def _execute(self, entry: _StagedBatch) -> None:
         batch = entry.batch
@@ -802,6 +891,20 @@ class SlabHashService:
                 return
 
         def run() -> None:
+            if self._process_mode:
+                # Dispatch to the shard's worker process.  The reply mirrors
+                # the worker's device counters onto ``table.device``, so the
+                # surrounding measure_phase sees serial-identical deltas; a
+                # dead worker raises WorkerCrashed (injected + dirty below).
+                holder["results"] = self.engine.execute_shard_batch(
+                    entry.shard,
+                    batch.op_codes,
+                    batch.keys,
+                    batch.values,
+                    scheduler_seed=self._seed_for(entry.shard, entry.batch_index),
+                    wave_size=self.config.wave_size,
+                )
+                return
             holder["results"] = table.concurrent_batch(
                 batch.op_codes,
                 batch.keys,
@@ -985,7 +1088,10 @@ class SlabHashService:
         )
         if self._sharded:
             fresh = engine.shards[shard]
-            self.engine.shards[shard] = fresh
+            # install_shard swaps the engine's entry and, in process mode,
+            # ships the rebuilt shard to its worker (respawning it if the
+            # trip was a WorkerCrashed that killed it).
+            self.engine.install_shard(shard, fresh)
         else:
             fresh = engine
             self.engine = engine
@@ -1014,7 +1120,22 @@ class SlabHashService:
         migration never overwrites or clears an earlier recorded failure.
         """
         try:
-            results = self._shards[shard].maybe_resize()
+            if self._sharded:
+                # Engine hook so process mode pumps inside the shard's worker;
+                # serial mode this is exactly self._shards[shard].maybe_resize().
+                results = self.engine.maybe_resize_shard(shard)
+            else:
+                results = self._shards[shard].maybe_resize()
+        except WorkerCrashed as exc:
+            # Worker death discovered in the between-batch pump is NOT a
+            # benign migration failure: the shard's resident state — with
+            # this lane's just-acked batches applied — died with the worker,
+            # and serving on would silently respawn from a stale mirror.
+            # Trip the lane so the quarantine restore rebuilds the shard
+            # from checkpoint + WAL tail and re-ships it to a fresh worker.
+            self._consecutive_failures[shard] += 1
+            self._trip(shard, exc)
+            return
         except Exception as exc:  # noqa: BLE001 - the table is intact; keep serving
             self._resize_failure_log.append(
                 f"after batch {batch_index}: {type(exc).__name__}: {exc}"
@@ -1153,6 +1274,10 @@ class SlabHashService:
         wall = 0.0
         if self._first_enqueue is not None and self._last_completion is not None:
             wall = max(0.0, self._last_completion - self._first_enqueue)
+        if self._process_mode:
+            # Barrier: refresh the parent mirror so the migration sums below
+            # read worker-side resize_stats, not a stale pre-dispatch copy.
+            _ = self.engine.shards
         lanes = tuple(
             ShardLaneStats(
                 shard=shard,

@@ -28,7 +28,7 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     with open(out, encoding="utf-8") as handle:
         document = json.load(handle)
     bench_wallclock.validate_document(document)  # raises on drift
-    assert document["schema_version"] == 5
+    assert document["schema_version"] == 6
     assert document["speedups"]["bulk_build_1024"] > 0
     assert document["speedups"]["concurrent_mixed_1024"] > 0
     assert document["speedups"]["resize_churn_1024"] > 0
@@ -53,6 +53,13 @@ def test_tiny_benchmark_roundtrip_matches_schema(tmp_path):
     assert incremental["num_keys"] == 1024
     assert incremental["incremental"]["steps"] >= 1
     assert incremental["stw_over_incremental_max"] > 0
+    # Schema v6: measured multiprocess parallelism, verified bit-identical.
+    parallel = document["parallel"]
+    assert parallel["num_keys"] == 1024
+    assert parallel["num_shards"] == 8
+    assert len(parallel["worker_cpu_seconds"]) == parallel["workers"]
+    assert parallel["measured_speedup"] > 0
+    assert parallel["critical_path_speedup"] > 0
 
 
 @pytest.mark.smoke
@@ -97,3 +104,25 @@ def test_validate_document_rejects_drift():
     slow_steps["incremental_resize"]["stw_over_incremental_max"] = 9.0
     with pytest.raises(ValueError, match="order of magnitude"):
         bench_wallclock.validate_document(slow_steps)
+    # Schema v6: the parallel section is required …
+    parallelless = dict(document)
+    parallelless.pop("parallel")
+    with pytest.raises(ValueError, match="parallel"):
+        bench_wallclock.validate_document(parallelless)
+    # … its critical-path 3x floor binds unconditionally at production size …
+    slow_parallel = json.loads(json.dumps(document))
+    slow_parallel["parallel"]["num_keys"] = 100_000
+    slow_parallel["parallel"]["critical_path_speedup"] = 2.5
+    with pytest.raises(ValueError, match="critical_path_speedup"):
+        bench_wallclock.validate_document(slow_parallel)
+    # … and the end-to-end floor binds when the host has a core per worker.
+    slow_wall = json.loads(json.dumps(document))
+    slow_wall["parallel"]["num_keys"] = 100_000
+    slow_wall["parallel"]["critical_path_speedup"] = 6.0
+    slow_wall["parallel"]["measured_speedup"] = 0.9
+    slow_wall["parallel"]["cpu_count"] = 16
+    with pytest.raises(ValueError, match="measured_speedup"):
+        bench_wallclock.validate_document(slow_wall)
+    undersized_host = json.loads(json.dumps(slow_wall))
+    undersized_host["parallel"]["cpu_count"] = 1
+    bench_wallclock.validate_document(undersized_host)  # floor waived

@@ -262,3 +262,97 @@ class TestServiceRecovery:
         recovered, _ = recover(snap, str(tmp_path / "ops.wal"))
         assert engine_state(recovered) == engine_state(engine)
         assert recovered.resize_stats.resizes == engine.resize_stats.resizes
+
+
+class TestWalFloorBoundary:
+    """The floor boundary is exact and skipping is prefix-only (PR 9 fixes).
+
+    The floor is the *next* batch index at checkpoint time: a record
+    numbered exactly at the floor is not covered by the snapshot and must
+    replay; strictly-below records skip — but only as a prefix.  A
+    batch_index that regresses below the floor after an at-or-above-floor
+    record means the log cannot belong to this snapshot, and recover()
+    must refuse rather than silently skip or replay it.
+    """
+
+    @staticmethod
+    def _batch(keys):
+        keys = np.asarray(keys, dtype=np.uint64)
+        return (
+            np.full(len(keys), C.OP_INSERT, dtype=np.int64),
+            keys,
+            (keys * np.uint64(2)).astype(np.uint32),
+        )
+
+    def test_record_exactly_at_floor_replays(self, tmp_path):
+        """floor == batch_index is NOT covered by the snapshot: it replays."""
+        table = SlabHash(16, alloc_config=SMALL_ALLOC, seed=7)
+        covered = make_keys(40, seed=7)
+        ops, keys, values = self._batch(covered)
+        table.concurrent_batch(ops, keys, values)
+        # Batches 0 and 1 are in the snapshot; the floor says "2 is next".
+        snap = save(table, str(tmp_path / "snap.npz"), wal_min_batch_index=2)
+
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        half = len(covered) // 2
+        fresh = make_keys(20, seed=8)[~np.isin(make_keys(20, seed=8), covered)]
+        wal.append(*self._batch(covered[:half]), batch_index=0)
+        wal.append(*self._batch(covered[half:]), batch_index=1)
+        wal.append(*self._batch(fresh), batch_index=2)
+        wal.close()
+
+        recovered, report = recover(snap, str(tmp_path / "ops.wal"))
+        assert report.records_skipped == 2
+        assert report.records_replayed == 1
+        assert report.next_batch_index == 3
+        expected = {int(k): int(k) * 2 % 2**32 for k in covered}
+        expected.update({int(k): int(k) * 2 % 2**32 for k in fresh})
+        assert dict(recovered.items()) == {
+            k: v & 0xFFFFFFFF for k, v in expected.items()
+        }
+
+    def test_regression_below_floor_after_replay_refuses(self, tmp_path):
+        from repro.persist import WalFloorRegressionError
+
+        table = SlabHash(16, alloc_config=SMALL_ALLOC, seed=7)
+        snap = save(table, str(tmp_path / "snap.npz"), wal_min_batch_index=2)
+
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        wal.append(*self._batch(make_keys(8, seed=1)), batch_index=1)  # prefix: OK
+        wal.append(*self._batch(make_keys(8, seed=2)), batch_index=2)  # at floor
+        wal.append(*self._batch(make_keys(8, seed=3)), batch_index=0)  # regression
+        wal.close()
+
+        with pytest.raises(WalFloorRegressionError, match="regresses below"):
+            recover(snap, str(tmp_path / "ops.wal"))
+
+    def test_low_abort_marker_after_floor_does_not_refuse(self, tmp_path):
+        """Abort markers carry no operations; a late marker for an old
+        (pre-floor) batch is legal and must not trigger the refusal."""
+        table = SlabHash(16, alloc_config=SMALL_ALLOC, seed=7)
+        snap = save(table, str(tmp_path / "snap.npz"), wal_min_batch_index=2)
+
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        wal.append(*self._batch(make_keys(8, seed=2)), batch_index=2)
+        wal.append_abort(0)
+        wal.append(*self._batch(make_keys(8, seed=3)), batch_index=3)
+        wal.close()
+
+        _, report = recover(snap, str(tmp_path / "ops.wal"))
+        assert report.records_replayed == 2
+        assert report.records_skipped == 0
+
+    def test_prefix_skip_still_legal_without_any_replayed_record(self, tmp_path):
+        """An all-below-floor WAL (checkpoint-window crash) stays valid."""
+        table = SlabHash(16, alloc_config=SMALL_ALLOC, seed=7)
+        snap = save(table, str(tmp_path / "snap.npz"), wal_min_batch_index=5)
+
+        wal = WriteAheadLog(str(tmp_path / "ops.wal"))
+        for index in (0, 1, 4):  # gaps are fine; all strictly below 5
+            wal.append(*self._batch(make_keys(4, seed=index + 1)), batch_index=index)
+        wal.close()
+
+        _, report = recover(snap, str(tmp_path / "ops.wal"))
+        assert report.records_skipped == 3
+        assert report.records_replayed == 0
+        assert report.next_batch_index == 5

@@ -71,14 +71,20 @@ Step = Tuple
 Program = List[Step]
 
 
-def make_impls() -> Dict[str, object]:
+def make_impls(*, include_process: bool = False) -> Dict[str, object]:
     """Fresh, identically seeded implementations for one program run.
 
     Every table starts at the policy's bucket floor, so the quiescence
     invariant holds from step zero (an empty table above the floor would
     legitimately want to shrink before any operation ran).
+
+    ``include_process`` adds a fourth implementation: the same two-shard
+    engine dispatching through :class:`~repro.engine.ProcessShardExecutor`
+    with two worker processes.  It must be bit-identical to the serial
+    sharded engine on every step — results, counters, and (checked at end
+    of program) the serialized per-shard snapshot bytes.
     """
-    return {
+    impls: Dict[str, object] = {
         "reference": SlabHash(
             POLICY.min_buckets, alloc_config=ALLOC, seed=41, backend="reference",
             policy=POLICY,
@@ -92,6 +98,12 @@ def make_impls() -> Dict[str, object]:
             load_factor_policy=POLICY,
         ),
     }
+    if include_process:
+        impls["process"] = ShardedSlabHash(
+            2, POLICY.min_buckets, alloc_config=ALLOC, seed=41, backend="vectorized",
+            load_factor_policy=POLICY, executor="process", executor_workers=2,
+        )
+    return impls
 
 
 # --------------------------------------------------------------------------- #
@@ -309,10 +321,23 @@ def _scaled_target(buckets: int, factor: int, direction: str) -> int:
 
 def _drain_migration(impl) -> None:
     """Run any in-flight migration to completion (stop-the-world resize
-    requires a quiescent table, and the drain itself is deterministic)."""
-    for table in _tables(impl):
-        while table.migration is not None:
-            table.migrate_step()
+    requires a quiescent table, and the drain itself is deterministic).
+
+    Sharded engines go through the engine API rather than poking the
+    shard tables directly: with a process executor attached the tables
+    are a mirror of worker-resident state, and direct mutation would
+    silently diverge from the workers.
+    """
+    if isinstance(impl, ShardedSlabHash):
+        while True:
+            migrating = impl.migrating_shards()
+            if not migrating:
+                return
+            for index in migrating:
+                impl.migrate_step_shard(index)
+    else:
+        while impl.migration is not None:
+            impl.migrate_step()
 
 
 def _resize_impl(impl, factor: int, direction: str) -> None:
@@ -343,14 +368,19 @@ def _begin_migration_impl(impl, factor: int, direction: str) -> None:
 
 
 def _migrate_step_impl(impl) -> None:
-    for table in _tables(impl):
-        if table.migration is not None:
-            outcome = table.migrate_step()
+    if isinstance(impl, ShardedSlabHash):
+        for index in impl.migrating_shards():
+            outcome = impl.migrate_step_shard(index)
             if outcome.result is not None:
-                # The step completed the migration; reconcile with the auto
-                # policy right away (exactly what the post-batch hook does),
-                # so quiescence is checkable on the very next step.
-                table.maybe_resize()
+                impl.maybe_resize_shard(index)
+        return
+    if impl.migration is not None:
+        outcome = impl.migrate_step()
+        if outcome.result is not None:
+            # The step completed the migration; reconcile with the auto
+            # policy right away (exactly what the post-batch hook does),
+            # so quiescence is checkable on the very next step.
+            impl.maybe_resize()
 
 
 def apply_to_impl(impl, step: Step):
@@ -473,6 +503,39 @@ def _check_backend_counters(impls) -> Optional[str]:
             if ref[field] != vec[field]
         }
         return f"reference/vectorized counter drift: {drift}"
+    if "process" in impls:
+        serial = [d.counters.as_dict() for d in impls["sharded"].devices]
+        proc = [d.counters.as_dict() for d in impls["process"].devices]
+        if serial != proc:
+            drift = [
+                {f: (s[f], p[f]) for f in s if s[f] != p[f]}
+                for s, p in zip(serial, proc)
+            ]
+            return f"sharded/process per-shard counter drift: {drift}"
+    return None
+
+
+def _check_process_snapshot_identity(impls) -> Optional[str]:
+    """The process engine's per-shard snapshot bytes equal the serial
+    engine's exactly — and round-trip through load — so the post-recovery
+    state of the two is bit-identical."""
+    if "process" not in impls:
+        return None
+    from repro.persist import table_from_bytes, table_to_bytes
+
+    for index, (serial, proc) in enumerate(
+        zip(impls["sharded"].shards, impls["process"].shards)
+    ):
+        serial_bytes = table_to_bytes(serial)
+        proc_bytes = table_to_bytes(proc)
+        if serial_bytes != proc_bytes:
+            return (
+                f"shard {index}: process-engine snapshot bytes differ from "
+                "the serial engine's (post-recovery state would diverge)"
+            )
+        restored = table_from_bytes(proc_bytes)
+        if sorted(restored.items()) != sorted(proc.items()):
+            return f"shard {index}: snapshot round-trip lost items"
     return None
 
 
@@ -561,9 +624,29 @@ def _check_policy_band(impls) -> Optional[str]:
 HEAVY_EVERY = 4  #: run the structure-heavy invariants every N steps
 
 
-def run_program(program: Program, *, check_coverage: bool = False) -> Optional[str]:
-    """Execute a program; return an error description, or ``None`` if clean."""
-    impls = make_impls()
+def run_program(
+    program: Program,
+    *,
+    check_coverage: bool = False,
+    include_process: bool = False,
+) -> Optional[str]:
+    """Execute a program; return an error description, or ``None`` if clean.
+
+    ``include_process`` adds the process-executor engine to the comparison
+    set (see :func:`make_impls`); its workers are torn down before
+    returning, whatever the outcome.
+    """
+    impls = make_impls(include_process=include_process)
+    try:
+        return _run_program(program, impls, check_coverage=check_coverage)
+    finally:
+        for impl in impls.values():
+            close = getattr(impl, "close", None)
+            if close is not None:
+                close()
+
+
+def _run_program(program: Program, impls, *, check_coverage: bool) -> Optional[str]:
     model: dict = {}
     previous = {
         name: [device.counters.as_dict() for device in _devices(name, impl)]
@@ -600,6 +683,7 @@ def run_program(program: Program, *, check_coverage: bool = False) -> Optional[s
         or _check_chains(impls)
         or _check_search_all(impls, model, check_rng)
         or _check_policy_band(impls)
+        or _check_process_snapshot_identity(impls)
     )
     if error:
         return f"end of program: {error}"
