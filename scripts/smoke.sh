@@ -121,6 +121,19 @@ print(f"incremental resize OK: {resumed.resize_stats.migration_steps} steps, "
 PY
 rm -f results/smoke/mid-migration.npz
 
+echo "== Static analysis (repro lint; docs/ANALYSIS.md) =="
+python -m repro lint
+
+if command -v mypy >/dev/null 2>&1; then
+  echo "== mypy --strict (src/repro) =="
+  python -m mypy --strict src/repro
+else
+  echo "== mypy --strict skipped (mypy not installed; the CI lint job runs it) =="
+fi
+
+echo "== Bench schema drift guard (docs vs committed BENCH_*.json) =="
+python scripts/check_bench_schema_drift.py
+
 echo "== Tutorial snippets (docs/TUTORIAL.md, executed top to bottom) =="
 python scripts/run_doc_snippets.py docs/TUTORIAL.md
 

@@ -1,0 +1,36 @@
+"""Static-analysis plane: repo-specific determinism/concurrency lints.
+
+``repro lint`` (CLI) and :func:`lint_paths` (API) run an AST-based rule set
+that makes the repo's bit-identity contract a statically checked property:
+wall-clock and RNG hygiene, NumPy dtype explicitness, await-safety in the
+service, fault-site registry drift, persistence-format safety, and the
+strict-typing gate.  See ``docs/ANALYSIS.md``.
+
+>>> from repro.analysis import lint_source
+>>> report = lint_source("import numpy as np\\nx = np.zeros(4)\\n",
+...                      rel="repro/core/example.py")
+>>> [v.rule for v in report.violations]
+['np-dtype']
+"""
+
+from repro.analysis.framework import (
+    LintReport,
+    Module,
+    Rule,
+    Violation,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import RULE_CLASSES, default_rules, rules_by_id
+
+__all__ = [
+    "LintReport",
+    "Module",
+    "Rule",
+    "RULE_CLASSES",
+    "Violation",
+    "default_rules",
+    "lint_paths",
+    "lint_source",
+    "rules_by_id",
+]

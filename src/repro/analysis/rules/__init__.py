@@ -1,0 +1,58 @@
+"""Rule registry for ``repro lint``.
+
+Adding a rule: subclass :class:`repro.analysis.framework.Rule` in a module
+here (or a new one), give it an ``id``/``title``/``rationale``, implement
+``check`` (and ``finalize`` for cross-file passes), and list its class in
+:data:`RULE_CLASSES`.  Every rule needs a fixture-backed positive *and*
+negative test in ``tests/analysis/`` and a row in ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.framework import Rule
+from repro.analysis.rules.arrays import NpDtypeRule
+from repro.analysis.rules.asyncsafety import AsyncSharedStateRule
+from repro.analysis.rules.determinism import (
+    DetClockRule,
+    DetRandomRule,
+    DetSetOrderRule,
+    DetWallclockRule,
+)
+from repro.analysis.rules.faultsites import FaultSiteRule
+from repro.analysis.rules.persistence import PersistPickleRule, PersistVersionRule
+from repro.analysis.rules.typing_rules import BareGenericRule, StrictAnnotationsRule
+
+__all__ = ["RULE_CLASSES", "default_rules", "rules_by_id"]
+
+#: Every registered rule class, in report order.
+RULE_CLASSES: Tuple[Type[Rule], ...] = (
+    DetWallclockRule,
+    DetClockRule,
+    DetRandomRule,
+    DetSetOrderRule,
+    NpDtypeRule,
+    AsyncSharedStateRule,
+    FaultSiteRule,
+    PersistPickleRule,
+    PersistVersionRule,
+    StrictAnnotationsRule,
+    BareGenericRule,
+)
+
+
+def default_rules(select: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Fresh rule instances (rules may carry per-run state), optionally
+    restricted to the given ids."""
+    if select is not None:
+        by_id = {cls.id: cls for cls in RULE_CLASSES}
+        unknown = sorted(set(select) - set(by_id))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        return [by_id[rule_id]() for rule_id in select]
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rules_by_id() -> Dict[str, Type[Rule]]:
+    return {cls.id: cls for cls in RULE_CLASSES}

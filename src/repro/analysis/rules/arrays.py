@@ -1,0 +1,70 @@
+"""NumPy dtype hygiene: explicit dtypes in the state-bearing planes.
+
+`np.zeros(n)` is float64; `np.arange(n)` is platform-dependent (C `long`:
+64-bit on Linux, 32-bit on Windows); `np.array([...])` infers from values.
+Implicit dtypes are exactly how bit-identity breaks across hosts — a key
+array that comes out int32 on one platform and int64 on another hashes,
+packs, and serializes differently.  Every array constructor in ``core/``,
+``engine/`` and ``persist/`` must therefore pass an explicit ``dtype``
+(keyword, or the constructor's documented positional slot).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.framework import Module, Rule, Violation
+
+__all__ = ["NpDtypeRule"]
+
+#: Constructor -> index of its positional dtype slot (None = keyword only,
+#: e.g. `np.arange`, whose positional meaning shifts with argument count).
+_CONSTRUCTOR_DTYPE_SLOT: Dict[str, Optional[int]] = {
+    "numpy.zeros": 1,
+    "numpy.ones": 1,
+    "numpy.empty": 1,
+    "numpy.full": 2,
+    "numpy.array": 1,
+    "numpy.asarray": 1,
+    "numpy.arange": None,
+    "numpy.fromiter": 1,
+    "numpy.frombuffer": 1,
+}
+
+
+class NpDtypeRule(Rule):
+    id = "np-dtype"
+    title = "explicit dtype on every array constructor"
+    rationale = (
+        "Implicit NumPy dtypes are platform- and value-dependent; the "
+        "state-bearing planes must produce bit-identical arrays on every "
+        "host, so every constructor names its dtype."
+    )
+    dirs = ("repro/core/", "repro/engine/", "repro/persist/")
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.names.resolve(node.func)
+            if qualified not in _CONSTRUCTOR_DTYPE_SLOT:
+                continue
+            if any(keyword.arg in (None, "dtype") for keyword in node.keywords):
+                continue  # dtype= present (or **kwargs: trust the caller)
+            slot = _CONSTRUCTOR_DTYPE_SLOT[qualified]
+            if slot is not None and len(node.args) > slot:
+                continue  # dtype passed positionally in its documented slot
+            short = qualified.replace("numpy.", "np.")
+            hint = (
+                "pass dtype= explicitly"
+                if slot is not None
+                else "pass dtype= explicitly (keyword only — the positional "
+                "slot is ambiguous for this constructor)"
+            )
+            yield self.violation(
+                module,
+                node,
+                f"`{short}(...)` without an explicit dtype — implicit dtypes "
+                f"are platform/value-dependent and break bit-identity; {hint}",
+            )

@@ -1,0 +1,104 @@
+"""Fault-site registry drift: every fired site must exist in the catalog.
+
+The chaos harness addresses faults by *site name* (``faults/plan.py``).  A
+typo'd or undocumented site literal silently never fires — the fault plan
+schedules it, the component consults a different name, and the chaos
+coverage quietly shrinks.  This rule pins every ``check``/``fire`` string
+literal in ``src/`` to :data:`repro.faults.plan.SITE_CATALOG`, checks the
+reverse direction (every catalog entry is actually fired somewhere), and
+checks that ``docs/FAULTS.md`` documents every catalog site.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Set
+
+from repro.analysis.framework import Module, Rule, Violation
+from repro.faults.plan import SITE_CATALOG
+
+__all__ = ["FaultSiteRule", "site_literal"]
+
+_HOOK_METHODS = ("check", "fire")
+
+
+def site_literal(node: ast.AST) -> Optional[str]:
+    """Normalize a site argument to catalog form, or None if dynamic.
+
+    Plain strings pass through; f-strings have each interpolation replaced
+    by ``<i>`` (``f"shard:{shard}.execute"`` -> ``"shard:<i>.execute"``).
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            elif isinstance(value, ast.FormattedValue):
+                parts.append("<i>")
+            else:
+                return None
+        return "".join(parts)
+    return None
+
+
+class FaultSiteRule(Rule):
+    id = "fault-site"
+    title = "fault-site literals match the plan.py catalog (and vice versa)"
+    rationale = (
+        "A site literal missing from SITE_CATALOG never fires under any "
+        "documented fault plan, and a catalog entry no component consults "
+        "is dead chaos coverage.  Both directions are drift; both are "
+        "caught here (docs/FAULTS.md is checked by the catalog test)."
+    )
+
+    def __init__(self) -> None:
+        self._fired: Set[str] = set()
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        known = {site.name for site in SITE_CATALOG} | {
+            site.call_site for site in SITE_CATALOG
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in _HOOK_METHODS):
+                continue
+            if not node.args:
+                continue
+            literal = site_literal(node.args[0])
+            if literal is None:
+                continue  # dynamic site expressions are out of lint reach
+            self._fired.add(literal)
+            if literal not in known:
+                yield self.violation(
+                    module,
+                    node.args[0],
+                    f"fault site {literal!r} is not in "
+                    f"repro.faults.plan.SITE_CATALOG — a plan addressing it "
+                    f"by its documented name would never fire; add it to the "
+                    f"catalog (and docs/FAULTS.md) or fix the literal",
+                )
+
+    def finalize(self, modules: Sequence[Module], root: Path) -> Iterator[Violation]:
+        plan_module = next(
+            (m for m in modules if m.rel.endswith("faults/plan.py")), None
+        )
+        if plan_module is None:
+            return  # partial lint run (single file / fixture): skip reverse pass
+        for site in SITE_CATALOG:
+            if site.call_site not in self._fired and site.name not in self._fired:
+                yield Violation(
+                    rule=self.id,
+                    rel=plan_module.rel,
+                    line=1,
+                    col=0,
+                    message=(
+                        f"catalog site {site.name!r} is never fired by any "
+                        f"check()/fire() literal in the linted tree — dead "
+                        f"chaos coverage; remove the entry or wire the hook"
+                    ),
+                )

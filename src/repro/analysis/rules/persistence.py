@@ -1,0 +1,125 @@
+"""Persist-format safety: no pickle, no magic version-number comparisons.
+
+Snapshots and the WAL are the repo's crash-consistency boundary.  Two
+classes of change break them silently:
+
+* **pickle** — arbitrary code execution on load, and byte-level output that
+  varies across interpreter versions (bit-identity of snapshot bytes is an
+  asserted property of the differential harness);
+* **version literals** — ``if header["version"] != 2`` keeps working when
+  the declared constant moves on, so the loader accepts formats it no
+  longer understands.  Versions are compared only against the declared
+  constants (``SNAPSHOT_VERSION``, ``WAL_VERSION``) or registries built
+  from them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.framework import Module, Rule, Violation
+
+__all__ = ["PersistPickleRule", "PersistVersionRule"]
+
+_BANNED_MODULES = ("pickle", "cPickle", "dill", "shelve", "marshal")
+
+
+class PersistPickleRule(Rule):
+    id = "persist-pickle"
+    title = "no pickle (or pickle-adjacent) serialization anywhere"
+    rationale = (
+        "pickle executes arbitrary code on load and its bytes vary across "
+        "interpreter versions; every persisted format here is an explicit, "
+        "versioned layout (JSON headers + raw arrays + CRC-framed records). "
+        "np.load in persist/ must pass allow_pickle=False explicitly."
+    )
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".", 1)[0] in _BANNED_MODULES:
+                        yield self.violation(
+                            module, node,
+                            f"import of `{alias.name}` — pickle-family "
+                            f"serialization is banned in this repo "
+                            f"(versioned explicit formats only)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".", 1)[0] in _BANNED_MODULES:
+                    yield self.violation(
+                        module, node,
+                        f"import from `{node.module}` — pickle-family "
+                        f"serialization is banned in this repo",
+                    )
+            elif isinstance(node, ast.Call):
+                for keyword in node.keywords:
+                    if (
+                        keyword.arg == "allow_pickle"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        yield self.violation(
+                            module, keyword.value,
+                            "allow_pickle=True — pickled payloads are banned; "
+                            "store explicit arrays and JSON headers instead",
+                        )
+                qualified = module.names.resolve(node.func)
+                if (
+                    qualified == "numpy.load"
+                    and module.rel.startswith("repro/persist/")
+                    and not any(k.arg in (None, "allow_pickle") for k in node.keywords)
+                ):
+                    yield self.violation(
+                        module, node,
+                        "np.load without an explicit allow_pickle=False — "
+                        "the loader's stance on pickled payloads must be "
+                        "visible at the call site",
+                    )
+
+
+def _mentions_version(node: ast.AST) -> bool:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return False
+    return "version" in text.lower()
+
+
+def _is_numeric_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float)) and not isinstance(node.value, bool)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return bool(node.elts) and all(_is_numeric_literal(e) for e in node.elts)
+    return False
+
+
+class PersistVersionRule(Rule):
+    id = "persist-version"
+    title = "format versions compared only against declared constants"
+    rationale = (
+        "A literal in a version comparison detaches the check from the "
+        "declared constant: bump SNAPSHOT_VERSION and the literal check "
+        "silently keeps accepting the old format.  Compare against the "
+        "constant (or a registry tuple built from it)."
+    )
+    dirs = ("repro/persist/",)
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if not any(_mentions_version(op) for op in operands):
+                continue
+            for operand in operands:
+                if _is_numeric_literal(operand):
+                    yield self.violation(
+                        module, operand,
+                        "format-version comparison against a numeric literal "
+                        "— compare against the declared constant "
+                        "(SNAPSHOT_VERSION / WAL_VERSION) or a registry "
+                        "built from it, so the check moves with the format",
+                    )
+                    break

@@ -1,0 +1,131 @@
+"""Strict-typing gate: full signatures, no bare generics.
+
+`mypy --strict` runs in CI, but it is not in the dev container's baked
+toolchain — these two rules are the locally-runnable core of the same
+contract, so a missing signature is caught by ``repro lint`` before CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.framework import Module, Rule, Violation
+
+__all__ = ["StrictAnnotationsRule", "BareGenericRule"]
+
+
+class StrictAnnotationsRule(Rule):
+    id = "ann-strict"
+    title = "every def annotates every parameter and its return"
+    rationale = (
+        "mypy --strict (disallow_untyped_defs / disallow_incomplete_defs) "
+        "rejects unannotated signatures; this rule is its in-repo mirror so "
+        "the gate runs without mypy installed."
+    )
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            params: List[ast.arg] = [
+                *args.posonlyargs, *args.args, *args.kwonlyargs,
+            ]
+            if args.vararg is not None:
+                params.append(args.vararg)
+            if args.kwarg is not None:
+                params.append(args.kwarg)
+            missing = [
+                p.arg
+                for index, p in enumerate(params)
+                if p.annotation is None
+                and not (index == 0 and p.arg in ("self", "cls"))
+            ]
+            if missing:
+                yield self.violation(
+                    module, node,
+                    f"def `{node.name}` leaves parameter(s) "
+                    f"{', '.join(repr(m) for m in missing)} unannotated "
+                    f"(mypy --strict: disallow_incomplete_defs)",
+                )
+            if node.returns is None:
+                yield self.violation(
+                    module, node,
+                    f"def `{node.name}` has no return annotation "
+                    f"(use `-> None` for procedures; mypy --strict: "
+                    f"disallow_untyped_defs)",
+                )
+
+
+#: Names that are generic containers when used bare in an annotation.
+_BARE_GENERICS = {
+    "dict", "list", "set", "frozenset", "tuple", "type",
+    "Dict", "List", "Set", "FrozenSet", "Tuple", "Type",
+    "Sequence", "Mapping", "MutableMapping", "Iterable", "Iterator",
+    "Callable", "Awaitable", "Coroutine", "Generator", "Future", "Task",
+}
+
+
+class BareGenericRule(Rule):
+    id = "ann-bare-generic"
+    title = "no bare generic containers in annotations"
+    rationale = (
+        "`x: dict` says nothing about keys or values and defeats the "
+        "strict-typing pass (mypy --strict: disallow_any_generics); "
+        "parameterize every container annotation."
+    )
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            annotations: List[ast.AST] = []
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for param in [
+                    *args.posonlyargs, *args.args, *args.kwonlyargs,
+                    *( [args.vararg] if args.vararg else [] ),
+                    *( [args.kwarg] if args.kwarg else [] ),
+                ]:
+                    if param.annotation is not None:
+                        annotations.append(param.annotation)
+                if node.returns is not None:
+                    annotations.append(node.returns)
+            elif isinstance(node, ast.AnnAssign):
+                annotations.append(node.annotation)
+            for annotation in annotations:
+                yield from self._check_annotation(module, annotation)
+
+    def _check_annotation(self, module: Module, annotation: ast.AST) -> Iterator[Violation]:
+        # A generic name is "bare" when it is not the value of a Subscript
+        # (i.e. not `dict[...]`).  String annotations are parsed and walked.
+        if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return
+        subscripted = {
+            id(sub.value) for sub in ast.walk(annotation) if isinstance(sub, ast.Subscript)
+        }
+        for sub in ast.walk(annotation):
+            name = None
+            if isinstance(sub, ast.Name):
+                name = sub.id
+            elif isinstance(sub, ast.Attribute):
+                name = sub.attr
+            if name in _BARE_GENERICS and id(sub) not in subscripted:
+                if isinstance(sub, ast.Attribute) or not _is_attribute_part(annotation, sub):
+                    yield self.violation(
+                        module, sub,
+                        f"bare generic `{name}` in an annotation — "
+                        f"parameterize it (e.g. `{name}[...]`); mypy "
+                        f"--strict: disallow_any_generics",
+                    )
+
+
+def _is_attribute_part(root: ast.AST, node: ast.AST) -> bool:
+    """True when ``node`` is the value side of an Attribute (e.g. the
+    ``np`` of ``np.ndarray``) rather than an annotation leaf."""
+    for sub in ast.walk(root):
+        if isinstance(sub, ast.Attribute) and sub.value is node:
+            return True
+    return False

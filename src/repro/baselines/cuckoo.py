@@ -120,7 +120,7 @@ class CuckooHashTable:
         *,
         device: Optional[Device] = None,
         seed: int = 0,
-        **kwargs,
+        **kwargs: object,
     ) -> "CuckooHashTable":
         """Size the table for ``num_elements`` at the given load factor (= memory utilization)."""
         if not 0.0 < load_factor <= 1.0:

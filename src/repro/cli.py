@@ -49,7 +49,7 @@ import argparse
 import os
 import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Awaitable, Callable, Dict, List, Optional, TextIO, Tuple
 
 from repro.core.bulk_exec import BACKENDS
 from repro.gpusim.device import TESLA_K40C
@@ -65,7 +65,7 @@ def _scaled(base: int, scale: float, minimum: int = 256) -> int:
 
 
 #: Registry: experiment id -> (description, driver taking a scale factor).
-EXPERIMENTS: Dict[str, tuple] = {
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[float], FigureResult]]] = {
     "fig4a": (
         "Bulk build rate vs memory utilization (paper Fig. 4a)",
         lambda scale: figures.figure_4a(sim_elements=_scaled(2**13, scale)),
@@ -206,10 +206,25 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--workers", type=int, default=None,
                         help="worker processes with --executor process "
                              "(default: one per shard)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's determinism/concurrency/typing lints "
+             "(docs/ANALYSIS.md)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "whole repro package)")
+    lint.add_argument("--select", action="append", default=None, metavar="RULE",
+                      help="run only this rule id (repeatable); see --list-rules")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog (id, scope, rationale) and exit")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="violation output format (default %(default)s)")
     return parser
 
 
-def _run_one(name: str, scale: float, out_dir: Optional[str], stream) -> FigureResult:
+def _run_one(name: str, scale: float, out_dir: Optional[str], stream: TextIO) -> FigureResult:
     description, driver = EXPERIMENTS[name]
     start = time.perf_counter()
     result = driver(scale)
@@ -223,7 +238,7 @@ def _run_one(name: str, scale: float, out_dir: Optional[str], stream) -> FigureR
     return result
 
 
-def main(argv: Optional[list] = None, stream=None) -> int:
+def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> int:
     stream = stream or sys.stdout
     args = build_parser().parse_args(argv)
 
@@ -256,6 +271,9 @@ def main(argv: Optional[list] = None, stream=None) -> int:
     if args.command == "service-health":
         return _cmd_service_health(args, stream)
 
+    if args.command == "lint":
+        return _cmd_lint(args, stream)
+
     # command == "reproduce"
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     with execution_backend(args.backend):
@@ -272,7 +290,7 @@ def _snapshot_size_bytes(path: str) -> int:
     return os.path.getsize(path)
 
 
-def _cmd_snapshot(args, stream) -> int:
+def _cmd_snapshot(args: argparse.Namespace, stream: TextIO) -> int:
     from repro.core.slab_hash import SlabHash
     from repro.engine.sharded import ShardedSlabHash
     from repro.persist import load, save
@@ -302,7 +320,7 @@ def _cmd_snapshot(args, stream) -> int:
     return 0 if verified else 1
 
 
-def _cmd_recover(args, stream) -> int:
+def _cmd_recover(args: argparse.Namespace, stream: TextIO) -> int:
     from repro.engine.sharded import ShardedSlabHash
     from repro.persist import recover
 
@@ -322,7 +340,48 @@ def _cmd_recover(args, stream) -> int:
     return 0
 
 
-def _cmd_service_health(args, stream) -> int:
+def _cmd_lint(args: argparse.Namespace, stream: TextIO) -> int:
+    import json
+
+    from repro.analysis import RULE_CLASSES, default_rules, lint_paths
+
+    if args.list_rules:
+        rows = []
+        for cls in RULE_CLASSES:
+            scope = ", ".join(cls.dirs) if cls.dirs else "repro/ (all)"
+            if cls.exclude_dirs:
+                scope += f" except {', '.join(cls.exclude_dirs)}"
+            rows.append([cls.id, scope, cls.title])
+        stream.write(format_table(["rule", "scope", "checks that"], rows) + "\n")
+        return 0
+
+    report = lint_paths(
+        args.paths or None,
+        rules=default_rules(args.select) if args.select else None,
+    )
+    if args.format == "json":
+        payload = {
+            "ok": report.ok,
+            "files_checked": report.files_checked,
+            "rules_run": list(report.rules_run),
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "path": v.rel,
+                    "line": v.line,
+                    "col": v.col,
+                    "message": v.message,
+                }
+                for v in report.violations
+            ],
+        }
+        stream.write(json.dumps(payload, indent=2) + "\n")
+    else:
+        stream.write(report.format() + "\n")
+    return 0 if report.ok else 1
+
+
+def _cmd_service_health(args: argparse.Namespace, stream: TextIO) -> int:
     import asyncio
     import random as pyrandom
 
@@ -374,9 +433,9 @@ def _cmd_service_health(args, stream) -> int:
         async with service:
             chunk = 512
             for start in range(0, len(keys), chunk):
-                ops = np.full(len(keys[start : start + chunk]), C.OP_INSERT)
+                ops = np.full(len(keys[start : start + chunk]), C.OP_INSERT, dtype=np.int64)
 
-                def admit(s=start, ops=ops):
+                def admit(s: int = start, ops: np.ndarray = ops) -> Awaitable[np.ndarray]:
                     return service.submit_many(
                         ops, keys[s : s + chunk], values[s : s + chunk]
                     )

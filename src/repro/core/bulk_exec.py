@@ -75,7 +75,7 @@ failed allocation is counted, and the error propagates.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -90,6 +90,11 @@ from repro.gpusim.vectorize import (
     run_starts,
 )
 from repro.gpusim.warp import WARP_SIZE, Warp
+
+if TYPE_CHECKING:
+    from repro.core.config import SlabConfig
+    from repro.core.slab_hash import SlabHash
+    from repro.core.slab_list import SlabListCollection
 
 __all__ = [
     "BulkExecutor",
@@ -122,7 +127,9 @@ def set_default_backend(name: str) -> None:
     _DEFAULT_BACKEND = name
 
 
-def gather_band(lists, lo: int, hi: int) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+def gather_band(
+    lists: "SlabListCollection", lo: int, hi: int
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Vectorized migration kernel: live contents of buckets ``[lo, hi)``.
 
     Returns ``(keys, values)`` in bucket scan order — the exact order the
@@ -171,7 +178,7 @@ class _Snapshot:
     slab) is the ``p``-th element position a traversing warp would inspect.
     """
 
-    def __init__(self, lists, cfg) -> None:
+    def __init__(self, lists: "SlabListCollection", cfg: SlabConfig) -> None:
         self.cfg = cfg
         self.eps = cfg.elements_per_slab
         self.key_lanes = np.fromiter(cfg.key_lanes, dtype=np.int64)
@@ -245,7 +252,8 @@ class _SlabMap:
         self.snap = snap
         self.stores: List[np.ndarray] = list(snap.ct.stores)
         self._store_ids = {id(store): index for index, store in enumerate(self.stores)}
-        self.appended_by_bucket: dict = {}  # (bucket, depth) -> (store_idx, row)
+        #: (bucket, depth) -> (store index, row)
+        self.appended_by_bucket: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._appended_cache = None
 
     def register_append(self, bucket: int, depth: int, store: np.ndarray, row: int) -> None:
@@ -300,7 +308,12 @@ class _SlabMap:
             rows[appended] = app_rows[index]
         return store_idx, rows
 
-    def scatter(self, store_idx: np.ndarray, rows: np.ndarray, *writes) -> None:
+    def scatter(
+        self,
+        store_idx: np.ndarray,
+        rows: np.ndarray,
+        *writes: Tuple[np.ndarray, np.ndarray],
+    ) -> None:
         """Apply one or more (lanes, values) write sets at the given slots.
 
         Writes sharing slot coordinates (e.g. key lane and value lane) are
@@ -341,7 +354,7 @@ class BulkExecutor:
         events into the table's device counters.
     """
 
-    def __init__(self, table) -> None:
+    def __init__(self, table: "SlabHash") -> None:
         self.table = table
 
     # ------------------------------------------------------------------ #
@@ -394,7 +407,7 @@ class BulkExecutor:
         base_warp: int,
         *,
         warp_ops: Optional[np.ndarray] = None,
-        on_append=None,
+        on_append: Optional[Callable[[int, int, int], None]] = None,
     ) -> None:
         """Allocate and link appended slabs, in global operation order.
 
@@ -697,7 +710,11 @@ class BulkExecutor:
         cfg = self.table.config
         snap = slab_map.snap
         n = len(keys) if limit is None else limit
-        write_ops = np.arange(n) if cfg.key_value else np.flatnonzero(consuming[:n])
+        write_ops = (
+            np.arange(n, dtype=np.int64)
+            if cfg.key_value
+            else np.flatnonzero(consuming[:n])
+        )
         if not write_ops.size:
             return
         if bool(consuming[:n].all()) or not cfg.key_value:
@@ -968,7 +985,7 @@ class BulkExecutor:
         # are much faster than NumPy scalars and per-bucket array calls).
         if pure_insert or not replay_serial.size:
             replay_ops, replay_phases, replay_keys, replay_buckets = [], [], [], []
-            models: dict = {}
+            models: Dict[int, List[object]] = {}
             values_l = slot_keys_all = vals_all = slot_off = chain_l = None
         else:
             replay_ops = replay_ops_arr.tolist()

@@ -16,7 +16,7 @@ deallocation to the device counters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -49,7 +49,7 @@ def flush_bucket(lists: SlabListCollection, warp: Warp, bucket: int) -> FlushRes
     slabs_before = 1 + len(chain)
 
     # Pass 1: the warp reads every slab in the chain and gathers live elements.
-    live: List[tuple] = []
+    live: List[Tuple[int, Optional[int]]] = []
     for store, row, _words in lists.iter_slab_words(bucket):
         warp.charge(C.FLUSH_SLAB_INSTRUCTIONS)
         words = mem.read_slab(store, row)

@@ -41,7 +41,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple, TypedDict
+
+if TYPE_CHECKING:
+    from repro.core.slab_hash import SlabHash
 
 import numpy as np
 
@@ -209,6 +212,21 @@ class ResizeResult:
         return self.direction != "noop"
 
 
+class ResizeStatsDict(TypedDict):
+    """JSON-ready accounting payload of :meth:`ResizeStats.as_dict`."""
+
+    resizes: int
+    grows: int
+    shrinks: int
+    noops: int
+    migrated_items: int
+    released_slabs: int
+    modelled_seconds: float
+    migration_steps: int
+    migration_buckets: int
+    migration_items: int
+
+
 @dataclass
 class ResizeStats:
     """Accumulated resize accounting of one table (coverage hooks for tests)."""
@@ -246,7 +264,7 @@ class ResizeStats:
         self.released_slabs += result.released_slabs
         self.modelled_seconds += result.seconds
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> "ResizeStatsDict":
         return {
             "resizes": self.resizes,
             "grows": self.grows,
@@ -267,7 +285,7 @@ def _chained_addresses(lists: SlabListCollection) -> np.ndarray:
     return addresses[addresses != C.BASE_SLAB]
 
 
-def resize_table(table, num_buckets: int, *, trigger: str = "manual") -> ResizeResult:
+def resize_table(table: SlabHash, num_buckets: int, *, trigger: str = "manual") -> ResizeResult:
     """Rebuild ``table`` into a bucket array of ``num_buckets`` base slabs.
 
     The migration runs through the table's own bulk-insertion path (so it
@@ -415,7 +433,9 @@ class MigrationStepResult:
     result: Optional[ResizeResult] = None  #: the whole migration, when ``done``
 
 
-def _gather_band_reference(lists: SlabListCollection, lo: int, hi: int):
+def _gather_band_reference(
+    lists: SlabListCollection, lo: int, hi: int
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
     """Live (keys, values) of buckets ``[lo, hi)`` in scan order (generator schedule)."""
     keys: List[int] = []
     values: List[int] = []
@@ -431,7 +451,7 @@ def _gather_band_reference(lists: SlabListCollection, lo: int, hi: int):
 
 
 def begin_migration(
-    table, num_buckets: int, *, trigger: str = "manual", step_buckets: Optional[int] = None
+    table: SlabHash, num_buckets: int, *, trigger: str = "manual", step_buckets: Optional[int] = None
 ) -> Optional[ResizeResult]:
     """Begin an incremental resize of ``table`` to ``num_buckets`` buckets.
 
@@ -480,7 +500,7 @@ def begin_migration(
     return None
 
 
-def migrate_step(table, max_buckets: Optional[int] = None) -> MigrationStepResult:
+def migrate_step(table: SlabHash, max_buckets: Optional[int] = None) -> MigrationStepResult:
     """Move the next band of old buckets into the new array, whole and atomically.
 
     The band's live contents are gathered host-side in scan order (the

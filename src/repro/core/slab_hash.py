@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import contextlib
 import math
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -212,8 +212,13 @@ class SlabHash:
         self._warp_counter += 1
         return warp
 
-    def _validate_keys(self, keys: np.ndarray) -> np.ndarray:
-        keys = np.asarray(keys, dtype=np.uint64)
+    def _validate_keys(self, keys: Union[Sequence[int], np.ndarray]) -> np.ndarray:
+        # Two-step normalization: value inference first, then a wrap-cast to
+        # uint64, so out-of-domain input (e.g. a negative key) reaches the
+        # range check below and fails with the domain ValueError instead of
+        # a conversion OverflowError.
+        inferred = np.asarray(keys)  # repro-lint: disable=np-dtype -- wrap-cast on the next line is the explicit dtype step
+        keys = inferred.astype(np.uint64, copy=False)
         if keys.size and int(keys.max()) >= C.MAX_USER_KEY:
             raise ValueError(
                 f"keys must be below 0x{C.MAX_USER_KEY:08X} "
@@ -221,7 +226,7 @@ class SlabHash:
             )
         return keys.astype(np.uint32)
 
-    def _warp_chunks(self, count: int):
+    def _warp_chunks(self, count: int) -> Iterator[Tuple[int, int]]:
         """Yield (start, end) ranges of at most WARP_SIZE operations."""
         for start in range(0, count, WARP_SIZE):
             yield start, min(start + WARP_SIZE, count)
@@ -233,7 +238,9 @@ class SlabHash:
         return lane
 
     @staticmethod
-    def _fill_lane_array(lane: np.ndarray, values: np.ndarray, start: int, end: int, fill) -> None:
+    def _fill_lane_array(
+        lane: np.ndarray, values: np.ndarray, start: int, end: int, fill: int
+    ) -> None:
         """Refill a reusable lane buffer in place (hot-loop variant of _pad_lane_array).
 
         Safe only when the previous chunk's warp program has been fully
@@ -248,7 +255,7 @@ class SlabHash:
     # ------------------------------------------------------------------ #
 
     @contextlib.contextmanager
-    def _routed_to_new(self):
+    def _routed_to_new(self) -> Iterator[None]:
         """Temporarily execute against the migration's new bucket array.
 
         Both backends read ``self.lists`` / ``self.hash_fn`` at call time,
@@ -307,7 +314,7 @@ class SlabHash:
 
     def search_all(self, key: int) -> List[int]:
         """Return every value stored under ``key`` (duplicates mode)."""
-        key_arr = self._validate_keys(np.array([key]))
+        key_arr = self._validate_keys([key])
         if self._route_to_new(key_arr):
             with self._routed_to_new():
                 return self._search_all_impl(key_arr)
@@ -330,7 +337,7 @@ class SlabHash:
 
     def delete_all(self, key: int) -> int:
         """Delete every occurrence of ``key``; returns the number removed."""
-        key_arr = self._validate_keys(np.array([key]))
+        key_arr = self._validate_keys([key])
         if self._route_to_new(key_arr):
             with self._routed_to_new():
                 removed = self._delete_all_impl(key_arr)
@@ -373,7 +380,7 @@ class SlabHash:
         watermark: elements whose (old) bucket has migrated go to the new
         array, the rest to the old one, order preserved within each part.
         """
-        keys = self._validate_keys(np.asarray(keys))
+        keys = self._validate_keys(keys)
         if self.config.key_value:
             if values is None:
                 raise ValueError("key-value mode requires a values array")
@@ -434,7 +441,7 @@ class SlabHash:
         array its key currently lives in (watermark routing), and results
         are scattered back to the original batch positions.
         """
-        queries = self._validate_keys(np.asarray(queries))
+        queries = self._validate_keys(queries)
         if self.migration is None or self._in_resize:
             return self._exec_bulk_search(queries)
         mask = self._migration_mask(queries)
@@ -484,7 +491,7 @@ class SlabHash:
         During an incremental migration each delete runs against the single
         array its key currently lives in (watermark routing).
         """
-        keys = self._validate_keys(np.asarray(keys))
+        keys = self._validate_keys(keys)
         if self.migration is None or self._in_resize:
             removed = self._exec_bulk_delete(keys)
         else:
@@ -569,7 +576,7 @@ class SlabHash:
         and 0 for insertions.
         """
         op_codes = np.asarray(op_codes, dtype=np.int64)
-        keys = self._validate_keys(np.asarray(keys))
+        keys = self._validate_keys(keys)
         if op_codes.shape != keys.shape:
             raise ValueError("op_codes and keys must have the same length")
         if self.config.key_value:
@@ -886,7 +893,7 @@ class SlabHash:
         """Per-bucket slab counts of the current (old) array."""
         return self.lists.slab_counts()
 
-    def items(self) -> List[tuple]:
+    def items(self) -> List[Tuple[int, Optional[int]]]:
         """All stored (key, value) pairs (value ``None`` in key-only mode).
 
         During an incremental migration, old-array items first (buckets at

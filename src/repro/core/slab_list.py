@@ -534,7 +534,9 @@ class SlabListCollection:
         """Total slabs across all lists (base slabs plus allocated slabs)."""
         return int(self.chain_table().num_slabs)
 
-    def iter_slab_words(self, bucket: int):
+    def iter_slab_words(
+        self, bucket: int
+    ) -> Generator[Tuple[np.ndarray, int, np.ndarray], None, None]:
         """Yield ``(store, row, words)`` for every slab in ``bucket``'s chain (uncounted)."""
         yield self.base_slabs, bucket, self.base_slabs[bucket]
         for address in self.chain_addresses(bucket):
@@ -573,7 +575,7 @@ class SlabListCollection:
         rows, cols = np.nonzero(mask)
         found_keys = keys[rows, cols].tolist()
         if cfg.key_value:
-            value_lanes = np.asarray([lane + 1 for lane in cfg.key_lanes])
+            value_lanes = np.asarray([lane + 1 for lane in cfg.key_lanes], dtype=np.int64)
             found_values = words[rows, value_lanes[cols]].tolist()
             return list(zip(found_keys, found_values))
         return [(key, None) for key in found_keys]

@@ -11,7 +11,7 @@ warp-cooperative procedures the slab hash uses.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -71,11 +71,13 @@ class SlabList:
         return warp
 
     @staticmethod
-    def _chunks(count: int):
+    def _chunks(count: int) -> Iterator[Tuple[int, int]]:
         for start in range(0, count, WARP_SIZE):
             yield start, min(start + WARP_SIZE, count)
 
-    def _lane_arrays(self, keys: np.ndarray, values: Optional[np.ndarray], start: int, end: int):
+    def _lane_arrays(
+        self, keys: np.ndarray, values: Optional[np.ndarray], start: int, end: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
         span = end - start
         is_active = np.zeros(WARP_SIZE, dtype=bool)
         is_active[:span] = True

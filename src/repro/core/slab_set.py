@@ -9,9 +9,13 @@ keeping the bulk and concurrent entry points of the underlying
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.flush import FlushResult
+    from repro.gpusim.scheduler import WarpScheduler
 
 from repro.core import constants as C
 from repro.core.config import SlabAllocConfig
@@ -100,7 +104,14 @@ class SlabSet:
             return 0
         return int(self._table.bulk_delete(keys).sum())
 
-    def concurrent_batch(self, op_codes, keys, *, scheduler=None, wave_size=None) -> np.ndarray:
+    def concurrent_batch(
+        self,
+        op_codes: Sequence[int],
+        keys: Sequence[int],
+        *,
+        scheduler: Optional["WarpScheduler"] = None,
+        wave_size: Optional[int] = None,
+    ) -> np.ndarray:
         """Mixed concurrent adds/discards/membership queries (see SlabHash)."""
         return self._table.concurrent_batch(
             op_codes, keys, scheduler=scheduler, wave_size=wave_size
@@ -110,7 +121,7 @@ class SlabSet:
     # Maintenance / introspection
     # ------------------------------------------------------------------ #
 
-    def flush(self):
+    def flush(self) -> List["FlushResult"]:
         """Compact the underlying slab lists."""
         return self._table.flush()
 

@@ -1,0 +1,71 @@
+"""Typed boundary between the sharded engine and its executors.
+
+:class:`ShardExecutor` is a :class:`~typing.Protocol` describing exactly the
+surface :class:`~repro.engine.sharded.ShardedSlabHash` (and the service's
+quarantine-restore path) relies on.  The concrete implementation today is
+:class:`~repro.engine.parallel.ProcessShardExecutor`; anything else that
+satisfies this protocol — an in-process mock in tests, a future thread- or
+RPC-backed executor — plugs in without the engine changing, and the strict
+typing pass checks the call sites against this interface instead of a
+concrete class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Protocol, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.slab_hash import SlabHash
+    from repro.engine.parallel import ShardQuery
+    from repro.faults import FaultPlan
+
+__all__ = ["ShardExecutor"]
+
+
+class ShardExecutor(Protocol):
+    """What the engine needs from a shard executor (see module docstring)."""
+
+    #: Optional chaos plan consulted at the ``shard:<i>.worker`` site.
+    faults: Optional["FaultPlan"]
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran; a closed executor rejects dispatches."""
+        ...
+
+    def call(self, shard: int, method: str, *args: object, **kwargs: object) -> object:
+        """Invoke ``shard``'s table method in its worker and return the result."""
+        ...
+
+    def run_calls(
+        self, calls: Sequence[Tuple[int, str, Tuple[object, ...]]]
+    ) -> List[object]:
+        """Fan out ``(shard, method, args)`` calls; results in input order."""
+        ...
+
+    def run_concurrent(
+        self,
+        batches: Sequence[Tuple[int, object, object, object, Optional[int], Optional[int]]],
+    ) -> List[object]:
+        """Fan out concurrent mixed batches; results in input order."""
+        ...
+
+    def query(self, shards: Sequence[int]) -> List["ShardQuery"]:
+        """Cheap per-shard state summaries (len/buckets/migrating)."""
+        ...
+
+    def sync(self, into: Optional[List["SlabHash"]] = None) -> None:
+        """Collect every worker-resident shard into the parent mirror."""
+        ...
+
+    def load_shard(self, shard: int, table: "SlabHash") -> None:
+        """Ship ``table`` as shard ``shard``'s new worker-resident state."""
+        ...
+
+    def push(self, shards: Optional[List["SlabHash"]] = None) -> None:
+        """Re-ship every mirror shard (write half of a maintenance barrier)."""
+        ...
+
+    def close(self) -> None:
+        """Shut the workers down; further dispatches raise."""
+        ...

@@ -56,11 +56,37 @@ import multiprocessing
 import os
 import time
 import weakref
-from typing import Dict, List, Optional, Sequence, Tuple
+from types import TracebackType
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    TypedDict,
+    cast,
+)
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+    from repro.core.slab_hash import SlabHash
 
 from repro.faults import FaultPlan, WorkerCrashed
 
-__all__ = ["ProcessShardExecutor"]
+__all__ = ["ProcessShardExecutor", "ShardQuery"]
+
+
+class ShardQuery(TypedDict):
+    """Cheap per-shard state summary served by the worker ``query`` command."""
+
+    len: int
+    num_buckets: int
+    used_bytes: int
+    migrating: bool
 
 #: Seconds to wait for a worker to exit cleanly before terminating it.
 _JOIN_TIMEOUT = 5.0
@@ -68,7 +94,7 @@ _JOIN_TIMEOUT = 5.0
 _CTX = multiprocessing.get_context("spawn")
 
 
-def _worker_main(conn) -> None:
+def _worker_main(conn: Connection) -> None:
     """Worker process entry point: resident shard tables, command loop.
 
     Commands arrive as tuples; every reply is ``(status, payload,
@@ -139,7 +165,10 @@ def _worker_main(conn) -> None:
             )
 
 
-def _terminate_workers(procs: List, conns: List) -> None:
+def _terminate_workers(
+    procs: List[Optional[multiprocessing.process.BaseProcess]],
+    conns: List[Optional["Connection"]],
+) -> None:
     """Best-effort teardown shared by :meth:`close` and the exit finalizer."""
     for conn in conns:
         try:
@@ -188,7 +217,7 @@ class ProcessShardExecutor:
 
     def __init__(
         self,
-        shards: List,
+        shards: List["SlabHash"],
         num_workers: Optional[int] = None,
         *,
         faults: Optional[FaultPlan] = None,
@@ -203,14 +232,14 @@ class ProcessShardExecutor:
         self._procs: List[Optional[multiprocessing.process.BaseProcess]] = [
             None for _ in range(self.num_workers)
         ]
-        self._conns: List = [None for _ in range(self.num_workers)]
+        self._conns: List[Optional["Connection"]] = [None for _ in range(self.num_workers)]
         self._worker_cpu = [0.0 for _ in range(self.num_workers)]
         # Shards whose worker-resident state was lost in a crash and has not
         # been re-shipped: the next call/concurrent dispatch to each raises
         # WorkerCrashed exactly once, so every affected lane gets its own
         # crash signal even when one worker hosted several shards.  Reads
         # (collect/query) serve the respawned mirror state instead.
-        self._lost: set = set()
+        self._lost: Set[int] = set()
         self._closed = False
         # Crash-safe teardown: daemonic workers die with the parent, and
         # this finalizer (also registered with atexit by weakref.finalize)
@@ -271,7 +300,12 @@ class ProcessShardExecutor:
     def __enter__(self) -> "ProcessShardExecutor":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     @property
@@ -303,7 +337,7 @@ class ProcessShardExecutor:
         self._lost.discard(shard)
         return WorkerCrashed(f"shard worker {worker} (shard {shard}) died: {why}")
 
-    def _send(self, shard: int, command: Tuple) -> int:
+    def _send(self, shard: int, command: Tuple[object, ...]) -> int:
         """Fault-check, ensure the worker is live, send; returns the worker."""
         if self._closed:
             raise RuntimeError("executor is closed")
@@ -340,7 +374,7 @@ class ProcessShardExecutor:
             ) from error
         return worker
 
-    def _read_reply(self, worker: int, shard: int):
+    def _read_reply(self, worker: int, shard: int) -> object:
         try:
             status, payload, counters, warp_counter, cpu = self._conns[worker].recv()
         except (EOFError, OSError) as error:
@@ -363,7 +397,7 @@ class ProcessShardExecutor:
             raise payload
         return payload
 
-    def _run(self, commands: Sequence[Tuple[int, Tuple]]) -> List:
+    def _run(self, commands: Sequence[Tuple[int, Tuple[object, ...]]]) -> List[object]:
         """Dispatch ``(shard, command)`` pairs fan-out, collect in order.
 
         All commands are sent before any reply is read, so workers compute
@@ -382,7 +416,7 @@ class ProcessShardExecutor:
             except Exception as error:  # noqa: BLE001
                 first_error = error
                 break
-        results: List = []
+        results: List[object] = []
         for worker, shard in sent:
             try:
                 results.append(self._read_reply(worker, shard))
@@ -398,11 +432,13 @@ class ProcessShardExecutor:
     # Shard operations
     # ------------------------------------------------------------------ #
 
-    def call(self, shard: int, method: str, *args, **kwargs):
+    def call(self, shard: int, method: str, *args: object, **kwargs: object) -> object:
         """Invoke ``shard``'s table method in its worker and return the result."""
         return self._run([(shard, ("call", shard, method, args, kwargs))])[0]
 
-    def run_calls(self, calls: Sequence[Tuple[int, str, tuple]]) -> List:
+    def run_calls(
+        self, calls: Sequence[Tuple[int, str, Tuple[object, ...]]]
+    ) -> List[object]:
         """Fan out ``(shard, method, args)`` calls; results in input order."""
         return self._run(
             [(shard, ("call", shard, method, args, {})) for shard, method, args in calls]
@@ -411,7 +447,7 @@ class ProcessShardExecutor:
     def run_concurrent(
         self,
         batches: Sequence[Tuple[int, object, object, object, Optional[int], Optional[int]]],
-    ) -> List:
+    ) -> List[object]:
         """Fan out concurrent mixed batches.
 
         Each entry is ``(shard, op_codes, keys, values, scheduler_seed,
@@ -427,11 +463,14 @@ class ProcessShardExecutor:
             ]
         )
 
-    def query(self, shards: Sequence[int]) -> List[dict]:
+    def query(self, shards: Sequence[int]) -> List[ShardQuery]:
         """Cheap per-shard state summaries (len/buckets/migrating)."""
-        return self._run([(shard, ("query", shard)) for shard in shards])
+        return cast(
+            List[ShardQuery],
+            self._run([(shard, ("query", shard)) for shard in shards]),
+        )
 
-    def sync(self, into: Optional[List] = None) -> None:
+    def sync(self, into: Optional[List["SlabHash"]] = None) -> None:
         """Collect every worker-resident shard into the parent mirror.
 
         State is adopted **in place** (same table objects), so references
@@ -447,7 +486,7 @@ class ProcessShardExecutor:
         for shard, data in enumerate(blobs):
             adopt_table_state(mirror[shard], table_from_bytes(data))
 
-    def load_shard(self, shard: int, table) -> None:
+    def load_shard(self, shard: int, table: "SlabHash") -> None:
         """Ship ``table`` as shard ``shard``'s new worker-resident state.
 
         Respawns the worker first if it died — the restore path after a
@@ -458,7 +497,7 @@ class ProcessShardExecutor:
         self._run([(shard, ("load", shard, table_to_bytes(table)))])
         self._lost.discard(shard)
 
-    def push(self, shards: Optional[List] = None) -> None:
+    def push(self, shards: Optional[List["SlabHash"]] = None) -> None:
         """Re-ship every mirror shard (the write half of a maintenance barrier)."""
         from repro.persist.snapshot import table_to_bytes
 

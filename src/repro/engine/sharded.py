@@ -44,7 +44,12 @@ the resulting scaling efficiency on bulk and mixed concurrent workloads.
 from __future__ import annotations
 
 import math
-from typing import Callable, List, Optional, Sequence, Tuple
+from types import TracebackType
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple, Type
+
+if TYPE_CHECKING:
+    from repro.engine.interfaces import ShardExecutor
+    from repro.engine.parallel import ShardQuery
 
 import numpy as np
 
@@ -172,7 +177,7 @@ class ShardedSlabHash:
         ]
         self.cost_model = CostModel(device_spec)
         self._ops_routed = np.zeros(num_shards, dtype=np.int64)
-        self._executor = None
+        self._executor: Optional["ShardExecutor"] = None
         self._stale = False
         self.attach_executor(executor, executor_workers)
 
@@ -188,7 +193,7 @@ class ShardedSlabHash:
         utilization: float,
         *,
         key_value: bool = True,
-        **kwargs,
+        **kwargs: object,
     ) -> "ShardedSlabHash":
         """Size each shard so the whole engine hits a target memory utilization.
 
@@ -228,8 +233,8 @@ class ShardedSlabHash:
         self._shards = list(value)
 
     @property
-    def process_executor(self):
-        """The attached :class:`ProcessShardExecutor`, or ``None`` (serial)."""
+    def process_executor(self) -> Optional["ShardExecutor"]:
+        """The attached executor (today a :class:`ProcessShardExecutor`), or ``None`` (serial)."""
         return self._executor
 
     def attach_executor(
@@ -278,7 +283,12 @@ class ShardedSlabHash:
     def __enter__(self) -> "ShardedSlabHash":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def _sync(self) -> None:
@@ -287,7 +297,7 @@ class ShardedSlabHash:
             self._executor.sync(self._shards)
             self._stale = False
 
-    def _queries(self) -> List[dict]:
+    def _queries(self) -> List["ShardQuery"]:
         return self._executor.query(range(self.num_shards))
 
     def install_shard(self, shard: int, table: SlabHash) -> None:
@@ -370,7 +380,7 @@ class ShardedSlabHash:
     def bulk_insert(self, keys: Sequence[int], values: Optional[Sequence[int]] = None) -> None:
         """Route a batch of insertions to their shards and run each sub-batch."""
         keys = np.asarray(keys, dtype=np.uint64)
-        values = None if values is None else np.asarray(values)
+        values = None if values is None else np.asarray(values, dtype=np.int64)
         if (
             not self.router.key_partitioning
             and self._shards[0].config.unique_keys
@@ -469,7 +479,7 @@ class ShardedSlabHash:
         keys = np.asarray(keys, dtype=np.uint64)
         if op_codes.shape != keys.shape:
             raise ValueError("op_codes and keys must have the same length")
-        values = None if values is None else np.asarray(values)
+        values = None if values is None else np.asarray(values, dtype=np.int64)
         results = np.zeros(len(keys), dtype=np.uint32)
         parts = self._partition(keys)
         if self._executor is not None:
@@ -901,9 +911,9 @@ class ShardedSlabHash:
         )
         return stored / self.used_bytes()
 
-    def items(self) -> List[tuple]:
+    def items(self) -> List[Tuple[int, Optional[int]]]:
         """All stored (key, value) pairs, shard by shard."""
-        out: List[tuple] = []
+        out: List[Tuple[int, Optional[int]]] = []
         for shard in self.shards:
             out.extend(shard.items())
         return out

@@ -60,13 +60,98 @@ __all__ = [
     "FaultAction",
     "FaultClock",
     "FaultPlan",
+    "FaultSite",
     "InjectedFault",
     "InjectedAllocExhausted",
     "InjectedBatchFailure",
     "InjectedMigrationFailure",
     "InjectedWalError",
+    "SITE_CATALOG",
     "WorkerCrashed",
 ]
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One entry of the machine-readable fault-site catalog.
+
+    ``name`` is the canonical plan-addressable site (``<i>`` stands for a
+    shard index); ``call_site`` is the literal the firing component passes
+    to ``check``/``fire`` — they differ only for sites reached through a
+    ``scoped("shard:<i>.")`` view.  ``dirty`` records whether shard state
+    may have partially applied when the fault fires (the degradation
+    semantics table in ``docs/FAULTS.md`` mirrors this flag).
+    """
+
+    name: str
+    call_site: str
+    component: str
+    dirty: bool
+    description: str
+
+
+#: The single source of truth for fault-site names.  The ``fault-site``
+#: lint rule checks every ``check``/``fire`` literal in ``src/`` against
+#: this catalog, and ``tests/faults/test_site_catalog.py`` checks that the
+#: catalog, the call sites, and ``docs/FAULTS.md`` agree.
+SITE_CATALOG: Tuple[FaultSite, ...] = (
+    FaultSite(
+        name="shard:<i>.alloc.warp_allocate",
+        call_site="alloc.warp_allocate",
+        component="allocator",
+        dirty=True,
+        description="shard i's allocator grabs a slab inside a running batch",
+    ),
+    FaultSite(
+        name="shard:<i>.migration.step",
+        call_site="migration.step",
+        component="incremental resize",
+        dirty=False,
+        description="before a migration step moves any bucket (step fails whole)",
+    ),
+    FaultSite(
+        name="shard:<i>.execute",
+        call_site="shard:<i>.execute",
+        component="drain loop",
+        dirty=False,
+        description="before shard i's staged batch runs (post-WAL-commit)",
+    ),
+    FaultSite(
+        name="shard:<i>.worker",
+        call_site="shard:<i>.worker",
+        component="process executor",
+        dirty=True,
+        description="on each dispatch to shard i's resident worker process",
+    ),
+    FaultSite(
+        name="wal.append",
+        call_site="wal.append",
+        component="WAL",
+        dirty=False,
+        description="before any byte of a group append is written",
+    ),
+    FaultSite(
+        name="wal.write",
+        call_site="wal.write",
+        component="WAL",
+        dirty=False,
+        description="at the group append's write (supports torn_write)",
+    ),
+    FaultSite(
+        name="wal.fsync",
+        call_site="wal.fsync",
+        component="WAL",
+        dirty=False,
+        description="after the write/flush, before fsync",
+    ),
+    FaultSite(
+        name="service.restore",
+        call_site="service.restore",
+        component="quarantine restore",
+        dirty=False,
+        description="at each restore attempt of a quarantined shard",
+    ),
+)
 
 
 class InjectedFault(Exception):

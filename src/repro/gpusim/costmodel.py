@@ -37,7 +37,18 @@ algorithm under the same model, which is what preserves the paper's trends.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, TypedDict
+
+
+class CostBreakdownDict(TypedDict):
+    """JSON-ready payload of :meth:`CostBreakdown.as_dict`."""
+
+    memory_time: float
+    atomic_time: float
+    compute_time: float
+    launch_overhead: float
+    total_time: float
+    bottleneck: str
 
 from repro.gpusim.counters import Counters
 from repro.gpusim.device import DeviceSpec, TESLA_K40C
@@ -62,7 +73,7 @@ class CostBreakdown:
     total_time: float
     bottleneck: str
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> CostBreakdownDict:
         return {
             "memory_time": self.memory_time,
             "atomic_time": self.atomic_time,

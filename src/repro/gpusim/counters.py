@@ -15,6 +15,7 @@ hop" for the Misra baseline) is visible and testable.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Dict
 
 __all__ = ["Counters", "scale_counters"]
 
@@ -131,7 +132,7 @@ class Counters:
         """All warp-wide instructions: ballots, shuffles and generic ALU/control."""
         return self.warp_ballots + self.warp_shuffles + self.warp_instructions
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, int]:
         """Plain-dict view (useful for reports and assertions in tests)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
 

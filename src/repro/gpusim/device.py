@@ -67,7 +67,7 @@ class DeviceSpec:
         """Achievable bandwidth (bytes/s) for coalesced 128 B transactions."""
         return self.dram_bandwidth * self.coalesced_efficiency
 
-    def scaled(self, **overrides) -> "DeviceSpec":
+    def scaled(self, **overrides: object) -> "DeviceSpec":
         """Return a copy of the spec with selected fields overridden."""
         return replace(self, **overrides)
 

@@ -26,7 +26,10 @@ contention.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import SupportsInt, Tuple, Union
+
+#: A store index: a flat word offset or a (row, lane) pair.
+Index = Union[int, Tuple[int, ...]]
 
 import numpy as np
 
@@ -38,7 +41,7 @@ __all__ = ["GlobalMemory"]
 _UINT32_MASK = 0xFFFFFFFF
 
 
-def _as_int(value) -> int:
+def _as_int(value: SupportsInt) -> int:
     """Convert a NumPy scalar or Python number to a plain Python int."""
     return int(value) & _UINT32_MASK
 
@@ -88,12 +91,12 @@ class GlobalMemory:
     # Uncoalesced (per-thread) accesses
     # ------------------------------------------------------------------ #
 
-    def read_word(self, store: np.ndarray, index) -> int:
+    def read_word(self, store: np.ndarray, index: Index) -> int:
         """Read a single 32-bit word at an arbitrary (scattered) address."""
         self.counters.uncoalesced_read_words += 1
         return _as_int(store[index])
 
-    def write_word(self, store: np.ndarray, index, value: int) -> None:
+    def write_word(self, store: np.ndarray, index: Index, value: int) -> None:
         """Write a single 32-bit word at an arbitrary (scattered) address."""
         self.counters.uncoalesced_write_words += 1
         store[index] = np.uint32(value & _UINT32_MASK)
@@ -102,7 +105,7 @@ class GlobalMemory:
     # Atomics
     # ------------------------------------------------------------------ #
 
-    def atomic_cas32(self, store: np.ndarray, index, compare: int, value: int) -> int:
+    def atomic_cas32(self, store: np.ndarray, index: Index, compare: int, value: int) -> int:
         """32-bit atomic compare-and-swap; returns the old value."""
         self.counters.atomic32 += 1
         old = _as_int(store[index])
@@ -137,7 +140,7 @@ class GlobalMemory:
             self.counters.cas_failures += 1
         return old
 
-    def atomic_exch32(self, store: np.ndarray, index, value: int) -> int:
+    def atomic_exch32(self, store: np.ndarray, index: Index, value: int) -> int:
         """32-bit atomic exchange; returns the old value."""
         self.counters.atomic32 += 1
         old = _as_int(store[index])
@@ -154,21 +157,21 @@ class GlobalMemory:
         store[row, lane + 1] = np.uint32(value[1] & _UINT32_MASK)
         return old
 
-    def atomic_or32(self, store: np.ndarray, index, value: int) -> int:
+    def atomic_or32(self, store: np.ndarray, index: Index, value: int) -> int:
         """32-bit atomic OR; returns the old value (SlabAlloc bit allocation)."""
         self.counters.atomic32 += 1
         old = _as_int(store[index])
         store[index] = np.uint32((old | value) & _UINT32_MASK)
         return old
 
-    def atomic_and32(self, store: np.ndarray, index, value: int) -> int:
+    def atomic_and32(self, store: np.ndarray, index: Index, value: int) -> int:
         """32-bit atomic AND; returns the old value (SlabAlloc deallocation)."""
         self.counters.atomic32 += 1
         old = _as_int(store[index])
         store[index] = np.uint32(old & value & _UINT32_MASK)
         return old
 
-    def atomic_add32(self, store: np.ndarray, index, value: int) -> int:
+    def atomic_add32(self, store: np.ndarray, index: Index, value: int) -> int:
         """32-bit atomic add; returns the old value."""
         self.counters.atomic32 += 1
         old = _as_int(store[index])

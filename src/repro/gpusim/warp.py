@@ -15,7 +15,7 @@ matches how a warp holds such values in registers.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -60,7 +60,7 @@ class Warp:
         self.counters.warp_ballots += 1
         return intrinsics.ballot_from_bools(predicates)
 
-    def shfl(self, values: Sequence | np.ndarray, src_lane: int):
+    def shfl(self, values: Union[Sequence[int], np.ndarray], src_lane: int) -> int:
         """``__shfl``: broadcast lane ``src_lane``'s value to the whole warp.
 
         Returns the broadcast value (all lanes receive the same value, so a

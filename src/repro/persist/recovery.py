@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Tuple, TypedDict, Union
 
 import numpy as np
 
@@ -55,6 +55,20 @@ class WalFloorRegressionError(ValueError):
     """
 
 
+class RecoveryReportDict(TypedDict):
+    """JSON-ready payload of :meth:`RecoveryReport.as_dict`."""
+
+    snapshot_path: str
+    wal_path: Optional[str]
+    records_replayed: int
+    ops_replayed: int
+    records_failed: int
+    records_skipped: int
+    records_aborted: int
+    torn_tail: bool
+    next_batch_index: int
+
+
 @dataclass(frozen=True)
 class RecoveryReport:
     """What :func:`recover` found and did."""
@@ -69,7 +83,7 @@ class RecoveryReport:
     next_batch_index: int  #: where a resuming service should continue numbering
     records_aborted: int = 0  #: logged batches skipped because they were aborted
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> RecoveryReportDict:
         return {
             "snapshot_path": self.snapshot_path,
             "wal_path": self.wal_path,

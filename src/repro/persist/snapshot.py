@@ -31,7 +31,7 @@ import dataclasses
 import io
 import json
 import os
-from typing import Union
+from typing import IO, Dict, Union
 
 import numpy as np
 
@@ -75,7 +75,7 @@ _ALLOC_CONFIG_FIELDS = (
 )
 
 
-def _table_header(table: SlabHash, wal_min_batch_index: int) -> dict:
+def _table_header(table: SlabHash, wal_min_batch_index: int) -> Dict[str, object]:
     alloc = table.alloc
     stats = table.resize_stats
     return {
@@ -117,10 +117,10 @@ def _table_header(table: SlabHash, wal_min_batch_index: int) -> dict:
     }
 
 
-def _table_arrays(table: SlabHash, wal_min_batch_index: int) -> dict:
+def _table_arrays(table: SlabHash, wal_min_batch_index: int) -> Dict[str, np.ndarray]:
     addresses, words = table.alloc.export_units()
     arrays = {
-        "header": np.array(json.dumps(_table_header(table, wal_min_batch_index))),
+        "header": np.array(json.dumps(_table_header(table, wal_min_batch_index)), dtype=np.str_),
         "base_slabs": table.lists.base_slabs,
         "alloc_addresses": addresses,
         "alloc_words": words,
@@ -158,7 +158,7 @@ def table_from_bytes(data: bytes) -> SlabHash:
     return _load_table(io.BytesIO(data), where="<snapshot bytes>")
 
 
-def _check_header(header: dict, kind: str, where: str) -> None:
+def _check_header(header: Dict[str, object], kind: str, where: str) -> None:
     if header.get("format") != _FORMAT:
         raise ValueError(f"{where} is not a {_FORMAT} file")
     if header.get("version") != SNAPSHOT_VERSION:
@@ -170,7 +170,7 @@ def _check_header(header: dict, kind: str, where: str) -> None:
         raise ValueError(f"{where} holds a {header.get('kind')!r}, expected {kind!r}")
 
 
-def _load_table(path, where: str = "") -> SlabHash:
+def _load_table(path: Union[str, IO[bytes]], where: str = "") -> SlabHash:
     with np.load(path, allow_pickle=False) as archive:
         header = json.loads(str(archive["header"][()]))
         _check_header(header, "slab_hash", where or path)

@@ -46,7 +46,11 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from types import TracebackType
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Type, Union
+
+if TYPE_CHECKING:
+    from repro.faults import FaultPlan, ScopedFaults
 
 import numpy as np
 
@@ -212,7 +216,13 @@ class WriteAheadLog:
     write+flush) sites.
     """
 
-    def __init__(self, path: str, *, sync: bool = False, faults=None) -> None:
+    def __init__(
+        self,
+        path: str,
+        *,
+        sync: bool = False,
+        faults: Optional[Union["FaultPlan", "ScopedFaults"]] = None,
+    ) -> None:
         self.path = path
         self.sync = bool(sync)
         self.faults = faults
@@ -292,7 +302,12 @@ class WriteAheadLog:
         """Frame one batch and append it; returns the record's byte offset."""
         return self.append_group([(op_codes, keys, values, batch_index)])[0]
 
-    def append_group(self, batches: Sequence[Tuple]) -> List[int]:
+    def append_group(
+        self,
+        batches: Sequence[
+            Tuple[Sequence[int], Sequence[int], Optional[Sequence[int]], int]
+        ],
+    ) -> List[int]:
         """Group-commit: frame several batches, write and flush them **once**.
 
         ``batches`` is a sequence of ``(op_codes, keys, values, batch_index)``
@@ -311,11 +326,11 @@ class WriteAheadLog:
         offsets: List[int] = []
         cursor = self._committed
         for op_codes, keys, values, batch_index in batches:
-            op_codes = np.asarray(op_codes)
-            keys = np.asarray(keys)
+            op_codes = np.asarray(op_codes, dtype=np.int64)
+            keys = np.asarray(keys, dtype=np.int64)
             if op_codes.shape != keys.shape:
                 raise ValueError("op_codes and keys must have the same length")
-            if values is not None and np.asarray(values).shape != keys.shape:
+            if values is not None and np.asarray(values, dtype=np.int64).shape != keys.shape:
                 raise ValueError("keys and values must have the same length")
             frame = _encode(int(batch_index), op_codes, keys, values)
             offsets.append(cursor)
@@ -363,7 +378,12 @@ class WriteAheadLog:
     def __enter__(self) -> "WriteAheadLog":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

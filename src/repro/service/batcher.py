@@ -27,7 +27,10 @@ one batcher (and one drain task) per shard.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import TYPE_CHECKING, Deque, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    import asyncio
 
 import numpy as np
 
@@ -47,7 +50,7 @@ class OpSlice:
 
     __slots__ = ("future", "results", "remaining", "failure")
 
-    def __init__(self, future, count: int) -> None:
+    def __init__(self, future: "asyncio.Future[np.ndarray]", count: int) -> None:
         self.future = future
         self.results = np.zeros(count, dtype=np.uint32)
         self.remaining = 0  # chunks outstanding; bumped as chunks are created
@@ -155,7 +158,7 @@ class CutBatch:
     def __len__(self) -> int:
         return len(self.op_codes)
 
-    def spans(self):
+    def spans(self) -> Iterator[Tuple["OpChunk", int, int]]:
         """Yield ``(chunk, start, end)`` positions within the batch arrays."""
         cursor = 0
         for chunk in self.chunks:

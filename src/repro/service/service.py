@@ -86,7 +86,18 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from types import TracebackType
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+    TypedDict,
+    Union,
+)
 
 import numpy as np
 
@@ -188,6 +199,27 @@ class ServiceConfig:
     executor_workers: Optional[int] = None
 
 
+class ShardLaneStatsDict(TypedDict):
+    """JSON-ready payload of :meth:`ShardLaneStats.as_dict`."""
+
+    shard: int
+    ops_enqueued: int
+    batches_cut: int
+    aligned_batches: int
+    forced_batches: int
+    forced_aligned_batches: int
+    warp_aligned_batches: int
+    deadline_forced_fraction: float
+    warp_aligned_fraction: float
+    modelled_seconds: float
+    rejected_overloaded: int
+    rejected_quarantined: int
+    ops_expired: int
+    trips: int
+    restores: int
+    state: str
+
+
 @dataclass(frozen=True)
 class ShardLaneStats:
     """One shard lane's batching and device-time accounting.
@@ -239,7 +271,7 @@ class ShardLaneStats:
             self.warp_aligned_batches / self.batches_cut if self.batches_cut else 0.0
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> ShardLaneStatsDict:
         return {
             "shard": self.shard,
             "ops_enqueued": self.ops_enqueued,
@@ -258,6 +290,39 @@ class ShardLaneStats:
             "restores": self.restores,
             "state": self.state,
         }
+
+
+class ServiceStatsDict(TypedDict):
+    """JSON-ready payload of :meth:`ServiceStats.as_dict` (bench documents)."""
+
+    ops_enqueued: int
+    ops_completed: int
+    ops_failed: int
+    batches_executed: int
+    warp_aligned_batches: int
+    deadline_forced_batches: int
+    deadline_forced_fraction: float
+    warp_aligned_fraction: float
+    mean_batch_size: float
+    latency: Dict[str, float]
+    wall_seconds: float
+    ops_per_second: float
+    modelled_seconds: float
+    modelled_ops_per_second: float
+    per_shard: List[ShardLaneStatsDict]
+    resizes_performed: int
+    resize_failures: List[str]
+    resize_modelled_seconds: float
+    migration_steps: int
+    migration_buckets_moved: int
+    migration_items_moved: int
+    ops_rejected: int
+    ops_expired: int
+    breaker_trips: int
+    shard_restores: int
+    wal_rollbacks: int
+    batches_aborted: int
+    restore_failures: List[str]
 
 
 @dataclass(frozen=True)
@@ -339,7 +404,7 @@ class ServiceStats:
             else 0.0
         )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> ServiceStatsDict:
         """Plain-dict view (used by the service benchmark JSON documents)."""
         return {
             "ops_enqueued": self.ops_enqueued,
@@ -454,7 +519,7 @@ class SlabHashService:
         ]
         self._latency = LatencyRecorder()
         self._wakes: List[asyncio.Event] = []
-        self._drain_tasks: List[asyncio.Task] = []
+        self._drain_tasks: List["asyncio.Task[None]"] = []
         self._staged: List[_StagedBatch] = []
         self._closing = False
         self._batch_index = 0  # next WAL batch index (global across shards)
@@ -473,7 +538,7 @@ class SlabHashService:
         self._rejected_quarantined = [0 for _ in self._shards]
         self._lane_trips = [0 for _ in self._shards]
         self._lane_restores = [0 for _ in self._shards]
-        self._restore_tasks: Dict[int, asyncio.Task] = {}
+        self._restore_tasks: Dict[int, "asyncio.Task[None]"] = {}
         self._restore_failure_log: List[str] = []
         self._checkpoint_path: Optional[str] = None
         # Exactly-once across recovery: indices of logged-then-rejected
@@ -570,7 +635,12 @@ class SlabHashService:
     async def __aenter__(self) -> "SlabHashService":
         return await self.start()
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         await self.stop()
 
     # ------------------------------------------------------------------ #
@@ -618,7 +688,7 @@ class SlabHashService:
             raise ValueError(f"key 0x{int(key):08X} is outside the storable key domain")
         shard = self.engine.admit_one(key) if self._sharded else 0
         self._admission_check(shard, 1)
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        future: "asyncio.Future[np.ndarray]" = asyncio.get_running_loop().create_future()
         now = self._stamp_enqueue()
         slice_ = OpSlice(future, 1)
         chunk = OpChunk(
@@ -723,7 +793,7 @@ class SlabHashService:
         for shard, idx in enumerate(parts):
             if idx.size:
                 self._admission_check(shard, int(idx.size))
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        future: "asyncio.Future[np.ndarray]" = asyncio.get_running_loop().create_future()
         now = self._stamp_enqueue()
         slice_ = OpSlice(future, len(keys))
         for shard, idx in enumerate(parts):

@@ -21,7 +21,11 @@ batches (the *grow* phase), then deletes back down to the base population
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.core.slab_hash import SlabHash
+    from repro.engine.sharded import ShardedSlabHash
 
 import numpy as np
 
@@ -142,7 +146,7 @@ def build_churn_workload(
     )
 
 
-def apply_churn_step(table, step: ChurnStep) -> None:
+def apply_churn_step(table: "Union[SlabHash, ShardedSlabHash]", step: ChurnStep) -> None:
     """Run one churn batch against a table (SlabHash or ShardedSlabHash)."""
     if step.kind == "insert":
         values = step.values
@@ -155,7 +159,7 @@ def apply_churn_step(table, step: ChurnStep) -> None:
         raise ValueError(f"unknown churn step kind {step.kind!r}")
 
 
-def run_churn(table, workload: ChurnWorkload) -> int:
+def run_churn(table: "Union[SlabHash, ShardedSlabHash]", workload: ChurnWorkload) -> int:
     """Apply every step of a churn workload in order; returns total operations."""
     for step in workload.steps:
         apply_churn_step(table, step)

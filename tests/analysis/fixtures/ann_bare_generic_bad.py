@@ -1,0 +1,5 @@
+"""Fixture: bare generic containers in annotations (ann-bare-generic positives)."""
+
+
+def tally(counts: dict) -> list:
+    return sorted(counts)

@@ -1,0 +1,6 @@
+"""Fixture: fully annotated, parameterized generics (typing-rule negatives)."""
+from typing import Dict, List
+
+
+def tally(counts: Dict[str, int]) -> List[str]:
+    return sorted(counts)

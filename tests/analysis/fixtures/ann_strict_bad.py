@@ -1,0 +1,5 @@
+"""Fixture: untyped signature (ann-strict positives)."""
+
+
+def scale(value, factor=2):
+    return value * factor

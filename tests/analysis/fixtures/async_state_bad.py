@@ -1,0 +1,14 @@
+"""Fixture: shard state snapshotted before an await, written back after
+(the classic asyncio lost-update; async-shared-state positive)."""
+import asyncio
+from typing import List
+
+
+class Lane:
+    def __init__(self) -> None:
+        self._staged: List[int] = []
+
+    async def drain(self) -> None:
+        staged = self._staged
+        await asyncio.sleep(0)
+        self._staged = [item for item in staged if item]

@@ -1,0 +1,14 @@
+"""Fixture: the atomic-swap idiom — shared state is exchanged in one
+statement before any await (async-shared-state negative)."""
+import asyncio
+from typing import List
+
+
+class Lane:
+    def __init__(self) -> None:
+        self._staged: List[int] = []
+
+    async def drain(self) -> List[int]:
+        staged, self._staged = self._staged, []
+        await asyncio.sleep(0)
+        return staged

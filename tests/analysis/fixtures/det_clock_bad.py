@@ -1,0 +1,6 @@
+"""Fixture: monotonic clock in a deterministic layer (det-clock positive)."""
+import time
+
+
+def elapsed() -> float:
+    return time.perf_counter()

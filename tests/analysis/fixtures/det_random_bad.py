@@ -1,0 +1,12 @@
+"""Fixture: unseeded randomness (det-random positives)."""
+import random
+
+import numpy as np
+
+
+def roll() -> float:
+    return random.random()
+
+
+def make_rng() -> object:
+    return np.random.default_rng()

@@ -1,0 +1,12 @@
+"""Fixture: seeded randomness (det-random negatives)."""
+import random
+
+import numpy as np
+
+
+def make_py_rng() -> random.Random:
+    return random.Random(42)
+
+
+def make_np_rng() -> np.random.Generator:
+    return np.random.default_rng(7)

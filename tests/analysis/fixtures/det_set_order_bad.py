@@ -1,0 +1,10 @@
+"""Fixture: iteration/materialization of unordered sets (det-set-order positives)."""
+from typing import List, Sequence
+
+
+def collect(items: Sequence[int]) -> List[int]:
+    seen = {1, 2, 3}
+    out = []
+    for item in seen:
+        out.append(item)
+    return out + list(set(items))

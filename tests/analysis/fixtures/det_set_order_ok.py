@@ -1,0 +1,10 @@
+"""Fixture: sets consumed through an ordering step (det-set-order negatives)."""
+from typing import List, Sequence
+
+
+def collect(items: Sequence[int]) -> List[int]:
+    seen = {1, 2, 3}
+    out = []
+    for item in sorted(seen):
+        out.append(item)
+    return out + sorted(set(items))

@@ -1,0 +1,11 @@
+"""Fixture: wall-clock reads outside repro/perf/ (det-wallclock positives)."""
+import datetime
+import time
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def today() -> "datetime.datetime":
+    return datetime.datetime.now()

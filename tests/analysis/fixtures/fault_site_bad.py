@@ -1,0 +1,10 @@
+"""Fixture: a typo'd fault-site literal (fault-site positive)."""
+
+
+class Component:
+    def __init__(self, faults: object) -> None:
+        self.faults = faults
+
+    def step(self) -> None:
+        if self.faults is not None:
+            self.faults.check("alloc.warp_allocte")

@@ -1,0 +1,10 @@
+"""Fixture: a catalogued fault-site literal (fault-site negative)."""
+
+
+class Component:
+    def __init__(self, faults: object) -> None:
+        self.faults = faults
+
+    def step(self) -> None:
+        if self.faults is not None:
+            self.faults.check("wal.append")

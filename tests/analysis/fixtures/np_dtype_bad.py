@@ -1,0 +1,7 @@
+"""Fixture: implicit-dtype array constructors (np-dtype positives)."""
+import numpy as np
+
+
+def make() -> np.ndarray:
+    buf = np.zeros(4)
+    return np.asarray(buf.tolist())

@@ -1,0 +1,7 @@
+"""Fixture: explicit dtypes everywhere (np-dtype negatives)."""
+import numpy as np
+
+
+def make() -> np.ndarray:
+    buf = np.zeros(4, dtype=np.uint32)
+    return np.asarray(buf.tolist(), dtype=np.uint32)

@@ -1,0 +1,9 @@
+"""Fixture: pickle import and unguarded np.load (persist-pickle positives)."""
+import pickle
+
+import numpy as np
+
+
+def load(path: str) -> object:
+    with np.load(path) as archive:
+        return pickle.loads(bytes(archive["blob"]))

@@ -1,0 +1,7 @@
+"""Fixture: pickle-free persistence (persist-pickle negatives)."""
+import numpy as np
+
+
+def load(path: str) -> np.ndarray:
+    with np.load(path, allow_pickle=False) as archive:
+        return archive["payload"]

@@ -1,0 +1,8 @@
+"""Fixture: snapshot version compared against a bare numeric literal
+(persist-version positive)."""
+from typing import Dict
+
+
+def check(header: Dict[str, object]) -> None:
+    if header["version"] != 2:
+        raise ValueError("unsupported snapshot version")

@@ -1,0 +1,10 @@
+"""Fixture: version compared against the declared registry constant
+(persist-version negative)."""
+from typing import Dict
+
+SNAPSHOT_VERSION = 2
+
+
+def check(header: Dict[str, object]) -> None:
+    if header["version"] != SNAPSHOT_VERSION:
+        raise ValueError("unsupported snapshot version")

@@ -1,0 +1,159 @@
+"""Framework-level behavior: suppressions, name resolution, registry, CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.analysis import RULE_CLASSES, default_rules, lint_source, rules_by_id
+from repro.cli import main
+
+_NP_DTYPE_BAD = "import numpy as np\nbuf = np.zeros(4)\n"
+
+
+def _lint(source, rel="repro/core/fx.py", select=("np-dtype",)):
+    return lint_source(source, rel=rel, rules=default_rules(list(select)))
+
+
+class TestSuppressions:
+    def test_same_line_disable(self):
+        source = (
+            "import numpy as np\n"
+            "buf = np.zeros(4)  # repro-lint: disable=np-dtype -- wrap-cast follows\n"
+        )
+        assert _lint(source).ok
+
+    def test_standalone_comment_disables_next_line(self):
+        source = (
+            "import numpy as np\n"
+            "# repro-lint: disable=np-dtype -- fixture\n"
+            "buf = np.zeros(4)\n"
+        )
+        assert _lint(source).ok
+
+    def test_disable_file(self):
+        source = (
+            "# repro-lint: disable-file=np-dtype\n" + _NP_DTYPE_BAD
+        )
+        assert _lint(source).ok
+
+    def test_disabling_a_different_rule_does_not_suppress(self):
+        source = (
+            "import numpy as np\n"
+            "buf = np.zeros(4)  # repro-lint: disable=det-wallclock -- wrong rule\n"
+        )
+        assert len(_lint(source).violations) == 1
+
+    def test_multiple_rules_in_one_directive(self):
+        source = (
+            "import numpy as np\n"
+            "buf = np.zeros(4)  # repro-lint: disable=det-wallclock,np-dtype -- both\n"
+        )
+        assert _lint(source).ok
+
+
+class TestNameResolution:
+    def test_import_aliases_resolve(self):
+        # `import numpy.random as nprand` must still hit det-random.
+        source = (
+            "import numpy.random as nprand\n"
+            "def f() -> object:\n"
+            "    return nprand.default_rng()\n"
+        )
+        report = lint_source(
+            source, rel="repro/core/fx.py", rules=default_rules(["det-random"])
+        )
+        assert len(report.violations) == 1
+
+    def test_from_import_resolves(self):
+        source = (
+            "from time import time as now\n"
+            "def f() -> float:\n"
+            "    return now()\n"
+        )
+        report = lint_source(
+            source, rel="repro/core/fx.py", rules=default_rules(["det-wallclock"])
+        )
+        assert len(report.violations) == 1
+
+    def test_unrelated_local_name_is_not_confused(self):
+        # A user-defined `time()` function is not the stdlib clock.
+        source = (
+            "def time() -> float:\n"
+            "    return 0.0\n"
+            "def f() -> float:\n"
+            "    return time()\n"
+        )
+        report = lint_source(
+            source, rel="repro/core/fx.py", rules=default_rules(["det-wallclock"])
+        )
+        assert report.ok
+
+
+class TestRegistry:
+    def test_all_rules_have_unique_ids_titles_rationales(self):
+        ids = [cls.id for cls in RULE_CLASSES]
+        assert len(ids) == len(set(ids))
+        for cls in RULE_CLASSES:
+            assert cls.title and cls.rationale, cls.id
+
+    def test_default_rules_rejects_unknown_ids(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            default_rules(["no-such-rule"])
+
+    def test_rules_by_id_round_trips(self):
+        assert set(rules_by_id()) == {cls.id for cls in RULE_CLASSES}
+
+
+class TestReport:
+    def test_violation_format_is_file_line_col_rule(self):
+        report = _lint(_NP_DTYPE_BAD)
+        line = report.violations[0].format()
+        assert line.startswith("repro/core/fx.py:2:")
+        assert "np-dtype" in line
+
+    def test_report_not_ok_with_violations(self):
+        report = _lint(_NP_DTYPE_BAD)
+        assert not report.ok and report.files_checked == 1
+
+
+class TestCli:
+    def test_list_rules_shows_every_rule(self):
+        stream = io.StringIO()
+        assert main(["lint", "--list-rules"], stream=stream) == 0
+        out = stream.getvalue()
+        for cls in RULE_CLASSES:
+            assert cls.id in out
+
+    def test_lint_clean_file_exits_zero(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("x: int = 1\n")
+        assert main(["lint", str(target)], stream=io.StringIO()) == 0
+
+    def test_lint_dirty_file_exits_nonzero_and_reports(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(_NP_DTYPE_BAD)
+        stream = io.StringIO()
+        assert main(["lint", str(target)], stream=stream) == 1
+        assert "np-dtype" in stream.getvalue()
+
+    def test_json_format(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(_NP_DTYPE_BAD)
+        stream = io.StringIO()
+        assert main(["lint", "--format", "json", str(target)], stream=stream) == 1
+        payload = json.loads(stream.getvalue())
+        assert payload["ok"] is False
+        assert payload["violations"][0]["rule"] == "np-dtype"
+
+    def test_select_restricts_rules(self, tmp_path):
+        target = tmp_path / "repro" / "core" / "dirty.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(_NP_DTYPE_BAD)
+        assert (
+            main(["lint", "--select", "det-wallclock", str(target)],
+                 stream=io.StringIO())
+            == 0
+        )

@@ -1,0 +1,27 @@
+"""The committed tree must be lint-clean: ``repro lint`` exits 0 on src/repro.
+
+This is the acceptance gate the CI lint job re-runs; keeping it in the tier-1
+suite means a change that introduces a violation fails locally before CI.
+"""
+
+import io
+
+import pytest
+
+from repro.analysis import default_rules, lint_paths
+from repro.cli import main
+
+
+@pytest.mark.smoke
+def test_src_repro_is_lint_clean():
+    report = lint_paths()  # defaults to <root>/repro with every rule
+    assert report.ok, "\n" + "\n".join(v.format() for v in report.violations)
+    # Sanity: the run actually covered the tree (not an empty glob).
+    assert report.files_checked > 50
+    assert len(report.rules_run) == len(default_rules())
+
+
+def test_cli_lint_exits_zero_on_live_tree():
+    stream = io.StringIO()
+    assert main(["lint"], stream=stream) == 0
+    assert "clean" in stream.getvalue()

@@ -1,0 +1,84 @@
+"""Three-way fault-site registry agreement: catalog <-> call sites <-> docs.
+
+``repro.faults.plan.SITE_CATALOG`` is the single source of truth for chaos
+injection points.  These tests pin the other two copies of that knowledge to
+it: the ``check()``/``fire()`` string literals in ``src/repro`` and the site
+table in ``docs/FAULTS.md``.  Any of the three drifting (a typo'd literal, a
+new hook without a catalog entry, an undocumented site) fails here — the same
+contract ``repro lint``'s ``fault-site`` rule enforces incrementally.
+"""
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.rules.faultsites import site_literal
+from repro.faults.plan import SITE_CATALOG
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+FAULTS_DOC = REPO_ROOT / "docs" / "FAULTS.md"
+
+#: A site-catalog table row in docs/FAULTS.md: ``| `site.name` | layer | ...``.
+_DOC_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|", re.MULTILINE)
+
+
+def _call_site_literals():
+    """Every static ``*.check("...")`` / ``*.fire("...")`` literal in src/repro."""
+    literals = set()
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in ("check", "fire"):
+                literal = site_literal(node.args[0])
+                if literal is not None:
+                    literals.add(literal)
+    return literals
+
+
+def _documented_sites():
+    text = FAULTS_DOC.read_text(encoding="utf-8")
+    start = text.index("### Site catalog")
+    end = text.index("\n\n", text.index("| ---", start))
+    return {m.group(1) for m in _DOC_ROW.finditer(text[start:end])} - {"site"}
+
+
+class TestSiteCatalog:
+    def test_catalog_names_are_unique_and_canonical(self):
+        names = [site.name for site in SITE_CATALOG]
+        assert len(names) == len(set(names))
+        for site in SITE_CATALOG:
+            # The call-site literal is the name itself, or the name minus the
+            # scoped-view shard prefix that ``plan.scoped("shard:<i>.")`` adds.
+            assert site.name in (site.call_site, f"shard:<i>.{site.call_site}")
+
+    def test_every_call_site_literal_is_in_the_catalog(self):
+        known = {site.name for site in SITE_CATALOG}
+        known |= {site.call_site for site in SITE_CATALOG}
+        unknown = _call_site_literals() - known
+        assert not unknown, f"src/ fires sites missing from SITE_CATALOG: {sorted(unknown)}"
+
+    def test_every_catalog_site_is_fired_somewhere(self):
+        fired = _call_site_literals()
+        dead = {
+            site.name
+            for site in SITE_CATALOG
+            if site.call_site not in fired and site.name not in fired
+        }
+        assert not dead, f"SITE_CATALOG entries no component consults: {sorted(dead)}"
+
+    def test_docs_table_matches_the_catalog_exactly(self):
+        documented = _documented_sites()
+        catalog = {site.name for site in SITE_CATALOG}
+        assert documented == catalog, (
+            f"docs/FAULTS.md site table drifted: "
+            f"undocumented={sorted(catalog - documented)}, "
+            f"stale={sorted(documented - catalog)}"
+        )
+
+    def test_catalog_descriptions_are_substantive(self):
+        for site in SITE_CATALOG:
+            assert site.component and len(site.description) > 10, site.name
